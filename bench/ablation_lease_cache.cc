@@ -1,0 +1,58 @@
+// Ablation — DHCP lease caching (Section 2.1.2: "techniques such as
+// caching dhcp leases, maintaining a history of APs with short join times
+// ... are essential for multi-AP systems"). A commuter repeats the same
+// loop, so most encounters after the first lap are with already-leased
+// APs; INIT-REBOOT (REQUEST without DISCOVER) skips the slowest part of
+// the join. We compare cold vs. cached joins over multi-lap drives.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace spider;
+
+namespace {
+
+struct Outcome {
+  double median_join_sec = 0.0;
+  double throughput_kBps = 0.0;
+  double connectivity_pct = 0.0;
+};
+
+Outcome run(bool cache) {
+  trace::EmpiricalCdf joins;
+  trace::OnlineStats thr, conn;
+  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
+    auto cfg = bench::amherst_drive(seed, sim::Time::seconds(1200));
+    cfg.spider = core::single_channel_multi_ap(1);
+    cfg.spider.cache_leases = cache;
+    const auto r = core::Experiment(std::move(cfg)).run();
+    for (double d : r.joins.join_delay_sec.samples()) joins.add(d);
+    thr.add(r.avg_throughput_kBps());
+    conn.add(r.connectivity_percent());
+  }
+  return {joins.empty() ? 0.0 : joins.median(), thr.mean(), conn.mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("ablation_lease_cache",
+                      "Section 2.1.2 — DHCP lease caching (INIT-REBOOT)");
+  std::printf("(20-minute loop drives: laps 2+ revisit already-leased APs)\n\n");
+  std::printf("  %-18s %-18s %-14s %-14s\n", "lease cache",
+              "median join (s)", "thr (KB/s)", "conn (%)");
+  const Outcome cold = run(false);
+  const Outcome cached = run(true);
+  std::printf("  %-18s %-18.2f %-14.1f %-14.1f\n", "off (paper)",
+              cold.median_join_sec, cold.throughput_kBps,
+              cold.connectivity_pct);
+  std::printf("  %-18s %-18.2f %-14.1f %-14.1f\n", "on (INIT-REBOOT)",
+              cached.median_join_sec, cached.throughput_kBps,
+              cached.connectivity_pct);
+  std::printf(
+      "\nexpected shape: caching cuts the median join (the OFFER wait is\n"
+      "the slowest stage) and converts the savings into throughput and\n"
+      "connectivity on every revisit — the quantified version of the\n"
+      "paper's claim that lease caching is essential at vehicular speed.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Engine micro-benchmarks (google-benchmark): raw event-queue throughput,
+// medium delivery cost, and a full vehicular-experiment step rate. These
+// guard the simulator's performance so the reproduction benches stay fast.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/experiment.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
+
+using namespace spider;
+
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule_at(sim::Time::micros(i * 7 % 9973), [&] { ++fired; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_TimerCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::TimerHandle> handles;
+    handles.reserve(10'000);
+    for (int i = 0; i < 10'000; ++i) {
+      handles.push_back(sim.schedule_at(sim::Time::millis(i), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_TimerCancellation);
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  const int n_radios = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    phy::MediumConfig cfg;
+    cfg.base_loss = 0.1;
+    phy::Medium medium(sim, sim::Rng(1), cfg);
+    std::vector<std::unique_ptr<phy::Radio>> radios;
+    for (int i = 0; i < n_radios; ++i) {
+      radios.push_back(std::make_unique<phy::Radio>(
+          medium, net::MacAddress::from_index(static_cast<std::uint32_t>(i)),
+          phy::RadioConfig{.initial_channel = 1}));
+      radios.back()->set_position({static_cast<double>(i), 0.0});
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 200; ++i) {
+      radios[0]->send(net::make_probe_request(radios[0]->address()));
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(medium.frames_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_VehicularExperimentSecond(benchmark::State& state) {
+  // Cost of simulating one wall-clock second of the Table-2 drive.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cfg = bench::amherst_drive(7, sim::Time::seconds(10));
+    cfg.spider = core::single_channel_multi_ap(1);
+    core::Experiment exp(std::move(cfg));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(exp.run().frames_sent);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // simulated seconds
+}
+BENCHMARK(BM_VehicularExperimentSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

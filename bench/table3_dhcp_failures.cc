@@ -1,0 +1,57 @@
+// Table 3 — DHCP failure probability for different timeout configurations,
+// with seven virtual interfaces. Reduced timers speed up the median join
+// (Fig. 11) but roughly double the failure rate versus the default timers;
+// switching among channels while joining pushes failures higher still.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace spider;
+
+namespace {
+
+void run_row(const char* label, bool three_channels,
+             dhcpd::DhcpClientConfig timers) {
+  trace::OnlineStats failure_pct;
+  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL, 37ULL}) {
+    auto cfg = spider::bench::amherst_drive(seed);
+    core::SpiderConfig sc = three_channels ? core::multi_channel_multi_ap()
+                                           : core::single_channel_multi_ap(1);
+    sc.dhcp = timers;
+    cfg.spider = sc;
+    const auto r = core::Experiment(std::move(cfg)).run();
+    if (r.joins.dhcp_failed_joins + r.joins.joins > 0) {
+      failure_pct.add(100.0 * r.joins.dhcp_join_failure_rate());
+    }
+  }
+  std::printf("  %-52s %5.1f%% +/- %4.1f%%\n", label, failure_pct.mean(),
+              failure_pct.stddev());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("table3_dhcp_failures",
+                      "Table 3 — DHCP failure probability vs. timers");
+  std::printf("(failure = an associated interface abandoned without ever\n"
+              " obtaining a lease; 7 interfaces, 4 seeds)\n\n");
+
+  run_row("Chan 1, linklayer 100ms, dhcp 600ms", false,
+          dhcpd::reduced_dhcp_timers(sim::Time::millis(600)));
+  run_row("Chan 1, linklayer 100ms, dhcp 400ms", false,
+          dhcpd::reduced_dhcp_timers(sim::Time::millis(400)));
+  run_row("Chan 1, linklayer 100ms, dhcp 200ms", false,
+          dhcpd::reduced_dhcp_timers(sim::Time::millis(200)));
+  run_row("3 chans, static 1/3, linklayer 100ms, dhcp 200ms", true,
+          dhcpd::reduced_dhcp_timers(sim::Time::millis(200)));
+  run_row("Chan 1, default timers", false, dhcpd::default_dhcp_timers());
+  run_row("3 chans, static 1/3, default timers", true,
+          dhcpd::default_dhcp_timers());
+
+  std::printf(
+      "\npaper's values: 23.0 / 27.1 / 28.2 / 23.6 / 13.5 / 21.8 %%\n"
+      "expected shape: shorter timeouts raise the failure rate (roughly 2x\n"
+      "default), and multi-channel schedules raise it for default timers.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 4 — Average throughput and connectivity for equal static schedules
+// over one, two, and three channels (multi-AP in all cases). Throughput is
+// maximized on one channel; connectivity is maximized by covering all three.
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace spider;
+
+int main() {
+  bench::print_header("table4_channels",
+                      "Table 4 — throughput/connectivity vs. channel count");
+  std::printf("(equal 200 ms slices, multi-AP, mean of 3 seeds)\n\n");
+
+  struct Row {
+    const char* label;
+    std::vector<net::ChannelId> channels;
+  };
+  const Row rows[] = {
+      {"1 channel", {1}},
+      {"2 channels (equal schedule)", {1, 6}},
+      {"3 channels (equal schedule)", {1, 6, 11}},
+  };
+  for (const auto& row : rows) {
+    trace::OnlineStats thr, conn;
+    for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
+      auto cfg = bench::amherst_drive(seed);
+      if (row.channels.size() == 1) {
+        cfg.spider = core::single_channel_multi_ap(row.channels[0]);
+      } else {
+        cfg.spider = core::multi_channel_multi_ap(
+            sim::Time::millis(200) * static_cast<int>(row.channels.size()),
+            row.channels);
+      }
+      const auto r = core::Experiment(std::move(cfg)).run();
+      thr.add(r.avg_throughput_kBps());
+      conn.add(r.connectivity_percent());
+    }
+    std::printf("  %-30s %8.1f KB/s   %5.1f%%\n", row.label, thr.mean(),
+                conn.mean());
+  }
+  std::printf(
+      "\npaper's values: 121.5/35.5  25.1/35.8  28.8/44.7\n"
+      "expected shape: single channel wins throughput by a wide margin;\n"
+      "adding channels grows the reachable AP pool (connectivity) while\n"
+      "fractional dwell strangles TCP and DHCP (throughput).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "backhaul/ap_host.h"
+
+#include <utility>
+#include <variant>
+
+namespace spider::backhaul {
+
+ApHost::ApHost(phy::Medium& medium, tcp::ContentServer& server,
+               net::MacAddress address, phy::Vec2 position,
+               net::Ipv4Address subnet, sim::Rng rng, ApHostConfig config)
+    : server_(server),
+      ap_(medium, address, position, rng.fork("ap"), config.ap),
+      dhcp_(medium.simulator(), ap_,
+            net::Ipv4Address{subnet.value() | 1u},  // gateway at .1
+            rng.fork("dhcp"), config.dhcp),
+      uplink_(medium.simulator(), config.backhaul),
+      downlink_(medium.simulator(), config.backhaul) {
+  ap_.set_data_sink([this](const net::Frame& f) { on_client_data(f); });
+  uplink_.set_deliver_handler([this](const net::TcpSegment& seg) {
+    // Reply path captured per flow: down this AP's shaped backhaul.
+    server_.handle_segment(
+        seg, [this](const net::TcpSegment& reply) { downlink_.send(reply); });
+  });
+  downlink_.set_deliver_handler(
+      [this](const net::TcpSegment& seg) { on_downlink(seg); });
+}
+
+void ApHost::set_backhaul_rate(double bps) {
+  uplink_.set_rate(bps);
+  downlink_.set_rate(bps);
+}
+
+void ApHost::on_client_data(const net::Frame& frame) {
+  if (std::holds_alternative<net::DhcpMessage>(frame.payload)) {
+    dhcp_.handle_frame(frame);
+    return;
+  }
+  if (const auto* seg = std::get_if<net::TcpSegment>(&frame.payload)) {
+    flow_client_[seg->flow_id] = frame.src;
+    ++uplink_segments_;
+    uplink_.send(*seg);
+  }
+}
+
+void ApHost::on_downlink(const net::TcpSegment& segment) {
+  auto it = flow_client_.find(segment.flow_id);
+  if (it == flow_client_.end()) return;  // flow opened elsewhere
+  ++downlink_segments_;
+  ap_.send_to_client(it->second, net::make_tcp_frame(ap_.address(), it->second,
+                                                     ap_.address(), segment));
+}
+
+}  // namespace spider::backhaul

@@ -1,0 +1,67 @@
+// An "AP host" bundles everything that lives at one access point: the
+// 802.11 MAC, its private DHCP server, and a shaped backhaul pipe to the
+// wired content server. It bridges the two worlds:
+//
+//   uplink:   client data frame -> demux -> DHCP server | backhaul -> server
+//   downlink: server segment -> backhaul -> AccessPoint::send_to_client()
+//             (power-save buffering applies transparently)
+//
+// The host learns flow -> client-MAC bindings from uplink traffic, like the
+// NAT in a home gateway; a TCP connection is therefore pinned to the AP it
+// was opened through for its whole life.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "backhaul/wired_link.h"
+#include "dhcpd/dhcp_server.h"
+#include "mac/access_point.h"
+#include "phy/medium.h"
+#include "sim/random.h"
+#include "tcp/tcp.h"
+
+namespace spider::backhaul {
+
+struct ApHostConfig {
+  mac::AccessPointConfig ap;
+  dhcpd::DhcpServerConfig dhcp;
+  WiredLinkConfig backhaul;  // applied to both directions
+};
+
+class ApHost {
+ public:
+  ApHost(phy::Medium& medium, tcp::ContentServer& server,
+         net::MacAddress address, phy::Vec2 position, net::Ipv4Address subnet,
+         sim::Rng rng, ApHostConfig config = {});
+
+  ApHost(const ApHost&) = delete;
+  ApHost& operator=(const ApHost&) = delete;
+
+  void start() { ap_.start(); }
+
+  mac::AccessPoint& ap() { return ap_; }
+  const mac::AccessPoint& ap() const { return ap_; }
+  dhcpd::DhcpServer& dhcp() { return dhcp_; }
+  void set_backhaul_rate(double bps);
+
+  std::uint64_t uplink_segments() const { return uplink_segments_; }
+  std::uint64_t downlink_segments() const { return downlink_segments_; }
+
+ private:
+  void on_client_data(const net::Frame& frame);
+  void on_downlink(const net::TcpSegment& segment);
+
+  tcp::ContentServer& server_;
+  mac::AccessPoint ap_;
+  dhcpd::DhcpServer dhcp_;
+  WiredLink uplink_;
+  WiredLink downlink_;
+  std::unordered_map<std::uint64_t, net::MacAddress> flow_client_;
+  std::uint64_t uplink_segments_ = 0;
+  std::uint64_t downlink_segments_ = 0;
+};
+
+}  // namespace spider::backhaul

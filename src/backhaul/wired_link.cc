@@ -1,0 +1,35 @@
+#include "backhaul/wired_link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spider::backhaul {
+
+WiredLink::WiredLink(sim::Simulator& simulator, WiredLinkConfig config)
+    : sim_(simulator), config_(config) {}
+
+std::int64_t WiredLink::backlog_bytes() const {
+  if (config_.rate_bps <= 0.0 || busy_until_ <= sim_.now()) return 0;
+  const double secs = (busy_until_ - sim_.now()).sec();
+  return static_cast<std::int64_t>(secs * config_.rate_bps / 8.0);
+}
+
+void WiredLink::send(net::TcpSegment segment) {
+  const int size = segment.size_bytes();
+  sim::Time ready = sim_.now();
+  if (config_.rate_bps > 0.0) {
+    if (backlog_bytes() + size > config_.queue_limit_bytes) {
+      ++dropped_;
+      return;
+    }
+    const sim::Time start = std::max(sim_.now(), busy_until_);
+    busy_until_ = start + sim::transmission_time(size, config_.rate_bps);
+    ready = busy_until_;
+  }
+  sim_.schedule_at(ready + config_.latency, [this, segment] {
+    ++delivered_;
+    if (deliver_) deliver_(segment);
+  });
+}
+
+}  // namespace spider::backhaul

@@ -1,0 +1,52 @@
+// One-way wired link with a token-bucket-equivalent rate shaper and a
+// drop-tail byte queue — the stand-in for each AP's DSL/cable backhaul and
+// the traffic shaper used in the paper's Fig. 9 micro-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/frame.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace spider::backhaul {
+
+struct WiredLinkConfig {
+  double rate_bps = 0.0;  // 0 = unshaped (infinite rate)
+  sim::Time latency = sim::Time::millis(20);
+  // Residential gateways of the era were famously over-buffered; a deep
+  // drop-tail queue also lets TCP slow-start discover the path capacity.
+  std::int64_t queue_limit_bytes = 256 * 1024;
+};
+
+class WiredLink {
+ public:
+  using DeliverFn = std::function<void(const net::TcpSegment&)>;
+
+  WiredLink(sim::Simulator& simulator, WiredLinkConfig config = {});
+
+  WiredLink(const WiredLink&) = delete;
+  WiredLink& operator=(const WiredLink&) = delete;
+
+  void set_deliver_handler(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_rate(double bps) { config_.rate_bps = bps; }
+  const WiredLinkConfig& config() const { return config_; }
+
+  // Enqueues the segment; drops it if the shaper queue is full.
+  void send(net::TcpSegment segment);
+
+  std::int64_t backlog_bytes() const;
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  WiredLinkConfig config_;
+  DeliverFn deliver_;
+  sim::Time busy_until_ = sim::Time::zero();
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace spider::backhaul

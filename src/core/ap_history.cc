@@ -1,0 +1,38 @@
+#include "core/ap_history.h"
+
+namespace spider::core {
+
+void ApHistoryDb::record_attempt(net::Bssid ap) {
+  ++records_[ap].join_attempts;
+}
+
+void ApHistoryDb::record_success(net::Bssid ap, sim::Time join_delay,
+                                 sim::Time now) {
+  ApRecord& r = records_[ap];
+  ++r.join_successes;
+  const double sec = join_delay.sec();
+  r.ewma_join_sec =
+      r.join_successes == 1 ? sec : alpha_ * sec + (1.0 - alpha_) * r.ewma_join_sec;
+  r.last_success = now;
+}
+
+void ApHistoryDb::record_failure(net::Bssid) {}
+
+double ApHistoryDb::score(net::Bssid ap) const {
+  const ApRecord* r = find(ap);
+  if (r == nullptr || r->join_attempts == 0) {
+    // Unseen: Laplace prior (0+1)/(0+2) over the prior join time — below a
+    // proven-fast AP, above a known-bad one.
+    return 0.5 / (1.0 + kUnseenPriorJoinSec);
+  }
+  const double join_sec =
+      r->join_successes > 0 ? r->ewma_join_sec : kUnseenPriorJoinSec;
+  return r->success_rate() / (1.0 + join_sec);
+}
+
+const ApRecord* ApHistoryDb::find(net::Bssid ap) const {
+  auto it = records_.find(ap);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace spider::core

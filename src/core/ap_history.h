@@ -1,0 +1,61 @@
+// Join-history database.
+//
+// Spider's AP-selection heuristic (Section 3): because exact multi-AP
+// selection maximizing a utility function is NP-hard, Spider greedily picks
+// the APs with the best history of quick, successful joins — join time, not
+// offered bandwidth, is the dominant factor at vehicular speed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/addr.h"
+#include "sim/time.h"
+
+namespace spider::core {
+
+struct ApRecord {
+  std::uint32_t join_attempts = 0;
+  std::uint32_t join_successes = 0;
+  // EWMA of full join latency (association + DHCP), seconds.
+  double ewma_join_sec = 0.0;
+  sim::Time last_success = sim::Time::zero();
+
+  // Laplace-smoothed so one unlucky failure does not zero an AP forever.
+  double success_rate() const {
+    return (static_cast<double>(join_successes) + 1.0) /
+           (static_cast<double>(join_attempts) + 2.0);
+  }
+};
+
+class ApHistoryDb {
+ public:
+  // EWMA weight for new join-time observations.
+  explicit ApHistoryDb(double alpha = 0.3) : alpha_(alpha) {}
+
+  void record_attempt(net::Bssid ap);
+  void record_success(net::Bssid ap, sim::Time join_delay, sim::Time now);
+  // A failure is an attempt with no matching success; nothing extra to do,
+  // but exposed for symmetry / future penalties.
+  void record_failure(net::Bssid ap);
+
+  // Higher is better. Blends the Laplace-smoothed success rate with the
+  // (inverse) join latency:
+  //   score = success_rate / (1 + ewma_join_sec)
+  // Unseen APs get the neutral prior 0.5/(1+prior_join), so the ordering is
+  // proven-fast > unseen > failed/slow — the exploration/exploitation
+  // balance the greedy selector relies on.
+  double score(net::Bssid ap) const;
+
+  const ApRecord* find(net::Bssid ap) const;
+  std::size_t size() const { return records_.size(); }
+
+  // Prior join time (seconds) assumed for never-seen APs.
+  static constexpr double kUnseenPriorJoinSec = 1.5;
+
+ private:
+  double alpha_;
+  std::unordered_map<net::Bssid, ApRecord> records_;
+};
+
+}  // namespace spider::core

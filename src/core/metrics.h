@@ -1,0 +1,39 @@
+// Join-plane metrics shared by drivers and experiment harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/stats.h"
+
+namespace spider::core {
+
+struct JoinMetrics {
+  // Link-layer association latency (Fig. 5).
+  trace::EmpiricalCdf association_delay_sec;
+  // Full join latency: association + DHCP (Figs. 6, 11, 12).
+  trace::EmpiricalCdf join_delay_sec;
+  std::uint64_t associations = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t join_attempts = 0;
+  // Per-retry-window accounting (diagnostics).
+  std::uint64_t dhcp_attempt_failures = 0;
+  std::uint64_t dhcp_attempts = 0;
+  // Per-join accounting (Table 3): of the interfaces that completed
+  // association and started DHCP, how many were abandoned without a lease.
+  std::uint64_t dhcp_failed_joins = 0;
+
+  // Window-level failure probability (diagnostic).
+  double dhcp_failure_rate() const {
+    return dhcp_attempts == 0
+               ? 0.0
+               : static_cast<double>(dhcp_attempt_failures) / dhcp_attempts;
+  }
+  // Join-level DHCP failure probability — the quantity Table 3 reports.
+  double dhcp_join_failure_rate() const {
+    const std::uint64_t total = dhcp_failed_joins + joins;
+    return total == 0 ? 0.0
+                      : static_cast<double>(dhcp_failed_joins) / total;
+  }
+};
+
+}  // namespace spider::core

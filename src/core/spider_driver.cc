@@ -1,0 +1,394 @@
+#include "core/spider_driver.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "phy/channel.h"
+
+namespace spider::core {
+
+SpiderDriver::SpiderDriver(sim::Simulator& simulator, ClientDevice& device,
+                           SpiderConfig config)
+    : sim_(simulator), device_(device), config_(std::move(config)) {
+  if (config_.schedule.empty())
+    throw std::invalid_argument("SpiderConfig: empty schedule");
+  if (config_.dynamic_channel && config_.schedule.size() != 1)
+    throw std::invalid_argument(
+        "SpiderConfig: dynamic_channel requires a single-slice schedule");
+  double total = 0.0;
+  for (const auto& slice : config_.schedule) {
+    if (slice.fraction <= 0.0)
+      throw std::invalid_argument("SpiderConfig: non-positive slice");
+    total += slice.fraction;
+  }
+  for (auto& slice : config_.schedule) slice.fraction /= total;
+
+  device_.set_connected_lookup([this](net::ChannelId ch) {
+    std::vector<net::Bssid> out;
+    for (const auto& [bssid, vif] : interfaces_) {
+      if (vif->channel == ch && vif->state == VirtualInterface::State::kConnected)
+        out.push_back(bssid);
+    }
+    return out;
+  });
+}
+
+SpiderDriver::~SpiderDriver() {
+  schedule_timer_.cancel();
+  selection_timer_.cancel();
+  eval_timer_.cancel();
+  for (auto& [bssid, vif] : interfaces_) device_.unregister_bssid(bssid);
+}
+
+void SpiderDriver::start() {
+  if (started_) return;
+  started_ = true;
+  rotate_schedule(0);
+  selection_timer_ =
+      sim_.schedule_after(config_.selection_interval, [this] { selection_tick(); });
+  if (config_.dynamic_channel) {
+    eval_timer_ = sim_.schedule_after(config_.channel_eval_interval,
+                                      [this] { channel_eval_tick(); });
+  }
+}
+
+net::ChannelId SpiderDriver::home_channel() const {
+  return config_.schedule.front().channel;
+}
+
+double SpiderDriver::channel_utility(net::ChannelId channel) const {
+  double utility = 0.0;
+  for (const ScanEntry& e : device_.scan_results(channel)) {
+    utility += history_.score(e.bssid);
+  }
+  return utility;
+}
+
+void SpiderDriver::channel_eval_tick() {
+  eval_timer_ = sim_.schedule_after(config_.channel_eval_interval,
+                                    [this] { channel_eval_tick(); });
+  if (excursion_active_) return;
+  excursion_active_ = true;
+  // Visit every orthogonal channel except home, probing briefly on each.
+  std::vector<net::ChannelId> remaining;
+  for (net::ChannelId ch : phy::kOrthogonalChannels) {
+    if (ch != home_channel()) remaining.push_back(ch);
+  }
+  scan_excursion_step(std::move(remaining));
+}
+
+void SpiderDriver::scan_excursion_step(std::vector<net::ChannelId> remaining) {
+  if (remaining.empty()) {
+    // Head home, then decide.
+    device_.switch_channel(home_channel(), [this] {
+      accumulate_airtime();
+      dwell_channel_ = home_channel();
+      on_arrival(home_channel());
+      finish_channel_eval();
+    });
+    return;
+  }
+  const net::ChannelId target = remaining.back();
+  remaining.pop_back();
+  accumulate_airtime();
+  dwell_channel_ = 0;
+  device_.switch_channel(target, [this, target] {
+    accumulate_airtime();
+    dwell_channel_ = target;
+  });
+  sim_.schedule_after(config_.scan_excursion,
+                      [this, remaining = std::move(remaining)]() mutable {
+                        scan_excursion_step(std::move(remaining));
+                      });
+}
+
+void SpiderDriver::finish_channel_eval() {
+  excursion_active_ = false;
+  const double home_utility = channel_utility(home_channel());
+  net::ChannelId best = home_channel();
+  double best_utility = home_utility;
+  for (net::ChannelId ch : phy::kOrthogonalChannels) {
+    const double u = channel_utility(ch);
+    if (u > best_utility) {
+      best = ch;
+      best_utility = u;
+    }
+  }
+  if (best == home_channel()) return;
+  // Hysteresis, plus never abandon live connections for speculative gain.
+  if (best_utility < home_utility * config_.channel_switch_hysteresis) return;
+  if (connected_count() > 0) return;
+  ++recamps_;
+  config_.schedule.front().channel = best;
+  // Drop joining interfaces stranded on the old home channel.
+  std::vector<net::Bssid> stale;
+  for (const auto& [bssid, vif] : interfaces_) {
+    if (vif->channel != best) stale.push_back(bssid);
+  }
+  for (net::Bssid bssid : stale) destroy_interface(bssid, /*lost=*/false);
+  rotate_schedule(0);
+}
+
+void SpiderDriver::accumulate_airtime() {
+  if (dwell_channel_ != 0) {
+    airtime_[dwell_channel_] += sim_.now() - dwell_since_;
+  }
+  dwell_since_ = sim_.now();
+}
+
+sim::Time SpiderDriver::channel_airtime(net::ChannelId channel) const {
+  sim::Time t = sim::Time::zero();
+  if (auto it = airtime_.find(channel); it != airtime_.end()) t = it->second;
+  if (channel == dwell_channel_) t += sim_.now() - dwell_since_;
+  return t;
+}
+
+void SpiderDriver::rotate_schedule(std::size_t slice_index) {
+  ChannelSlice slice = config_.schedule[slice_index];
+  sim::Time dwell = config_.period * slice.fraction;
+  std::size_t next = (slice_index + 1) % config_.schedule.size();
+
+  if (config_.camp_while_connected) {
+    for (const auto& [bssid, vif] : interfaces_) {
+      if (vif->state == VirtualInterface::State::kConnected) {
+        // Stay with the live connection; re-evaluate after a full period.
+        slice = ChannelSlice{vif->channel, 1.0};
+        dwell = config_.period;
+        next = slice_index;  // resume the rotation where it left off
+        break;
+      }
+    }
+  }
+
+  accumulate_airtime();
+  dwell_channel_ = 0;  // nothing accrues during the reset
+
+  if (device_.channel() == slice.channel && !device_.switching()) {
+    // Already parked there (camping or single-channel): no PSM dance.
+    dwell_channel_ = slice.channel;
+    dwell_since_ = sim_.now();
+    if (config_.schedule.size() > 1 || config_.camp_while_connected) {
+      schedule_timer_.cancel();
+      schedule_timer_ =
+          sim_.schedule_after(dwell, [this, next] { rotate_schedule(next); });
+    }
+    return;
+  }
+
+  last_switch_latency_ =
+      device_.switch_channel(slice.channel, [this, slice] {
+        accumulate_airtime();
+        dwell_channel_ = slice.channel;
+        on_arrival(slice.channel);
+      });
+
+  if (config_.schedule.size() > 1 || config_.camp_while_connected) {
+    schedule_timer_.cancel();
+    schedule_timer_ =
+        sim_.schedule_after(dwell, [this, next] { rotate_schedule(next); });
+  }
+}
+
+void SpiderDriver::on_arrival(net::ChannelId channel) {
+  for (auto& [bssid, vif] : interfaces_) {
+    if (vif->channel != channel) continue;
+    if (vif->session) vif->session->radio_on_channel();
+    if (vif->dhcp && vif->state == VirtualInterface::State::kDhcp)
+      vif->dhcp->radio_on_channel();
+  }
+}
+
+bool SpiderDriver::scheduled_channel(net::ChannelId channel) const {
+  return std::any_of(config_.schedule.begin(), config_.schedule.end(),
+                     [channel](const ChannelSlice& s) {
+                       return s.channel == channel;
+                     });
+}
+
+void SpiderDriver::note_heard(VirtualInterface& vif) {
+  vif.airtime_at_last_heard = channel_airtime(vif.channel);
+}
+
+void SpiderDriver::create_interface(const ScanEntry& entry) {
+  const net::Bssid bssid = entry.bssid;
+  auto vif = std::make_unique<VirtualInterface>();
+  vif->bssid = bssid;
+  vif->channel = entry.channel;
+  vif->join_started = sim_.now();
+  vif->airtime_at_last_heard = channel_airtime(entry.channel);
+
+  // Join traffic is sent only when the radio is live on the AP's channel;
+  // it is never queued (a deferred DHCP request would arrive stale anyway,
+  // and the paper's whole point is that joins cannot be parked with PSM).
+  const net::ChannelId channel = entry.channel;
+  auto join_tx = [this, channel](const net::Frame& frame) {
+    if (device_.channel() == channel && !device_.switching()) {
+      return device_.radio().send(frame);
+    }
+    return false;
+  };
+
+  vif->session = std::make_unique<mac::ClientSession>(
+      sim_, device_.address(), bssid, channel, join_tx, config_.session);
+  vif->dhcp = std::make_unique<dhcpd::DhcpClient>(
+      sim_, device_.address(), bssid, join_tx, config_.dhcp);
+
+  VirtualInterface* raw = vif.get();
+  vif->session->set_event_handler(
+      [this, raw](mac::ClientSession&, mac::SessionEvent ev) {
+        on_session_event(*raw, ev);
+      });
+  vif->dhcp->set_event_handler([this, raw](dhcpd::DhcpClient&, dhcpd::DhcpEvent ev) {
+    on_dhcp_event(*raw, ev);
+  });
+
+  device_.register_bssid(bssid, [this, raw](const net::Frame& frame,
+                                            const phy::RxInfo&) {
+    note_heard(*raw);
+    if (raw->session) raw->session->handle_frame(frame);
+    if (raw->dhcp) raw->dhcp->handle_frame(frame);
+  });
+
+  interfaces_.emplace(bssid, std::move(vif));
+  ++metrics_.join_attempts;
+  history_.record_attempt(bssid);
+  raw->session->start_join();
+}
+
+void SpiderDriver::selection_tick() {
+  selection_timer_ =
+      sim_.schedule_after(config_.selection_interval, [this] { selection_tick(); });
+
+  // 1. Reap interfaces whose AP has been silent for link_loss_timeout of
+  //    on-channel time (silence while parked elsewhere doesn't count).
+  std::vector<net::Bssid> dead;
+  for (auto& [bssid, vif] : interfaces_) {
+    const sim::Time on_air_silence =
+        channel_airtime(vif->channel) - vif->airtime_at_last_heard;
+    if (on_air_silence > config_.link_loss_timeout) {
+      dead.push_back(bssid);
+      continue;
+    }
+    if (vif->state != VirtualInterface::State::kConnected &&
+        sim_.now() - vif->join_started > config_.join_give_up) {
+      dead.push_back(bssid);
+    }
+  }
+  for (net::Bssid bssid : dead) destroy_interface(bssid, /*lost=*/true);
+
+  // 2. Spawn interfaces for fresh candidates on scheduled channels.
+  const int capacity = config_.multi_ap ? config_.max_interfaces : 1;
+  if (static_cast<int>(interfaces_.size()) >= capacity) return;
+
+  std::vector<ScanEntry> candidates;
+  for (ScanEntry& e : device_.scan_results()) {
+    if (!scheduled_channel(e.channel)) continue;
+    if (interfaces_.contains(e.bssid)) continue;
+    candidates.push_back(std::move(e));
+  }
+
+  const auto rank = [this](const ScanEntry& e) {
+    switch (config_.policy) {
+      case ApSelectionPolicy::kJoinHistory:
+        return history_.score(e.bssid);
+      case ApSelectionPolicy::kBestRssi:
+        return e.rssi_dbm;
+      case ApSelectionPolicy::kOfferedBandwidth:
+        // No in-band estimate exists before joining; fall back to history
+        // blended with signal (the ablation bench injects an oracle).
+        return history_.score(e.bssid) + e.rssi_dbm * 1e-4;
+    }
+    return 0.0;
+  };
+  std::sort(candidates.begin(), candidates.end(),
+            [&rank](const ScanEntry& a, const ScanEntry& b) {
+              return rank(a) > rank(b);
+            });
+
+  for (const ScanEntry& e : candidates) {
+    if (static_cast<int>(interfaces_.size()) >= capacity) break;
+    create_interface(e);
+  }
+}
+
+void SpiderDriver::destroy_interface(net::Bssid bssid, bool lost) {
+  auto it = interfaces_.find(bssid);
+  if (it == interfaces_.end()) return;
+  const bool was_connected =
+      it->second->state == VirtualInterface::State::kConnected;
+  if (!was_connected) history_.record_failure(bssid);
+  if (it->second->state == VirtualInterface::State::kDhcp) {
+    ++metrics_.dhcp_failed_joins;  // associated but never got a lease
+  }
+  device_.unregister_bssid(bssid);
+  device_.forget_scan(bssid);
+  interfaces_.erase(it);
+  if (lost && was_connected && on_disconnected_) on_disconnected_(bssid);
+}
+
+std::size_t SpiderDriver::connected_count() const {
+  std::size_t n = 0;
+  for (const auto& [bssid, vif] : interfaces_) {
+    if (vif->state == VirtualInterface::State::kConnected) ++n;
+  }
+  return n;
+}
+
+const VirtualInterface* SpiderDriver::find_interface(net::Bssid bssid) const {
+  auto it = interfaces_.find(bssid);
+  return it == interfaces_.end() ? nullptr : it->second.get();
+}
+
+void SpiderDriver::on_session_event(VirtualInterface& vif,
+                                    mac::SessionEvent event) {
+  switch (event) {
+    case mac::SessionEvent::kAssociated: {
+      ++metrics_.associations;
+      metrics_.association_delay_sec.add(vif.session->association_delay().sec());
+      vif.state = VirtualInterface::State::kDhcp;
+      const auto cached = config_.cache_leases
+                              ? lease_cache_.find(vif.bssid)
+                              : lease_cache_.end();
+      if (cached != lease_cache_.end() &&
+          cached->second.acquired_at + cached->second.duration > sim_.now()) {
+        vif.dhcp->start_with_cached(cached->second);
+      } else {
+        vif.dhcp->start();
+      }
+      break;
+    }
+    case mac::SessionEvent::kFailed: {
+      // Deferred: we are inside the session's own call stack.
+      const net::Bssid bssid = vif.bssid;
+      sim_.schedule_after(sim::Time::zero(), [this, bssid] {
+        destroy_interface(bssid, /*lost=*/false);
+      });
+      break;
+    }
+  }
+}
+
+void SpiderDriver::on_dhcp_event(VirtualInterface& vif, dhcpd::DhcpEvent event) {
+  switch (event) {
+    case dhcpd::DhcpEvent::kBound: {
+      const sim::Time join_delay = sim_.now() - vif.join_started;
+      ++metrics_.joins;
+      ++metrics_.dhcp_attempts;
+      metrics_.join_delay_sec.add(join_delay.sec());
+      history_.record_success(vif.bssid, join_delay, sim_.now());
+      if (config_.cache_leases) lease_cache_[vif.bssid] = vif.dhcp->lease();
+      vif.state = VirtualInterface::State::kConnected;
+      vif.connected_at = sim_.now();
+      if (on_connected_) on_connected_(vif);
+      break;
+    }
+    case dhcpd::DhcpEvent::kAttemptFailed:
+      // Every attempt window counts once: here on failure, above on bind.
+      ++metrics_.dhcp_attempt_failures;
+      ++metrics_.dhcp_attempts;
+      break;
+  }
+}
+
+}  // namespace spider::core

@@ -1,0 +1,208 @@
+#include "dhcpd/dhcp_client.h"
+
+#include <utility>
+#include <variant>
+
+namespace spider::dhcpd {
+
+const char* to_string(DhcpState s) {
+  switch (s) {
+    case DhcpState::kIdle: return "Idle";
+    case DhcpState::kDiscovering: return "Discovering";
+    case DhcpState::kRequesting: return "Requesting";
+    case DhcpState::kBound: return "Bound";
+    case DhcpState::kBackoff: return "Backoff";
+  }
+  return "?";
+}
+
+DhcpClientConfig default_dhcp_timers() {
+  return DhcpClientConfig{};  // 1 s / 3 s / 60 s
+}
+
+DhcpClientConfig reduced_dhcp_timers(sim::Time message_timeout) {
+  DhcpClientConfig c;
+  c.message_timeout = message_timeout;
+  // Short attempt window: four message timeouts, then a brief pause — the
+  // aggressive rejoin loop a mobile client needs.
+  c.attempt_duration = message_timeout * std::int64_t{4};
+  c.idle_after_failure = sim::Time::millis(500);
+  return c;
+}
+
+DhcpClient::DhcpClient(sim::Simulator& simulator, net::MacAddress self,
+                       net::Bssid bssid, TxFn tx, DhcpClientConfig config)
+    : sim_(simulator),
+      self_(self),
+      bssid_(bssid),
+      tx_(std::move(tx)),
+      config_(config) {}
+
+DhcpClient::~DhcpClient() {
+  message_timer_.cancel();
+  attempt_timer_.cancel();
+}
+
+void DhcpClient::start() {
+  abandon();
+  started_ = sim_.now();
+  failed_attempts_ = 0;
+  attempt_windows_ = 0;
+  messages_sent_ = 0;
+  begin_attempt();
+}
+
+void DhcpClient::start_with_cached(const Lease& cached) {
+  abandon();
+  started_ = sim_.now();
+  failed_attempts_ = 0;
+  attempt_windows_ = 1;
+  messages_sent_ = 0;
+  transaction_id_ = static_cast<std::uint32_t>(
+      (self_.value() << 8) ^ static_cast<std::uint64_t>(sim_.now().us()) ^
+      0x1B07u);
+  offered_ip_ = cached.ip;
+  server_ip_ = cached.server;
+  state_ = DhcpState::kRequesting;
+  transmit_current();
+  arm_message_timer();
+  attempt_timer_.cancel();
+  attempt_timer_ = sim_.schedule_after(config_.attempt_duration,
+                                       [this] { on_attempt_expired(); });
+}
+
+void DhcpClient::abandon() {
+  message_timer_.cancel();
+  attempt_timer_.cancel();
+  state_ = DhcpState::kIdle;
+}
+
+void DhcpClient::begin_attempt() {
+  ++attempt_windows_;
+  // Fresh transaction per attempt window, as dhclient restarts do. An OFFER
+  // answering a previous window's DISCOVER is stale and will be ignored —
+  // one of the reasons fractional channel schedules are so hostile to DHCP.
+  // (An offer arriving during the *backoff* after its own window still
+  // matches and is honoured; see handle_frame.)
+  transaction_id_ = static_cast<std::uint32_t>(
+      (self_.value() << 8) ^ static_cast<std::uint64_t>(sim_.now().us()));
+  offered_ip_ = net::Ipv4Address{};
+  server_ip_ = net::Ipv4Address{};
+  state_ = DhcpState::kDiscovering;
+  transmit_current();
+  arm_message_timer();
+  attempt_timer_.cancel();
+  attempt_timer_ = sim_.schedule_after(config_.attempt_duration,
+                                       [this] { on_attempt_expired(); });
+}
+
+void DhcpClient::transmit_current() {
+  net::DhcpMessage msg;
+  msg.transaction_id = transaction_id_;
+  msg.client_mac = self_;
+  switch (state_) {
+    case DhcpState::kDiscovering:
+      msg.kind = net::DhcpMessage::Kind::kDiscover;
+      break;
+    case DhcpState::kRequesting:
+      msg.kind = net::DhcpMessage::Kind::kRequest;
+      msg.offered_ip = offered_ip_;
+      msg.server_ip = server_ip_;
+      break;
+    default:
+      return;
+  }
+  ++messages_sent_;
+  tx_(net::make_dhcp_frame(self_, bssid_, bssid_, msg));
+}
+
+void DhcpClient::arm_message_timer() {
+  message_timer_.cancel();
+  message_timer_ = sim_.schedule_after(config_.message_timeout,
+                                       [this] { on_message_timeout(); });
+}
+
+void DhcpClient::on_message_timeout() {
+  if (state_ != DhcpState::kDiscovering && state_ != DhcpState::kRequesting)
+    return;
+  transmit_current();
+  arm_message_timer();
+}
+
+void DhcpClient::on_attempt_expired() {
+  if (state_ == DhcpState::kBound || state_ == DhcpState::kIdle) return;
+  message_timer_.cancel();
+  ++failed_attempts_;
+  state_ = DhcpState::kBackoff;
+  if (event_handler_) event_handler_(*this, DhcpEvent::kAttemptFailed);
+  if (state_ != DhcpState::kBackoff) return;  // handler may have abandoned us
+  if (config_.max_attempt_windows > 0 &&
+      attempt_windows_ >= config_.max_attempt_windows) {
+    state_ = DhcpState::kIdle;
+    return;
+  }
+  attempt_timer_.cancel();
+  attempt_timer_ = sim_.schedule_after(config_.idle_after_failure,
+                                       [this] { begin_attempt(); });
+}
+
+void DhcpClient::handle_frame(const net::Frame& frame) {
+  if (frame.src != bssid_ || frame.dst != self_) return;
+  const auto* msg = std::get_if<net::DhcpMessage>(&frame.payload);
+  if (msg == nullptr || msg->transaction_id != transaction_id_) return;
+
+  switch (msg->kind) {
+    case net::DhcpMessage::Kind::kOffer:
+      // A late OFFER that lands during backoff is still a lease opportunity
+      // (the radio may simply have been elsewhere when it first arrived).
+      if (state_ == DhcpState::kDiscovering || state_ == DhcpState::kBackoff) {
+        const bool was_backoff = state_ == DhcpState::kBackoff;
+        offered_ip_ = msg->offered_ip;
+        server_ip_ = msg->server_ip;
+        state_ = DhcpState::kRequesting;
+        transmit_current();
+        arm_message_timer();
+        if (was_backoff) {
+          attempt_timer_.cancel();
+          attempt_timer_ = sim_.schedule_after(config_.attempt_duration,
+                                               [this] { on_attempt_expired(); });
+        }
+      }
+      break;
+
+    case net::DhcpMessage::Kind::kAck:
+      if (state_ == DhcpState::kRequesting) {
+        message_timer_.cancel();
+        attempt_timer_.cancel();
+        lease_ = Lease{msg->offered_ip, msg->server_ip, msg->lease_duration,
+                       sim_.now()};
+        acquisition_delay_ = sim_.now() - started_;
+        state_ = DhcpState::kBound;
+        if (event_handler_) event_handler_(*this, DhcpEvent::kBound);
+      }
+      break;
+
+    case net::DhcpMessage::Kind::kNak:
+      if (state_ == DhcpState::kRequesting) {
+        // Stale offer; restart discovery within the same attempt window.
+        state_ = DhcpState::kDiscovering;
+        offered_ip_ = net::Ipv4Address{};
+        transmit_current();
+        arm_message_timer();
+      }
+      break;
+
+    case net::DhcpMessage::Kind::kDiscover:
+    case net::DhcpMessage::Kind::kRequest:
+      break;  // client-originated kinds
+  }
+}
+
+void DhcpClient::radio_on_channel() {
+  if (state_ == DhcpState::kDiscovering || state_ == DhcpState::kRequesting) {
+    transmit_current();
+    arm_message_timer();
+  }
+}
+
+}  // namespace spider::dhcpd

@@ -1,0 +1,94 @@
+#include "dhcpd/dhcp_server.h"
+
+#include <utility>
+#include <variant>
+
+namespace spider::dhcpd {
+
+DhcpServer::DhcpServer(sim::Simulator& simulator, mac::AccessPoint& ap,
+                       net::Ipv4Address server_ip, sim::Rng rng,
+                       DhcpServerConfig config)
+    : sim_(simulator),
+      ap_(ap),
+      server_ip_(server_ip),
+      rng_(std::move(rng)),
+      config_(config) {}
+
+sim::Time DhcpServer::sample(sim::Time lo, sim::Time hi) {
+  if (hi <= lo) return lo;
+  return lo + sim::Time::micros(rng_.uniform_int(0, (hi - lo).us()));
+}
+
+net::Ipv4Address DhcpServer::allocate(net::MacAddress client) {
+  if (auto it = leases_.find(client); it != leases_.end()) return it->second;
+  if (leases_.size() >= config_.pool_size) {
+    ++pool_exhaustions_;
+    return net::Ipv4Address{};
+  }
+  // Derive the subnet from the server address; hand out sequential hosts.
+  const auto ip = net::Ipv4Address{(server_ip_.value() & 0xFFFFFF00u) |
+                                   (next_host_++ & 0xFFu)};
+  leases_.emplace(client, ip);
+  return ip;
+}
+
+void DhcpServer::send_later(net::MacAddress client, net::DhcpMessage msg,
+                            sim::Time lo, sim::Time hi) {
+  sim_.schedule_after(
+      sample(lo, hi),
+      [this, alive = std::weak_ptr<char>(alive_), client, msg] {
+        if (alive.expired()) return;
+        ap_.send_to_client(client, net::make_dhcp_frame(ap_.address(), client,
+                                                        ap_.address(), msg));
+      });
+}
+
+void DhcpServer::handle_frame(const net::Frame& frame) {
+  if (!config_.responsive) return;
+  const auto* msg = std::get_if<net::DhcpMessage>(&frame.payload);
+  if (msg == nullptr) return;
+
+  switch (msg->kind) {
+    case net::DhcpMessage::Kind::kDiscover: {
+      const auto ip = allocate(frame.src);
+      if (ip.is_null()) return;  // pool exhausted: silence, client retries
+      net::DhcpMessage offer;
+      offer.kind = net::DhcpMessage::Kind::kOffer;
+      offer.transaction_id = msg->transaction_id;
+      offer.client_mac = frame.src;
+      offer.offered_ip = ip;
+      offer.server_ip = server_ip_;
+      offer.lease_duration = config_.lease_duration;
+      ++offers_sent_;
+      send_later(frame.src, offer, config_.offer_delay_min,
+                 config_.offer_delay_max);
+      break;
+    }
+
+    case net::DhcpMessage::Kind::kRequest: {
+      auto it = leases_.find(frame.src);
+      net::DhcpMessage reply;
+      reply.transaction_id = msg->transaction_id;
+      reply.client_mac = frame.src;
+      reply.server_ip = server_ip_;
+      if (it == leases_.end() || it->second != msg->offered_ip) {
+        reply.kind = net::DhcpMessage::Kind::kNak;
+      } else {
+        reply.kind = net::DhcpMessage::Kind::kAck;
+        reply.offered_ip = it->second;
+        reply.lease_duration = config_.lease_duration;
+        ++acks_sent_;
+      }
+      send_later(frame.src, reply, config_.ack_delay_min,
+                 config_.ack_delay_max);
+      break;
+    }
+
+    case net::DhcpMessage::Kind::kOffer:
+    case net::DhcpMessage::Kind::kAck:
+    case net::DhcpMessage::Kind::kNak:
+      break;  // server-originated kinds; ignore if echoed back
+  }
+}
+
+}  // namespace spider::dhcpd

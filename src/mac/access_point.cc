@@ -1,0 +1,210 @@
+#include "mac/access_point.h"
+
+#include <utility>
+
+namespace spider::mac {
+
+AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
+                         phy::Vec2 position, sim::Rng rng,
+                         AccessPointConfig config)
+    : medium_(medium),
+      radio_(medium, address,
+             phy::RadioConfig{.initial_channel = config.channel}),
+      rng_(std::move(rng)),
+      config_(std::move(config)) {
+  radio_.set_position(position);
+  radio_.set_receive_handler(
+      [this](const net::Frame& f, const phy::RxInfo& i) { on_receive(f, i); });
+  // Link-layer retry failure: an associated client that went absent (e.g.
+  // parked on another channel before our PM=1 bookkeeping caught up) gets
+  // its frames re-queued into the power-save buffer instead of dropped —
+  // the standard AP behaviour virtualized clients rely on.
+  radio_.set_tx_failure_handler([this](const net::Frame& f) {
+    if (f.kind != net::FrameKind::kData) return;
+    auto it = clients_.find(f.dst);
+    if (it == clients_.end() || !it->second.associated) return;
+    // Re-queue only for clients that announced power-save: that's the race
+    // where data was in flight when the PM=1 arrived. A client that is
+    // simply absent without PSM (e.g. mid-join on another channel) loses
+    // the frame, exactly as the paper's join analysis assumes.
+    if (!it->second.power_save) return;
+    if (it->second.buffer.size() >= config_.max_buffered_frames) {
+      ++buffer_drops_;
+      return;
+    }
+    ++buffered_total_;
+    it->second.buffer.push_back(f);
+  });
+  if (config_.auto_rate) {
+    radio_.set_tx_result_handler([this](const net::Frame& f, bool ok) {
+      if (f.kind != net::FrameKind::kData) return;
+      if (ok) {
+        rate_.on_success(f.dst);
+      } else {
+        rate_.on_failure(f.dst);
+      }
+    });
+  }
+}
+
+double AccessPoint::downlink_rate_bps(net::MacAddress client) const {
+  return config_.auto_rate ? rate_.rate_for(client)
+                           : medium_.config().bitrate_bps;
+}
+
+void AccessPoint::start() {
+  if (started_) return;
+  started_ = true;
+  // Desynchronize beacons across APs.
+  const sim::Time offset =
+      sim::Time::micros(rng_.uniform_int(0, config_.beacon_interval.us() - 1));
+  medium_.simulator().schedule_after(
+      offset, [this, alive = std::weak_ptr<char>(alive_)] {
+        if (!alive.expired()) beacon_tick();
+      });
+}
+
+net::BeaconInfo AccessPoint::beacon_info() const {
+  return net::BeaconInfo{config_.ssid, config_.channel, config_.open};
+}
+
+void AccessPoint::beacon_tick() {
+  radio_.send(net::make_beacon(address(), beacon_info()));
+  medium_.simulator().schedule_after(
+      config_.beacon_interval, [this, alive = std::weak_ptr<char>(alive_)] {
+        if (!alive.expired()) beacon_tick();
+      });
+}
+
+void AccessPoint::respond_after_delay(net::Frame response) {
+  const sim::Time lo = config_.response_delay_min;
+  const sim::Time hi = config_.response_delay_max;
+  const sim::Time delay =
+      lo + sim::Time::micros(rng_.uniform_int(0, (hi - lo).us()));
+  medium_.simulator().schedule_after(
+      delay, [this, alive = std::weak_ptr<char>(alive_),
+              response = std::move(response)] {
+        if (!alive.expired()) radio_.send(response);
+      });
+}
+
+void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
+  const bool for_us = frame.dst == address() || frame.dst.is_broadcast();
+  if (!for_us) return;
+
+  switch (frame.kind) {
+    case net::FrameKind::kProbeRequest:
+      respond_after_delay(
+          net::make_probe_response(address(), frame.src, beacon_info()));
+      break;
+
+    case net::FrameKind::kAuthRequest: {
+      clients_[frame.src].authenticated = true;
+      respond_after_delay(net::make_auth_response(address(), frame.src));
+      break;
+    }
+
+    case net::FrameKind::kAssocRequest: {
+      auto it = clients_.find(frame.src);
+      if (it == clients_.end() || !it->second.authenticated) {
+        // Real APs reject association before authentication; we stay silent
+        // and let the client's link-layer timeout drive a retry of auth.
+        break;
+      }
+      if (!it->second.associated) ++assoc_grants_;
+      it->second.associated = true;
+      respond_after_delay(net::make_assoc_response(address(), frame.src));
+      break;
+    }
+
+    case net::FrameKind::kDisassoc:
+      clients_.erase(frame.src);
+      break;
+
+    case net::FrameKind::kNullData: {
+      auto it = clients_.find(frame.src);
+      if (it == clients_.end() || !it->second.associated) break;
+      if (frame.power_mgmt) {
+        it->second.power_save = true;
+      } else {
+        it->second.power_save = false;
+        flush_buffer(frame.src, it->second);
+      }
+      break;
+    }
+
+    case net::FrameKind::kPsPoll: {
+      // Spider wakes a parked association by polling; we flush everything
+      // buffered and clear the PS bit so downlink flows until the next
+      // PM=1 announcement.
+      auto it = clients_.find(frame.src);
+      if (it == clients_.end() || !it->second.associated) break;
+      it->second.power_save = false;
+      flush_buffer(frame.src, it->second);
+      break;
+    }
+
+    case net::FrameKind::kData: {
+      // DHCP exchanges legitimately arrive before association completes in
+      // our simplified stack only if the client is associated; enforce that.
+      auto it = clients_.find(frame.src);
+      if (it == clients_.end() || !it->second.associated) break;
+      // An awake client that transmits proves it is listening; deliver
+      // anything that accumulated during a PSM race window.
+      if (!it->second.power_save && !it->second.buffer.empty()) {
+        flush_buffer(frame.src, it->second);
+      }
+      if (data_sink_) data_sink_(frame);
+      break;
+    }
+
+    case net::FrameKind::kBeacon:
+    case net::FrameKind::kProbeResponse:
+    case net::FrameKind::kAuthResponse:
+    case net::FrameKind::kAssocResponse:
+      break;  // AP ignores other APs' management traffic
+  }
+}
+
+void AccessPoint::flush_buffer(net::MacAddress client, ClientState& state) {
+  while (!state.buffer.empty()) {
+    net::Frame f = std::move(state.buffer.front());
+    state.buffer.pop_front();
+    if (config_.auto_rate) f.tx_rate_bps = rate_.rate_for(client);
+    radio_.send(std::move(f));
+  }
+}
+
+bool AccessPoint::send_to_client(net::MacAddress dst, net::Frame frame) {
+  auto it = clients_.find(dst);
+  if (it == clients_.end() || !it->second.associated) return false;
+  if (it->second.power_save) {
+    if (it->second.buffer.size() >= config_.max_buffered_frames) {
+      ++buffer_drops_;
+      return true;  // associated, but the frame aged out of the buffer
+    }
+    ++buffered_total_;
+    it->second.buffer.push_back(std::move(frame));
+    return true;
+  }
+  if (config_.auto_rate) frame.tx_rate_bps = rate_.rate_for(dst);
+  radio_.send(std::move(frame));
+  return true;
+}
+
+bool AccessPoint::is_associated(net::MacAddress client) const {
+  auto it = clients_.find(client);
+  return it != clients_.end() && it->second.associated;
+}
+
+bool AccessPoint::in_power_save(net::MacAddress client) const {
+  auto it = clients_.find(client);
+  return it != clients_.end() && it->second.power_save;
+}
+
+std::size_t AccessPoint::buffered_frames(net::MacAddress client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.buffer.size();
+}
+
+}  // namespace spider::mac

@@ -1,0 +1,118 @@
+// Access-point MAC.
+//
+// A stationary AP beacons on a fixed channel, answers probe/auth/assoc
+// exchanges, tracks per-client power-save state, and buffers downlink
+// frames for clients that have announced power-save mode — the mechanism
+// virtualized-Wi-Fi clients exploit to be "absent" without losing packets.
+//
+// Received data frames (DHCP requests, uplink TCP segments) are handed to a
+// pluggable sink; higher layers (the DHCP server, the backhaul bridge) send
+// downlink traffic through send_to_client(), which transparently respects
+// power-save buffering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/frame.h"
+#include "phy/auto_rate.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace spider::mac {
+
+struct AccessPointConfig {
+  std::string ssid = "open-ap";
+  net::ChannelId channel = 6;
+  sim::Time beacon_interval = sim::Time::millis(100);
+  // Management-plane responsiveness: auth/assoc responses are sent after a
+  // uniform delay in [response_delay_min, response_delay_max], modelling
+  // firmware/queueing variance observed on commodity APs.
+  sim::Time response_delay_min = sim::Time::millis(2);
+  sim::Time response_delay_max = sim::Time::millis(40);
+  // Power-save buffering.
+  std::size_t max_buffered_frames = 1024;
+  bool open = true;
+  // Minstrel-lite per-client rate adaptation on downlink data (opt-in):
+  // failures step the client's rate down, sustained success steps it up;
+  // low rates trade airtime for reach at the cell edge.
+  bool auto_rate = false;
+};
+
+class AccessPoint {
+ public:
+  using DataSink = std::function<void(const net::Frame&)>;
+
+  AccessPoint(phy::Medium& medium, net::MacAddress address, phy::Vec2 position,
+              sim::Rng rng, AccessPointConfig config = {});
+
+  AccessPoint(const AccessPoint&) = delete;
+  AccessPoint& operator=(const AccessPoint&) = delete;
+
+  net::MacAddress address() const { return radio_.address(); }
+  net::ChannelId channel() const { return config_.channel; }
+  const std::string& ssid() const { return config_.ssid; }
+  phy::Vec2 position() const { return radio_.position(); }
+  const AccessPointConfig& config() const { return config_; }
+
+  // Starts beaconing. Safe to call once.
+  void start();
+
+  // Uplink data frames (anything FrameKind::kData from an associated or
+  // associating client) are delivered here.
+  void set_data_sink(DataSink sink) { data_sink_ = std::move(sink); }
+
+  // Downlink entry point: wraps and transmits, or buffers if `dst` is in
+  // power-save. Returns false if the client is not associated (frame dropped,
+  // as a real AP would).
+  bool send_to_client(net::MacAddress dst, net::Frame frame);
+
+  bool is_associated(net::MacAddress client) const;
+  bool in_power_save(net::MacAddress client) const;
+  std::size_t buffered_frames(net::MacAddress client) const;
+  std::size_t association_count() const { return clients_.size(); }
+
+  // Counters.
+  std::uint64_t assoc_grants() const { return assoc_grants_; }
+  std::uint64_t buffered_total() const { return buffered_total_; }
+  std::uint64_t buffer_drops() const { return buffer_drops_; }
+  // Current downlink rate for a client (medium default if auto_rate off).
+  double downlink_rate_bps(net::MacAddress client) const;
+
+ private:
+  struct ClientState {
+    bool authenticated = false;
+    bool associated = false;
+    bool power_save = false;
+    std::deque<net::Frame> buffer;
+  };
+
+  void on_receive(const net::Frame& frame, const phy::RxInfo& info);
+  void beacon_tick();
+  void respond_after_delay(net::Frame response);
+  void flush_buffer(net::MacAddress client, ClientState& state);
+  net::BeaconInfo beacon_info() const;
+
+  phy::Medium& medium_;
+  phy::Radio radio_;
+  // Lifetime guard: scheduled beacon/response lambdas hold a weak_ptr and
+  // become no-ops once the AP is destroyed mid-simulation.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  sim::Rng rng_;
+  AccessPointConfig config_;
+  DataSink data_sink_;
+  phy::AutoRate rate_;
+  std::unordered_map<net::MacAddress, ClientState> clients_;
+  bool started_ = false;
+  std::uint64_t assoc_grants_ = 0;
+  std::uint64_t buffered_total_ = 0;
+  std::uint64_t buffer_drops_ = 0;
+};
+
+}  // namespace spider::mac

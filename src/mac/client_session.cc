@@ -1,0 +1,139 @@
+#include "mac/client_session.h"
+
+#include <utility>
+
+namespace spider::mac {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kAuthenticating: return "Authenticating";
+    case SessionState::kAssociating: return "Associating";
+    case SessionState::kAssociated: return "Associated";
+    case SessionState::kFailed: return "Failed";
+  }
+  return "?";
+}
+
+ClientSession::ClientSession(sim::Simulator& simulator, net::MacAddress self,
+                             net::Bssid bssid, net::ChannelId channel, TxFn tx,
+                             ClientSessionConfig config)
+    : sim_(simulator),
+      self_(self),
+      bssid_(bssid),
+      channel_(channel),
+      tx_(std::move(tx)),
+      config_(config) {}
+
+ClientSession::~ClientSession() { retry_timer_.cancel(); }
+
+void ClientSession::enter(SessionState next) {
+  state_ = next;
+  stage_retries_ = 0;
+}
+
+void ClientSession::start_join() {
+  retry_timer_.cancel();
+  join_started_ = sim_.now();
+  attempts_ = 0;
+  enter(SessionState::kAuthenticating);
+  transmit_current();
+  arm_retry_timer();
+}
+
+void ClientSession::abandon() {
+  retry_timer_.cancel();
+  enter(SessionState::kIdle);
+}
+
+void ClientSession::transmit_current() {
+  net::Frame frame;
+  switch (state_) {
+    case SessionState::kAuthenticating:
+      frame = net::make_auth_request(self_, bssid_);
+      break;
+    case SessionState::kAssociating:
+      frame = net::make_assoc_request(self_, bssid_);
+      break;
+    default:
+      return;  // nothing outstanding
+  }
+  ++attempts_;
+  tx_(frame);  // false (off-channel) is fine: the retry timer keeps running
+  if (config_.max_attempts > 0 && attempts_ >= config_.max_attempts) {
+    retry_timer_.cancel();
+    enter(SessionState::kFailed);
+    if (event_handler_) event_handler_(*this, SessionEvent::kFailed);
+  }
+}
+
+void ClientSession::arm_retry_timer() {
+  retry_timer_.cancel();
+  retry_timer_ = sim_.schedule_after(config_.link_timeout,
+                                     [this] { on_retry_timeout(); });
+}
+
+void ClientSession::on_retry_timeout() {
+  if (state_ != SessionState::kAuthenticating &&
+      state_ != SessionState::kAssociating) {
+    return;
+  }
+  ++stage_retries_;
+  if (state_ == SessionState::kAssociating &&
+      stage_retries_ > config_.assoc_retries_before_reauth) {
+    // The AP may have dropped our auth state; start over.
+    enter(SessionState::kAuthenticating);
+  }
+  transmit_current();
+  if (state_ == SessionState::kAuthenticating ||
+      state_ == SessionState::kAssociating) {
+    arm_retry_timer();
+  }
+}
+
+void ClientSession::handle_frame(const net::Frame& frame) {
+  if (frame.src != bssid_) return;
+  last_heard_ = sim_.now();
+
+  switch (frame.kind) {
+    case net::FrameKind::kAuthResponse:
+      if (state_ == SessionState::kAuthenticating &&
+          (frame.dst == self_ || frame.dst.is_broadcast())) {
+        enter(SessionState::kAssociating);
+        transmit_current();
+        arm_retry_timer();
+      }
+      break;
+
+    case net::FrameKind::kAssocResponse:
+      if (state_ == SessionState::kAssociating && frame.dst == self_) {
+        retry_timer_.cancel();
+        association_delay_ = sim_.now() - join_started_;
+        enter(SessionState::kAssociated);
+        if (event_handler_) event_handler_(*this, SessionEvent::kAssociated);
+      }
+      break;
+
+    case net::FrameKind::kDisassoc:
+      if (frame.dst == self_ || frame.dst.is_broadcast()) {
+        abandon();
+      }
+      break;
+
+    default:
+      break;  // beacons / data just refresh last_heard_
+  }
+}
+
+void ClientSession::radio_on_channel() {
+  if (state_ == SessionState::kAuthenticating ||
+      state_ == SessionState::kAssociating) {
+    transmit_current();
+    if (state_ == SessionState::kAuthenticating ||
+        state_ == SessionState::kAssociating) {
+      arm_retry_timer();
+    }
+  }
+}
+
+}  // namespace spider::mac

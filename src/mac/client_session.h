@@ -1,0 +1,111 @@
+// Client-side per-BSS association state machine ("virtual interface" at the
+// MAC level).
+//
+// A session walks Idle -> Authenticating -> Associating -> Associated using
+// the open-system auth + association four-way exchange. Each outstanding
+// message is guarded by a link-layer retry timer (the paper's link-layer
+// timeout: 1 s stock, 100 ms in Spider's reduced configuration). All
+// transmissions go through a driver-supplied Tx function that returns false
+// when the shared radio is parked on another channel — the retry timer keeps
+// running, so the message goes out on the next on-channel opportunity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/frame.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace spider::mac {
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kAuthenticating,
+  kAssociating,
+  kAssociated,
+  kFailed,  // gave up after max_attempts
+};
+
+const char* to_string(SessionState s);
+
+enum class SessionEvent : std::uint8_t {
+  kAssociated,  // four-way exchange completed
+  kFailed,      // max_attempts exhausted
+};
+
+struct ClientSessionConfig {
+  // Per-message retry interval (NOT a whole-join timeout).
+  sim::Time link_timeout = sim::Time::millis(1000);
+  // Total message transmissions allowed before declaring kFailed; 0 means
+  // retry for as long as the driver keeps the session alive.
+  int max_attempts = 0;
+  // Consecutive association-stage retries before restarting from auth (the
+  // AP may have evicted our auth state).
+  int assoc_retries_before_reauth = 3;
+};
+
+class ClientSession {
+ public:
+  using TxFn = std::function<bool(const net::Frame&)>;
+  using EventFn = std::function<void(ClientSession&, SessionEvent)>;
+
+  ClientSession(sim::Simulator& simulator, net::MacAddress self,
+                net::Bssid bssid, net::ChannelId channel, TxFn tx,
+                ClientSessionConfig config = {});
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  net::Bssid bssid() const { return bssid_; }
+  net::ChannelId channel() const { return channel_; }
+  SessionState state() const { return state_; }
+  bool associated() const { return state_ == SessionState::kAssociated; }
+
+  void set_event_handler(EventFn handler) { event_handler_ = std::move(handler); }
+
+  // Begins (or restarts) the join. Valid from any state.
+  void start_join();
+  // Stops all timers and returns to Idle; sends nothing.
+  void abandon();
+
+  // The driver routes every frame whose src is this session's BSSID here.
+  void handle_frame(const net::Frame& frame);
+
+  // Driver notification: the radio just (re)arrived on this session's
+  // channel. Pending messages are retransmitted immediately instead of
+  // waiting out the rest of the retry timer.
+  void radio_on_channel();
+
+  // Time any frame was last heard from the AP (for link-loss policies).
+  sim::Time last_heard() const { return last_heard_; }
+  // Association latency of the most recent successful join.
+  sim::Time association_delay() const { return association_delay_; }
+  // Message transmissions attempted during the current/most recent join.
+  int attempts() const { return attempts_; }
+
+ private:
+  void transmit_current();
+  void arm_retry_timer();
+  void on_retry_timeout();
+  void enter(SessionState next);
+
+  sim::Simulator& sim_;
+  net::MacAddress self_;
+  net::Bssid bssid_;
+  net::ChannelId channel_;
+  TxFn tx_;
+  ClientSessionConfig config_;
+  EventFn event_handler_;
+
+  SessionState state_ = SessionState::kIdle;
+  sim::TimerHandle retry_timer_;
+  sim::Time join_started_ = sim::Time::zero();
+  sim::Time association_delay_ = sim::Time::zero();
+  sim::Time last_heard_ = sim::Time::zero();
+  int attempts_ = 0;
+  int stage_retries_ = 0;
+};
+
+}  // namespace spider::mac

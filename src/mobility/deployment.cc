@@ -1,0 +1,151 @@
+#include "mobility/deployment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mobility/route.h"
+#include "phy/channel.h"
+
+namespace spider::mobility {
+
+net::ChannelId sample_channel(const ChannelMix& mix, sim::Rng& rng) {
+  const double u = rng.uniform();
+  if (u < mix.ch1) return 1;
+  if (u < mix.ch1 + mix.ch6) return 6;
+  if (u < mix.ch1 + mix.ch6 + mix.ch11) return 11;
+  // Remainder: uniformly one of the overlapped channels.
+  static constexpr net::ChannelId kOthers[] = {2, 3, 4, 5, 7, 8, 9, 10};
+  return kOthers[rng.uniform_int(0, 7)];
+}
+
+namespace {
+
+ApDescriptor make_descriptor(std::size_t index, phy::Vec2 position,
+                             sim::Rng& rng, const DeploymentConfig& config) {
+  ApDescriptor d;
+  char name[32];
+  std::snprintf(name, sizeof(name), "ap-%03zu", index);
+  d.ssid = name;
+  d.mac = net::MacAddress::from_index(
+      0x00A90000u | static_cast<std::uint32_t>(index));
+  // Distinct /24 per AP: 10.<hi>.<lo>.0
+  d.subnet = net::Ipv4Address{(10u << 24) |
+                              ((static_cast<std::uint32_t>(index) >> 8) << 16) |
+                              ((static_cast<std::uint32_t>(index) & 0xFF) << 8)};
+  d.position = position;
+  d.channel = sample_channel(config.mix, rng);
+  d.backhaul_bps = rng.uniform(config.backhaul_min_bps, config.backhaul_max_bps);
+  if (rng.bernoulli(config.fast_fraction)) {
+    d.dhcp_offer_min = config.fast_offer_min;
+    d.dhcp_offer_max = config.fast_offer_max;
+  } else {
+    d.dhcp_offer_min = config.slow_offer_min;
+    d.dhcp_offer_max = config.slow_offer_max;
+  }
+  d.dud = rng.bernoulli(config.dud_fraction);
+  return d;
+}
+
+}  // namespace
+
+namespace {
+
+// Expands one site location into a single AP or a building cluster.
+void emit_site(std::vector<ApDescriptor>& aps, phy::Vec2 site, sim::Rng& rng,
+               const DeploymentConfig& config) {
+  int count = 1;
+  if (rng.bernoulli(config.cluster_fraction)) {
+    count = static_cast<int>(
+        rng.uniform_int(config.cluster_min, config.cluster_max));
+  }
+  if (count == 1) {
+    // Standalone AP: exactly at the site (offsets stay meaningful).
+    aps.push_back(make_descriptor(aps.size(), site, rng, config));
+    return;
+  }
+  for (int i = 0; i < count; ++i) {
+    const phy::Vec2 jitter{rng.uniform(-config.cluster_radius_m,
+                                       config.cluster_radius_m),
+                           rng.uniform(-config.cluster_radius_m,
+                                       config.cluster_radius_m)};
+    aps.push_back(make_descriptor(aps.size(), site + jitter, rng, config));
+  }
+}
+
+}  // namespace
+
+std::vector<ApDescriptor> linear_road_deployment(
+    double road_length_m, sim::Rng& rng, const DeploymentConfig& config) {
+  std::vector<ApDescriptor> aps;
+  double x = rng.exponential(config.mean_spacing_m);
+  while (x < road_length_m) {
+    const double offset = rng.uniform(config.min_offset_m, config.max_offset_m);
+    const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    emit_site(aps, phy::Vec2{x, side * offset}, rng, config);
+    x += rng.exponential(config.mean_spacing_m);
+  }
+  return aps;
+}
+
+std::vector<ApDescriptor> area_deployment(double width_m, double height_m,
+                                          int site_count, sim::Rng& rng,
+                                          const DeploymentConfig& config) {
+  std::vector<ApDescriptor> aps;
+  for (int i = 0; i < site_count; ++i) {
+    const phy::Vec2 site{rng.uniform(0.0, width_m),
+                         rng.uniform(0.0, height_m)};
+    emit_site(aps, site, rng, config);
+  }
+  return aps;
+}
+
+std::vector<Encounter> encounters(const Route& route, double speed_mps,
+                                  phy::Vec2 ap_position, double range_m,
+                                  sim::Time horizon) {
+  std::vector<Encounter> result;
+  if (speed_mps <= 0.0) {
+    const bool inside =
+        distance(route.position_at_distance(0.0), ap_position) <= range_m;
+    if (inside) result.push_back({sim::Time::zero(), horizon});
+    return result;
+  }
+
+  const auto inside_at = [&](sim::Time t) {
+    return distance(route.position_at_distance(speed_mps * t.sec()),
+                    ap_position) <= range_m;
+  };
+  // Coarse scan fine enough to see any crossing of a 2*range chord.
+  const sim::Time step = std::min(
+      sim::Time::millis(200),
+      sim::Time::seconds(std::max(range_m / speed_mps / 8.0, 1e-3)));
+  const auto refine = [&](sim::Time lo, sim::Time hi) {
+    // invariant: inside_at(lo) != inside_at(hi)
+    const bool lo_inside = inside_at(lo);
+    while ((hi - lo) > sim::Time::millis(1)) {
+      const sim::Time mid = lo + (hi - lo) / 2;
+      if (inside_at(mid) == lo_inside) lo = mid; else hi = mid;
+    }
+    return hi;
+  };
+
+  bool inside = inside_at(sim::Time::zero());
+  sim::Time enter = sim::Time::zero();
+  sim::Time prev = sim::Time::zero();
+  for (sim::Time t = step; t <= horizon; t += step) {
+    const bool now_inside = inside_at(t);
+    if (now_inside != inside) {
+      const sim::Time crossing = refine(prev, t);
+      if (now_inside) {
+        enter = crossing;
+      } else {
+        result.push_back({enter, crossing});
+      }
+      inside = now_inside;
+    }
+    prev = t;
+  }
+  if (inside) result.push_back({enter, horizon});
+  return result;
+}
+
+}  // namespace spider::mobility

@@ -1,0 +1,102 @@
+// AP deployment generators.
+//
+// Produces the descriptor list an experiment instantiates ApHosts from.
+// Calibrated to the paper's measurements: in Amherst almost all open APs sat
+// on channels 1 (28%), 6 (33%), or 11 (34%); encounters at town speeds had a
+// median of ~8 s and mean of ~22 s, which at 10 m/s corresponds to APs
+// strung out every few hundred metres with ~100 m range.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/frame.h"
+#include "phy/geom.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace spider::mobility {
+
+struct ApDescriptor {
+  std::string ssid;
+  net::MacAddress mac;
+  net::Ipv4Address subnet;  // /24 base, gateway .1
+  phy::Vec2 position;
+  net::ChannelId channel = 6;
+  double backhaul_bps = 2e6;
+  // Per-AP DHCP server responsiveness (the join-time beta spread).
+  sim::Time dhcp_offer_min = sim::Time::millis(100);
+  sim::Time dhcp_offer_max = sim::Time::millis(2000);
+  // A "dud": looks open, associates, but never completes DHCP (NATed out,
+  // MAC-filtered, exhausted pool, ...). Vehicular surveys consistently find
+  // a large fraction of open-looking APs unusable.
+  bool dud = false;
+};
+
+struct ChannelMix {
+  // Probability mass on channels 1/6/11; the remainder is spread uniformly
+  // over the in-between channels. Defaults match the Amherst survey.
+  double ch1 = 0.28;
+  double ch6 = 0.33;
+  double ch11 = 0.34;
+};
+
+struct DeploymentConfig {
+  // Mean distance between consecutive APs along the road (exponential
+  // spacing -> Poisson process). 250 m at 100 m range gives town-like
+  // intermittent coverage.
+  double mean_spacing_m = 250.0;
+  // Perpendicular offset from the road (houses set back from the street).
+  double min_offset_m = 5.0;
+  double max_offset_m = 40.0;
+  ChannelMix mix;
+  // Backhaul: uniform in [min,max] (urban DSL/cable spread).
+  double backhaul_min_bps = 1e6;
+  double backhaul_max_bps = 4e6;
+  // DHCP responsiveness classes: a `fast_fraction` of APs answer quickly;
+  // the rest are the slow gateways that dominate beta_max.
+  double fast_fraction = 0.5;
+  sim::Time fast_offer_min = sim::Time::millis(80);
+  sim::Time fast_offer_max = sim::Time::millis(600);
+  sim::Time slow_offer_min = sim::Time::millis(500);
+  sim::Time slow_offer_max = sim::Time::millis(2500);
+  // Fraction of open-looking APs that never hand out a usable lease.
+  double dud_fraction = 0.2;
+  // Downtown buildings host several tenant APs: a site is a cluster with
+  // probability cluster_fraction, containing uniform[cluster_min,
+  // cluster_max] APs jittered within cluster_radius_m of the site.
+  double cluster_fraction = 0.4;
+  int cluster_min = 2;
+  int cluster_max = 4;
+  double cluster_radius_m = 20.0;
+};
+
+// APs scattered along a straight road of `road_length_m` metres (x axis).
+std::vector<ApDescriptor> linear_road_deployment(double road_length_m,
+                                                 sim::Rng& rng,
+                                                 const DeploymentConfig& config
+                                                 = {});
+
+// APs scattered uniformly over a rectangle (downtown-core drives).
+std::vector<ApDescriptor> area_deployment(double width_m, double height_m,
+                                          int site_count, sim::Rng& rng,
+                                          const DeploymentConfig& config = {});
+
+// Samples a channel from the mix.
+net::ChannelId sample_channel(const ChannelMix& mix, sim::Rng& rng);
+
+// [t_enter, t_exit) intervals during which a vehicle on `route` at `speed`
+// is within `range_m` of `ap_position`, up to `horizon`. Boundary crossings
+// are found by coarse sampling and refined by bisection to ~1 ms.
+struct Encounter {
+  sim::Time enter;
+  sim::Time exit;
+  sim::Time duration() const { return exit - enter; }
+};
+
+std::vector<Encounter> encounters(const class Route& route, double speed_mps,
+                                  phy::Vec2 ap_position, double range_m,
+                                  sim::Time horizon);
+
+}  // namespace spider::mobility

@@ -1,0 +1,62 @@
+#include "mobility/route.h"
+
+#include <cmath>
+
+namespace spider::mobility {
+
+Route::Route(std::vector<phy::Vec2> waypoints, RouteWrap wrap)
+    : waypoints_(std::move(waypoints)), wrap_(wrap) {
+  if (waypoints_.size() < 2)
+    throw std::invalid_argument("Route: need at least two waypoints");
+  cumulative_.reserve(waypoints_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    total_length_ += distance(waypoints_[i - 1], waypoints_[i]);
+    cumulative_.push_back(total_length_);
+  }
+  if (total_length_ <= 0.0)
+    throw std::invalid_argument("Route: zero total length");
+}
+
+Route Route::straight(double length_m, RouteWrap wrap) {
+  return Route{{{0.0, 0.0}, {length_m, 0.0}}, wrap};
+}
+
+Route Route::rectangle(double width_m, double height_m) {
+  return Route{{{0.0, 0.0},
+                {width_m, 0.0},
+                {width_m, height_m},
+                {0.0, height_m},
+                {0.0, 0.0}},
+               RouteWrap::kLoop};
+}
+
+phy::Vec2 Route::position_at_distance(double distance_m) const {
+  double d = distance_m;
+  switch (wrap_) {
+    case RouteWrap::kLoop:
+      d = std::fmod(d, total_length_);
+      if (d < 0.0) d += total_length_;
+      break;
+    case RouteWrap::kPingPong: {
+      const double cycle = 2.0 * total_length_;
+      d = std::fmod(d, cycle);
+      if (d < 0.0) d += cycle;
+      if (d > total_length_) d = cycle - d;
+      break;
+    }
+    case RouteWrap::kStop:
+      if (d <= 0.0) return waypoints_.front();
+      if (d >= total_length_) return waypoints_.back();
+      break;
+  }
+  // Find the segment containing d (cumulative_ is sorted).
+  std::size_t hi = 1;
+  while (hi + 1 < cumulative_.size() && cumulative_[hi] < d) ++hi;
+  const double seg_start = cumulative_[hi - 1];
+  const double seg_len = cumulative_[hi] - seg_start;
+  const double frac = seg_len > 0.0 ? (d - seg_start) / seg_len : 0.0;
+  return waypoints_[hi - 1] + frac * (waypoints_[hi] - waypoints_[hi - 1]);
+}
+
+}  // namespace spider::mobility

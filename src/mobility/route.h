@@ -1,0 +1,62 @@
+// Vehicle routes and motion.
+//
+// A Route is a polyline; a Vehicle moves along it at constant speed, either
+// looping (the paper's drives repeat the same loop for 30-60 minutes) or
+// bouncing back and forth. Position is a pure function of time so tests and
+// the analytical model can reason about encounters exactly.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "phy/geom.h"
+#include "sim/time.h"
+
+namespace spider::mobility {
+
+enum class RouteWrap { kLoop, kPingPong, kStop };
+
+class Route {
+ public:
+  explicit Route(std::vector<phy::Vec2> waypoints,
+                 RouteWrap wrap = RouteWrap::kLoop);
+
+  // Straight road along +x starting at the origin.
+  static Route straight(double length_m, RouteWrap wrap = RouteWrap::kStop);
+  // Rectangular loop (the "downtown block" drive).
+  static Route rectangle(double width_m, double height_m);
+
+  double length() const { return total_length_; }
+  RouteWrap wrap() const { return wrap_; }
+  const std::vector<phy::Vec2>& waypoints() const { return waypoints_; }
+
+  // Position after travelling `distance_m` from the start, applying wrap.
+  phy::Vec2 position_at_distance(double distance_m) const;
+
+ private:
+  std::vector<phy::Vec2> waypoints_;
+  std::vector<double> cumulative_;  // cumulative length at each waypoint
+  double total_length_ = 0.0;
+  RouteWrap wrap_;
+};
+
+class Vehicle {
+ public:
+  Vehicle(Route route, double speed_mps)
+      : route_(std::move(route)), speed_(speed_mps) {
+    if (speed_mps < 0.0) throw std::invalid_argument("Vehicle: speed < 0");
+  }
+
+  double speed() const { return speed_; }
+  const Route& route() const { return route_; }
+
+  phy::Vec2 position(sim::Time t) const {
+    return route_.position_at_distance(speed_ * t.sec());
+  }
+
+ private:
+  Route route_;
+  double speed_;
+};
+
+}  // namespace spider::mobility

@@ -1,0 +1,139 @@
+#include "model/ap_selection_problem.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace spider::model {
+
+namespace {
+
+Selection finish(const SelectionProblem& problem,
+                 std::vector<std::size_t> chosen) {
+  Selection s;
+  for (std::size_t i : chosen) {
+    s.total_utility += problem.candidates[i].utility();
+    s.total_cost_sec += problem.candidates[i].join_cost_sec;
+  }
+  s.chosen = std::move(chosen);
+  return s;
+}
+
+// Greedy skeleton shared by both heuristics: take in `order` while the
+// budget and the slot count allow.
+Selection greedy(const SelectionProblem& problem,
+                 std::vector<std::size_t> order) {
+  std::vector<std::size_t> chosen;
+  double budget = problem.join_budget_sec;
+  for (std::size_t i : order) {
+    if (static_cast<int>(chosen.size()) >= problem.max_selection) break;
+    const ApCandidate& c = problem.candidates[i];
+    if (c.utility() <= 0.0) continue;
+    if (c.join_cost_sec > budget) continue;
+    budget -= c.join_cost_sec;
+    chosen.push_back(i);
+  }
+  return finish(problem, std::move(chosen));
+}
+
+}  // namespace
+
+Selection solve_spider_greedy(const SelectionProblem& problem) {
+  std::vector<std::size_t> order(problem.candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Spider's history score: success rate over (1 + join time); bandwidth
+  // does not enter — the paper's bet that join time dominates at speed.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const ApCandidate& ca = problem.candidates[a];
+    const ApCandidate& cb = problem.candidates[b];
+    return ca.join_success / (1.0 + ca.join_cost_sec) >
+           cb.join_success / (1.0 + cb.join_cost_sec);
+  });
+  return greedy(problem, std::move(order));
+}
+
+Selection solve_density_greedy(const SelectionProblem& problem) {
+  std::vector<std::size_t> order(problem.candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const ApCandidate& ca = problem.candidates[a];
+    const ApCandidate& cb = problem.candidates[b];
+    return ca.utility() / std::max(ca.join_cost_sec, 1e-9) >
+           cb.utility() / std::max(cb.join_cost_sec, 1e-9);
+  });
+  return greedy(problem, std::move(order));
+}
+
+namespace {
+
+struct BnbState {
+  const SelectionProblem* problem;
+  std::vector<std::size_t> density_order;  // candidates by utility density
+  std::vector<std::size_t> best_chosen;
+  double best_utility = 0.0;
+
+  // Optimistic bound: fill the remaining budget fractionally in density
+  // order from position `pos`.
+  double bound(std::size_t pos, double budget, int slots,
+               double utility) const {
+    for (std::size_t k = pos; k < density_order.size() && slots > 0; ++k) {
+      const ApCandidate& c = problem->candidates[density_order[k]];
+      if (c.utility() <= 0.0) continue;
+      if (c.join_cost_sec <= budget) {
+        budget -= c.join_cost_sec;
+        utility += c.utility();
+        --slots;
+      } else {
+        utility += c.utility() * (budget / c.join_cost_sec);
+        break;
+      }
+    }
+    return utility;
+  }
+
+  void search(std::size_t pos, double budget, int slots, double utility,
+              std::vector<std::size_t>& chosen) {
+    if (utility > best_utility) {
+      best_utility = utility;
+      best_chosen = chosen;
+    }
+    if (pos >= density_order.size() || slots == 0) return;
+    if (bound(pos, budget, slots, utility) <= best_utility) return;
+
+    const std::size_t idx = density_order[pos];
+    const ApCandidate& c = problem->candidates[idx];
+    // Branch 1: take it (if it fits and is worth anything).
+    if (c.join_cost_sec <= budget && c.utility() > 0.0) {
+      chosen.push_back(idx);
+      search(pos + 1, budget - c.join_cost_sec, slots - 1,
+             utility + c.utility(), chosen);
+      chosen.pop_back();
+    }
+    // Branch 2: skip it.
+    search(pos + 1, budget, slots, utility, chosen);
+  }
+};
+
+}  // namespace
+
+Selection solve_exact(const SelectionProblem& problem) {
+  BnbState state;
+  state.problem = &problem;
+  state.density_order.resize(problem.candidates.size());
+  std::iota(state.density_order.begin(), state.density_order.end(),
+            std::size_t{0});
+  std::sort(state.density_order.begin(), state.density_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const ApCandidate& ca = problem.candidates[a];
+              const ApCandidate& cb = problem.candidates[b];
+              return ca.utility() / std::max(ca.join_cost_sec, 1e-9) >
+                     cb.utility() / std::max(cb.join_cost_sec, 1e-9);
+            });
+  std::vector<std::size_t> chosen;
+  state.search(0, problem.join_budget_sec, problem.max_selection, 0.0,
+               chosen);
+  Selection s = finish(problem, std::move(state.best_chosen));
+  std::sort(s.chosen.begin(), s.chosen.end());
+  return s;
+}
+
+}  // namespace spider::model

@@ -1,0 +1,66 @@
+// The multi-AP selection problem (the paper's Appendix A, technical
+// report): choose a subset of candidate APs — each with an expected join
+// cost (radio time spent joining), an offered end-to-end bandwidth, and a
+// residual encounter duration — maximizing total expected utility subject
+// to the radio's time budget. The paper proves the general problem NP-hard
+// (knapsack-like) and ships a greedy heuristic instead.
+//
+// This module states the optimization problem explicitly and provides
+//   * an exact branch-and-bound solver (fine for the ≤ 20-candidate
+//     instances a scan produces),
+//   * Spider's greedy (score-ordered, take-while-it-fits),
+//   * a utility-density greedy (classic knapsack heuristic),
+// so the quality gap the heuristic gives up can be measured
+// (bench/ablation_selection_problem).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spider::model {
+
+struct ApCandidate {
+  // Expected radio-time cost of joining (association + DHCP), seconds.
+  double join_cost_sec = 1.0;
+  // Expected bandwidth once joined (end-to-end), bits/s.
+  double bandwidth_bps = 1e6;
+  // Remaining time this AP will stay in range, seconds.
+  double residual_sec = 10.0;
+  // Probability the join succeeds at all (duds, losses).
+  double join_success = 1.0;
+
+  // Expected utility of selecting this AP: bytes it would deliver over the
+  // usable remainder of the encounter.
+  double utility() const {
+    const double usable = residual_sec - join_cost_sec;
+    return usable > 0.0 ? join_success * bandwidth_bps * usable : 0.0;
+  }
+};
+
+struct SelectionProblem {
+  std::vector<ApCandidate> candidates;
+  // Radio-time budget available for joining within the planning horizon
+  // (joins cannot be parallelized on one radio), seconds.
+  double join_budget_sec = 5.0;
+  // Maximum virtual interfaces (Spider: 7).
+  int max_selection = 7;
+};
+
+struct Selection {
+  std::vector<std::size_t> chosen;  // indices into candidates
+  double total_utility = 0.0;
+  double total_cost_sec = 0.0;
+};
+
+// Exact optimum by branch-and-bound with a fractional-relaxation bound.
+// Exponential worst case; intended for instances up to ~24 candidates.
+Selection solve_exact(const SelectionProblem& problem);
+
+// Spider's heuristic: rank by join-history-style score (success over
+// cost), then take candidates while budget and interface slots last.
+Selection solve_spider_greedy(const SelectionProblem& problem);
+
+// Knapsack density greedy: rank by utility per second of join cost.
+Selection solve_density_greedy(const SelectionProblem& problem);
+
+}  // namespace spider::model

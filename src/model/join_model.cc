@@ -1,0 +1,93 @@
+#include "model/join_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spider::model {
+
+int requests_per_round(const JoinModelParams& params, double fraction) {
+  // ceil((D*f_i - w) / c), per Eq. 6. The ceiling is what produces the
+  // discontinuities Fig. 2 shows at f_i = 0.2, 0.4, 0.6, 0.8 (with the
+  // paper's D = 500 ms and c = 100 ms).
+  const double window = params.period * fraction - params.switch_delay;
+  if (window <= 0.0) return 0;
+  return static_cast<int>(std::ceil(window / params.request_interval));
+}
+
+double q_single(const JoinModelParams& params, double fraction,
+                int round_delta, int segment) {
+  if (!params.valid()) throw std::invalid_argument("JoinModelParams invalid");
+  if (round_delta < 0 || segment < 1) return 0.0;
+
+  const double c = params.request_interval;
+  const double D = params.period;
+  const double w = params.switch_delay;
+
+  const double alpha_min = segment * c + params.beta_min;
+  const double alpha_max = segment * c + params.beta_max;
+  const double delta_min = round_delta * D + c - w;
+  const double delta_max = (round_delta + fraction) * D + c - w;
+
+  if (delta_min > alpha_max) return 0.0;
+  if (delta_max < alpha_min) return 0.0;
+  if (alpha_max == alpha_min) {
+    // Degenerate (beta_max == beta_min): point mass either in or out.
+    return (alpha_min >= delta_min && alpha_min <= delta_max) ? 1.0 : 0.0;
+  }
+  const double overlap =
+      std::min(alpha_max, delta_max) - std::max(alpha_min, delta_min);
+  return std::clamp(overlap / (alpha_max - alpha_min), 0.0, 1.0);
+}
+
+double q_round_failure(const JoinModelParams& params, double fraction,
+                       int round_delta) {
+  const int k_max = requests_per_round(params, fraction);
+  const double both_survive = (1.0 - params.loss) * (1.0 - params.loss);
+  double failure = 1.0;
+  for (int k = 1; k <= k_max; ++k) {
+    failure *= 1.0 - q_single(params, fraction, round_delta, k) * both_survive;
+  }
+  return failure;
+}
+
+double join_probability(const JoinModelParams& params, double fraction,
+                        double time_in_range) {
+  if (!params.valid()) throw std::invalid_argument("JoinModelParams invalid");
+  if (fraction <= 0.0 || time_in_range <= 0.0) return 0.0;
+  fraction = std::min(fraction, 1.0);
+
+  const int rounds = static_cast<int>(std::floor(time_in_range / params.period));
+  if (rounds < 1) return 0.0;
+
+  // Eq. 7's double product; q_round_failure depends only on n - m, so the
+  // term for delta = n - m appears (rounds - delta) times.
+  double total_failure = 1.0;
+  for (int delta = 0; delta < rounds; ++delta) {
+    const double qf = q_round_failure(params, fraction, delta);
+    if (qf >= 1.0) continue;
+    total_failure *= std::pow(qf, rounds - delta);
+    if (total_failure < 1e-15) return 1.0;
+  }
+  return 1.0 - total_failure;
+}
+
+double expected_join_time(const JoinModelParams& params, double fraction,
+                          double time_in_range) {
+  if (time_in_range <= 0.0) return 0.0;
+  const int rounds = static_cast<int>(std::floor(time_in_range / params.period));
+  // E[min(T_join, T)] = integral over [0,T] of P(not yet joined at t) dt,
+  // evaluated at round granularity (the model's native resolution).
+  double expected = 0.0;
+  for (int j = 0; j < rounds; ++j) {
+    expected +=
+        params.period *
+        (1.0 - join_probability(params, fraction, j * params.period));
+  }
+  // Partial tail beyond the last whole round.
+  expected += (time_in_range - rounds * params.period) *
+              (1.0 - join_probability(params, fraction, rounds * params.period));
+  return std::min(expected, time_in_range);
+}
+
+}  // namespace spider::model

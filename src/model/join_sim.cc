@@ -1,0 +1,57 @@
+#include "model/join_sim.h"
+
+#include <cmath>
+
+#include "trace/stats.h"
+
+namespace spider::model {
+
+bool simulate_join_trial(const JoinModelParams& params, double fraction,
+                         double time_in_range, sim::Rng& rng) {
+  const int rounds = static_cast<int>(std::floor(time_in_range / params.period));
+  const int k_max = requests_per_round(params, fraction);
+  const double D = params.period;
+
+  for (int m = 1; m <= rounds; ++m) {
+    const double round_start = (m - 1) * D;
+    for (int k = 1; k <= k_max; ++k) {
+      // Request sent at the beginning of segment k (after the switch-in).
+      const double sent =
+          round_start + params.switch_delay + (k - 1) * params.request_interval;
+      if (rng.bernoulli(params.loss)) continue;  // request lost
+      const double beta = rng.uniform(params.beta_min, params.beta_max);
+      if (rng.bernoulli(params.loss)) continue;  // response lost
+      const double arrival = sent + beta;
+      // Success iff the arrival falls inside an on-channel window of the
+      // current or a later round (windows sit at the start of each round).
+      for (int n = m; n <= rounds; ++n) {
+        const double win_start = (n - 1) * D;
+        const double win_end = win_start + fraction * D;
+        if (arrival >= win_start && arrival <= win_end) return true;
+        if (win_start > arrival) break;
+      }
+    }
+  }
+  return false;
+}
+
+MonteCarloResult monte_carlo_join_probability(const JoinModelParams& params,
+                                              double fraction,
+                                              double time_in_range,
+                                              sim::Rng rng, int runs,
+                                              int trials_per_run) {
+  trace::OnlineStats per_run;
+  for (int r = 0; r < runs; ++r) {
+    auto run_rng = rng.fork(static_cast<std::uint64_t>(r));
+    int successes = 0;
+    for (int t = 0; t < trials_per_run; ++t) {
+      if (simulate_join_trial(params, fraction, time_in_range, run_rng)) {
+        ++successes;
+      }
+    }
+    per_run.add(static_cast<double>(successes) / trials_per_run);
+  }
+  return MonteCarloResult{per_run.mean(), per_run.stddev()};
+}
+
+}  // namespace spider::model

@@ -1,0 +1,26 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace spider::net {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 40) & 0xFF),
+                static_cast<unsigned>((value_ >> 32) & 0xFF),
+                static_cast<unsigned>((value_ >> 24) & 0xFF),
+                static_cast<unsigned>((value_ >> 16) & 0xFF),
+                static_cast<unsigned>((value_ >> 8) & 0xFF),
+                static_cast<unsigned>(value_ & 0xFF));
+  return buf;
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+}  // namespace spider::net

@@ -1,0 +1,78 @@
+// Link-layer and network-layer address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace spider::net {
+
+// 48-bit MAC address. Value type, totally ordered, hashable.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::uint64_t value)
+      : value_(value & 0xFFFFFFFFFFFFULL) {}
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress{0xFFFFFFFFFFFFULL};
+  }
+  // Deterministic address for a node index (locally-administered OUI).
+  static constexpr MacAddress from_index(std::uint32_t index) {
+    return MacAddress{0x020000000000ULL | index};
+  }
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool is_broadcast() const { return value_ == 0xFFFFFFFFFFFFULL; }
+  constexpr bool is_null() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(MacAddress, MacAddress) = default;
+
+  std::string to_string() const;  // "02:00:00:00:00:2a"
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// IPv4 address.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_null() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+  std::string to_string() const;  // "10.0.3.17"
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// BSS identifier — a MAC address in 802.11, given its own name so call sites
+// read correctly.
+using Bssid = MacAddress;
+
+}  // namespace spider::net
+
+template <>
+struct std::hash<spider::net::MacAddress> {
+  std::size_t operator()(spider::net::MacAddress a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<spider::net::Ipv4Address> {
+  std::size_t operator()(spider::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

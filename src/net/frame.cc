@@ -1,0 +1,91 @@
+#include "net/frame.h"
+
+namespace spider::net {
+
+const char* to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kBeacon: return "Beacon";
+    case FrameKind::kProbeRequest: return "ProbeRequest";
+    case FrameKind::kProbeResponse: return "ProbeResponse";
+    case FrameKind::kAuthRequest: return "AuthRequest";
+    case FrameKind::kAuthResponse: return "AuthResponse";
+    case FrameKind::kAssocRequest: return "AssocRequest";
+    case FrameKind::kAssocResponse: return "AssocResponse";
+    case FrameKind::kDisassoc: return "Disassoc";
+    case FrameKind::kData: return "Data";
+    case FrameKind::kNullData: return "NullData";
+    case FrameKind::kPsPoll: return "PsPoll";
+  }
+  return "?";
+}
+
+const char* to_string(DhcpMessage::Kind kind) {
+  switch (kind) {
+    case DhcpMessage::Kind::kDiscover: return "Discover";
+    case DhcpMessage::Kind::kOffer: return "Offer";
+    case DhcpMessage::Kind::kRequest: return "Request";
+    case DhcpMessage::Kind::kAck: return "Ack";
+    case DhcpMessage::Kind::kNak: return "Nak";
+  }
+  return "?";
+}
+
+Frame make_beacon(MacAddress ap, BeaconInfo info) {
+  return Frame{FrameKind::kBeacon, ap, MacAddress::broadcast(), ap, false,
+               kBeaconBytes, 0.0, std::move(info)};
+}
+
+Frame make_probe_request(MacAddress client) {
+  return Frame{FrameKind::kProbeRequest, client, MacAddress::broadcast(),
+               Bssid{}, false, kProbeRequestBytes, 0.0, {}};
+}
+
+Frame make_probe_response(MacAddress ap, MacAddress client, BeaconInfo info) {
+  return Frame{FrameKind::kProbeResponse, ap, client, ap, false,
+               kProbeResponseBytes, 0.0, std::move(info)};
+}
+
+Frame make_auth_request(MacAddress client, Bssid ap) {
+  return Frame{FrameKind::kAuthRequest, client, ap, ap, false, kAuthBytes, 0.0, {}};
+}
+
+Frame make_auth_response(Bssid ap, MacAddress client) {
+  return Frame{FrameKind::kAuthResponse, ap, client, ap, false, kAuthBytes, 0.0, {}};
+}
+
+Frame make_assoc_request(MacAddress client, Bssid ap) {
+  return Frame{FrameKind::kAssocRequest, client, ap, ap, false,
+               kAssocRequestBytes, 0.0, {}};
+}
+
+Frame make_assoc_response(Bssid ap, MacAddress client) {
+  return Frame{FrameKind::kAssocResponse, ap, client, ap, false,
+               kAssocResponseBytes, 0.0, {}};
+}
+
+Frame make_disassoc(MacAddress src, MacAddress dst, Bssid ap) {
+  return Frame{FrameKind::kDisassoc, src, dst, ap, false, kDisassocBytes, 0.0, {}};
+}
+
+Frame make_null_data(MacAddress client, Bssid ap, bool power_mgmt) {
+  return Frame{FrameKind::kNullData, client, ap, ap, power_mgmt,
+               kNullDataBytes, 0.0, {}};
+}
+
+Frame make_ps_poll(MacAddress client, Bssid ap) {
+  return Frame{FrameKind::kPsPoll, client, ap, ap, false, kPsPollBytes, 0.0, {}};
+}
+
+Frame make_dhcp_frame(MacAddress src, MacAddress dst, Bssid ap,
+                      DhcpMessage msg) {
+  return Frame{FrameKind::kData, src, dst, ap, false,
+               kMacDataOverheadBytes + kDhcpMessageBytes, 0.0, msg};
+}
+
+Frame make_tcp_frame(MacAddress src, MacAddress dst, Bssid ap,
+                     TcpSegment segment) {
+  const int size = kMacDataOverheadBytes + segment.size_bytes();
+  return Frame{FrameKind::kData, src, dst, ap, false, size, 0.0, segment};
+}
+
+}  // namespace spider::net

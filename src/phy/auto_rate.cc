@@ -1,0 +1,33 @@
+#include "phy/auto_rate.h"
+
+#include <algorithm>
+
+namespace spider::phy {
+
+double AutoRate::rate_for(net::MacAddress peer) const {
+  auto it = peers_.find(peer);
+  const int idx = it == peers_.end()
+                      ? static_cast<int>(k80211bRates.size()) - 1
+                      : it->second.rate_index;
+  return k80211bRates[static_cast<std::size_t>(idx)];
+}
+
+void AutoRate::on_success(net::MacAddress peer) {
+  PeerState& s = peers_[peer];
+  if (s.rate_index >= static_cast<int>(k80211bRates.size()) - 1) {
+    s.successes = 0;
+    return;
+  }
+  if (++s.successes >= up_after_) {
+    ++s.rate_index;
+    s.successes = 0;
+  }
+}
+
+void AutoRate::on_failure(net::MacAddress peer) {
+  PeerState& s = peers_[peer];
+  s.successes = 0;
+  s.rate_index = std::max(0, s.rate_index - 1);
+}
+
+}  // namespace spider::phy

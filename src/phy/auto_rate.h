@@ -1,0 +1,58 @@
+// Minstrel-lite 802.11b rate adaptation.
+//
+// Per-peer rate state over the 802.11b set {1, 2, 5.5, 11} Mb/s: a
+// link-layer transmission failure (retries exhausted) steps the peer's
+// rate down one notch; `up_after` consecutive successes step it back up.
+// Lower rates buy robustness: in the medium's model a frame modulated at
+// rate r enjoys an effective range scaled by
+//     range_scale(r) = 1 + 0.12 * log2(default_rate / r)
+// (≈ +42 % of range at 1 Mb/s versus 11 Mb/s), matching the qualitative
+// 802.11b behaviour that the low rates decode far beyond 11 Mb/s coverage.
+//
+// Strictly opt-in: frames default to tx_rate_bps = 0 (the medium's single
+// configured bitrate) and nothing changes unless a sender sets rates.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/addr.h"
+
+namespace spider::phy {
+
+inline constexpr std::array<double, 4> k80211bRates = {1e6, 2e6, 5.5e6, 11e6};
+
+// Effective-range multiplier for a frame modulated at `rate_bps` on a
+// medium whose nominal bitrate is `default_rate_bps`.
+inline double rate_range_scale(double rate_bps, double default_rate_bps) {
+  if (rate_bps <= 0.0 || rate_bps >= default_rate_bps) return 1.0;
+  return 1.0 + 0.12 * std::log2(default_rate_bps / rate_bps);
+}
+
+class AutoRate {
+ public:
+  // `up_after`: consecutive successes before probing one rate up.
+  explicit AutoRate(int up_after = 10) : up_after_(up_after) {}
+
+  // Current rate for a peer (starts at the top rate).
+  double rate_for(net::MacAddress peer) const;
+
+  void on_success(net::MacAddress peer);
+  void on_failure(net::MacAddress peer);
+
+  void forget(net::MacAddress peer) { peers_.erase(peer); }
+  std::size_t tracked_peers() const { return peers_.size(); }
+
+ private:
+  struct PeerState {
+    int rate_index = static_cast<int>(k80211bRates.size()) - 1;
+    int successes = 0;
+  };
+
+  int up_after_;
+  std::unordered_map<net::MacAddress, PeerState> peers_;
+};
+
+}  // namespace spider::phy

@@ -1,0 +1,32 @@
+// 2.4 GHz channel plan.
+#pragma once
+
+#include <array>
+
+#include "net/frame.h"
+
+namespace spider::phy {
+
+inline constexpr net::ChannelId kMinChannel = 1;
+inline constexpr net::ChannelId kMaxChannel = 11;
+
+// The three non-overlapping channels that host almost all APs in the paper's
+// measurements (28% / 33% / 34% in Amherst; 83% combined in Boston).
+inline constexpr std::array<net::ChannelId, 3> kOrthogonalChannels{1, 6, 11};
+
+constexpr bool valid_channel(net::ChannelId c) {
+  return c >= kMinChannel && c <= kMaxChannel;
+}
+
+// 802.11b/g channels are 5 MHz apart with ~22 MHz occupancy: separation of
+// five or more channel numbers means no overlap.
+constexpr bool orthogonal(net::ChannelId a, net::ChannelId b) {
+  const int d = a > b ? a - b : b - a;
+  return d >= 5;
+}
+
+constexpr double center_frequency_mhz(net::ChannelId c) {
+  return 2412.0 + 5.0 * (c - 1);
+}
+
+}  // namespace spider::phy

@@ -1,0 +1,57 @@
+#include "phy/energy.h"
+
+namespace spider::phy {
+
+double EnergyMeter::power_of(RadioState state) const {
+  switch (state) {
+    case RadioState::kSleep: return model_.sleep_w;
+    case RadioState::kIdle: return model_.idle_w;
+    case RadioState::kReceive: return model_.receive_w;
+    case RadioState::kTransmit: return model_.transmit_w;
+    case RadioState::kReset: return model_.reset_w;
+  }
+  return 0.0;
+}
+
+void EnergyMeter::settle() const {
+  const sim::Time elapsed = sim_.now() - state_since_;
+  if (elapsed > sim::Time::zero()) {
+    const auto idx = static_cast<int>(state_);
+    joules_[idx] += power_of(state_) * elapsed.sec();
+    durations_[idx] += elapsed;
+  }
+  state_since_ = sim_.now();
+}
+
+void EnergyMeter::set_state(RadioState next) {
+  settle();
+  state_ = next;
+}
+
+void EnergyMeter::charge_burst(RadioState burst, sim::Time duration) {
+  settle();
+  const auto idx = static_cast<int>(burst);
+  joules_[idx] += power_of(burst) * duration.sec();
+  durations_[idx] += duration;
+  // The burst displaces steady-state time: advance the open interval.
+  state_since_ = sim_.now();
+}
+
+double EnergyMeter::total_joules() const {
+  settle();
+  double total = 0.0;
+  for (double j : joules_) total += j;
+  return total;
+}
+
+double EnergyMeter::joules_in(RadioState state) const {
+  settle();
+  return joules_[static_cast<int>(state)];
+}
+
+sim::Time EnergyMeter::time_in(RadioState state) const {
+  settle();
+  return durations_[static_cast<int>(state)];
+}
+
+}  // namespace spider::phy

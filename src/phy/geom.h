@@ -1,0 +1,25 @@
+// Minimal 2-D geometry used by the radio medium and the mobility models.
+#pragma once
+
+#include <cmath>
+
+namespace spider::phy {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace spider::phy

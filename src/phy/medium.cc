@@ -1,0 +1,117 @@
+#include "phy/medium.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/auto_rate.h"
+#include "phy/channel.h"
+#include "phy/radio.h"
+
+namespace spider::phy {
+
+Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
+    : sim_(simulator), rng_(std::move(rng)), config_(config) {}
+
+void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+
+void Medium::detach(Radio& radio) {
+  std::erase(radios_, &radio);
+}
+
+double Medium::loss_probability(double distance_m) const {
+  if (distance_m > config_.range_m) return 1.0;
+  double loss = config_.base_loss;
+  if (config_.edge_degradation) {
+    const double edge = config_.edge_start * config_.range_m;
+    if (distance_m > edge) {
+      const double frac = (distance_m - edge) / (config_.range_m - edge);
+      loss += (1.0 - loss) * frac * frac;
+    }
+  }
+  return std::min(loss, 1.0);
+}
+
+sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
+  auto it = busy_until_.find(channel);
+  if (it == busy_until_.end()) return sim_.now();
+  return std::max(it->second, sim_.now());
+}
+
+sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
+  ++frames_sent_;
+  const net::ChannelId channel = sender.channel();
+  if (sniffer_) sniffer_(frame, channel, sim_.now());
+  const double rate =
+      frame.tx_rate_bps > 0.0 ? frame.tx_rate_bps : config_.bitrate_bps;
+  const sim::Time airtime =
+      config_.preamble + sim::transmission_time(frame.size_bytes, rate);
+
+  sim::Time& busy = busy_until_[channel];
+  const sim::Time start = std::max(sim_.now(), busy);
+  const sim::Time done = start + airtime;
+  busy = done;
+
+  // Snapshot the sender's position at transmit time; at vehicular speeds the
+  // sub-millisecond drift during airtime is irrelevant.
+  const Vec2 pos = sender.position();
+  const Radio* sender_ptr = &sender;
+  sim_.schedule_at(done, [this, sender_ptr, pos, channel,
+                          frame = std::move(frame)] {
+    deliver(sender_ptr, pos, channel, frame);
+  });
+  return done;
+}
+
+void Medium::deliver(const Radio* sender_snapshot, Vec2 sender_pos,
+                     net::ChannelId channel, const net::Frame& frame) {
+  // Unicast data-plane frames get link-layer ARQ at the addressed receiver
+  // and a tx-failure indication back to the sender; everything else is
+  // single-shot (as in the analytical join model).
+  const bool arq_eligible = !frame.dst.is_broadcast() &&
+                            (frame.kind == net::FrameKind::kData ||
+                             frame.kind == net::FrameKind::kNullData ||
+                             frame.kind == net::FrameKind::kPsPoll);
+  bool addressed_delivery = false;
+
+  // Frames modulated below the nominal rate decode further out (802.11b's
+  // low rates): scale the geometry by the rate's range factor.
+  const double range_scale =
+      rate_range_scale(frame.tx_rate_bps, config_.bitrate_bps);
+
+  for (Radio* rx : radios_) {
+    if (rx == sender_snapshot) continue;
+    const bool is_addressee = arq_eligible && rx->address() == frame.dst;
+    if (rx->channel() != channel || rx->switching()) continue;
+    const double d = distance(sender_pos, rx->position()) / range_scale;
+    if (d > config_.range_m) continue;
+
+    const double p = loss_probability(d);
+    bool lost = true;
+    const int attempts = is_addressee ? config_.data_retry_limit + 1 : 1;
+    for (int a = 0; a < attempts && lost; ++a) {
+      lost = rng_.bernoulli(p);
+    }
+    if (lost) {
+      ++frames_lost_;
+      continue;
+    }
+    ++frames_delivered_;
+    if (is_addressee) addressed_delivery = true;
+    // Log-distance RSSI proxy: -40 dBm at 1 m, path-loss exponent 3.
+    const double rssi = -40.0 - 30.0 * std::log10(std::max(d, 1.0));
+    rx->handle_delivery(frame, RxInfo{channel, d, rssi});
+  }
+
+  if (arq_eligible) {
+    // Tell the sender how its unicast data fared (still attached only):
+    // failure drives AP re-buffering, both outcomes drive rate adaptation.
+    for (Radio* r : radios_) {
+      if (r == sender_snapshot) {
+        r->handle_tx_result(frame, addressed_delivery);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace spider::phy

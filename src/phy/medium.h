@@ -1,0 +1,105 @@
+// Shared wireless medium.
+//
+// Radios register themselves with the medium; a transmission occupies the
+// sender's channel for preamble + serialization time (CSMA-like: a busy
+// channel defers the start of the next transmission, no collision model) and
+// is then delivered to every other radio that is tuned to that channel,
+// within range, and not mid-reset. Loss is an independent Bernoulli draw per
+// receiver: a configurable uniform rate `base_loss` (the model's `h`) plus an
+// optional quadratic degradation near the edge of the range disc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "phy/geom.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace spider::phy {
+
+class Radio;
+
+struct MediumConfig {
+  double range_m = 100.0;        // the paper's practical Wi-Fi range
+  double base_loss = 0.10;       // uniform frame-loss probability `h`
+  double bitrate_bps = 11e6;     // 802.11b wireless bandwidth `Bw`
+  sim::Time preamble = sim::Time::micros(192);  // 802.11b long preamble
+  // When true, loss ramps from base_loss at edge_start*range up to 1.0 at the
+  // range edge, mimicking the fringe behaviour vehicular clients see (links
+  // fade over seconds as the car drives off, instead of dying at a wall).
+  bool edge_degradation = true;
+  double edge_start = 0.75;
+  // 802.11 link-layer ARQ: unicast data/null/ps-poll frames are retried up
+  // to this many times, so the loss TCP sees is base_loss^(retries+1).
+  // Management (probe/auth/assoc) frames follow the analytical model's
+  // single-shot loss. Retry airtime is not charged (a deliberate
+  // simplification; retries are rare at h=10%).
+  int data_retry_limit = 4;
+};
+
+// Delivery metadata handed to receivers alongside the frame.
+struct RxInfo {
+  net::ChannelId channel = 0;
+  double distance_m = 0.0;
+  double rssi_dbm = 0.0;  // log-distance proxy, for AP-selection policies
+};
+
+class Medium {
+ public:
+  // Tap invoked for every frame handed to the medium (before loss/range
+  // filtering) — the hook frame logs and debuggers attach to.
+  using SnifferFn =
+      std::function<void(const net::Frame&, net::ChannelId, sim::Time)>;
+
+  Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config = {});
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  const MediumConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // Called by Radio's constructor/destructor.
+  void attach(Radio& radio);
+  void detach(Radio& radio);
+
+  void set_sniffer(SnifferFn sniffer) { sniffer_ = std::move(sniffer); }
+
+  // Called by Radio::send(): schedules serialization and delivery. Returns
+  // the time at which the transmission will complete.
+  sim::Time transmit(Radio& sender, net::Frame frame);
+
+  // Loss probability as a function of distance (exposed for tests).
+  double loss_probability(double distance_m) const;
+
+  // Time at which the channel's current transmission (queue) completes;
+  // never in the past. Drivers use this to finish in-flight frames before
+  // retuning, as real MACs do.
+  sim::Time channel_idle_at(net::ChannelId channel) const;
+
+  // Cumulative counters, for tests and micro-benchmarks.
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+
+ private:
+  void deliver(const Radio* sender_snapshot, Vec2 sender_pos,
+               net::ChannelId channel, const net::Frame& frame);
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  MediumConfig config_;
+  SnifferFn sniffer_;
+  std::vector<Radio*> radios_;
+  std::unordered_map<net::ChannelId, sim::Time> busy_until_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_lost_ = 0;
+};
+
+}  // namespace spider::phy

@@ -1,0 +1,74 @@
+#include "phy/radio.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "phy/channel.h"
+
+namespace spider::phy {
+
+Radio::Radio(Medium& medium, net::MacAddress address, RadioConfig config)
+    : medium_(medium),
+      address_(address),
+      config_(config),
+      channel_(config.initial_channel) {
+  if (!valid_channel(channel_))
+    throw std::invalid_argument("Radio: invalid initial channel");
+  medium_.attach(*this);
+}
+
+Radio::~Radio() {
+  switch_timer_.cancel();
+  medium_.detach(*this);
+}
+
+sim::Time Radio::frame_airtime(int size_bytes) const {
+  return medium_.config().preamble +
+         sim::transmission_time(size_bytes, medium_.config().bitrate_bps);
+}
+
+void Radio::tune(net::ChannelId channel, std::function<void()> done) {
+  if (!valid_channel(channel))
+    throw std::invalid_argument("Radio::tune: invalid channel");
+  switch_timer_.cancel();  // a new retune supersedes any in-flight one
+  switching_ = true;
+  if (energy_) energy_->set_state(RadioState::kReset);
+  switch_timer_ = medium_.simulator().schedule_after(
+      config_.hardware_reset,
+      [this, channel, done = std::move(done)] {
+        channel_ = channel;
+        switching_ = false;
+        if (energy_) energy_->set_state(RadioState::kIdle);
+        if (done) done();
+      });
+}
+
+bool Radio::send(net::Frame frame) {
+  if (switching_) {
+    ++tx_dropped_switching_;
+    return false;
+  }
+  ++frames_tx_;
+  if (energy_) {
+    energy_->charge_burst(RadioState::kTransmit,
+                          frame_airtime(frame.size_bytes));
+  }
+  medium_.transmit(*this, std::move(frame));
+  return true;
+}
+
+void Radio::handle_delivery(const net::Frame& frame, const RxInfo& info) {
+  ++frames_rx_;
+  if (energy_) {
+    energy_->charge_burst(RadioState::kReceive,
+                          frame_airtime(frame.size_bytes));
+  }
+  if (receive_handler_) receive_handler_(frame, info);
+}
+
+void Radio::handle_tx_result(const net::Frame& frame, bool ok) {
+  if (!ok && tx_failure_handler_) tx_failure_handler_(frame);
+  if (tx_result_handler_) tx_result_handler_(frame, ok);
+}
+
+}  // namespace spider::phy

@@ -1,0 +1,104 @@
+// A single physical 802.11 radio.
+//
+// The radio is half-duplex and tuned to exactly one channel at a time.
+// Retuning requires a hardware reset during which nothing can be sent or
+// received — this is the switching delay `w` of the paper's model and the
+// dominant term in Table 1's channel-switch latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/frame.h"
+#include "phy/energy.h"
+#include "phy/geom.h"
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace spider::phy {
+
+struct RadioConfig {
+  net::ChannelId initial_channel = 1;
+  // Hardware-reset time applied on every retune (Table 1 measures ~4.94 ms
+  // for the Atheros part with no associated interfaces).
+  sim::Time hardware_reset = sim::Time::micros(4940);
+};
+
+class Radio {
+ public:
+  using ReceiveHandler = std::function<void(const net::Frame&, const RxInfo&)>;
+  // Invoked when a unicast data frame exhausted its link-layer retries
+  // without reaching the addressed station (it was absent, mid-reset, or
+  // every attempt was lost). Mirrors the 802.11 retry-failure indication
+  // drivers get, which APs use to re-queue frames for power-save clients.
+  using TxFailureHandler = std::function<void(const net::Frame&)>;
+  // Full outcome feedback for unicast data frames (rate adaptation).
+  using TxResultHandler = std::function<void(const net::Frame&, bool ok)>;
+
+  Radio(Medium& medium, net::MacAddress address, RadioConfig config = {});
+  ~Radio();
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  net::MacAddress address() const { return address_; }
+  net::ChannelId channel() const { return channel_; }
+  Vec2 position() const { return position_; }
+  void set_position(Vec2 p) { position_ = p; }
+  void set_receive_handler(ReceiveHandler handler) {
+    receive_handler_ = std::move(handler);
+  }
+  void set_tx_failure_handler(TxFailureHandler handler) {
+    tx_failure_handler_ = std::move(handler);
+  }
+  void set_tx_result_handler(TxResultHandler handler) {
+    tx_result_handler_ = std::move(handler);
+  }
+
+  // True while a hardware reset is in flight; the radio is deaf and mute.
+  bool switching() const { return switching_; }
+
+  // Retunes to `channel`. Invokes `done` (if any) once the reset completes.
+  // Tuning to the current channel still incurs the reset (matches hardware).
+  void tune(net::ChannelId channel, std::function<void()> done = nullptr);
+
+  // Hands the frame to the medium. Returns false (dropping the frame) while
+  // a hardware reset is in flight.
+  bool send(net::Frame frame);
+
+  // Counters.
+  std::uint64_t frames_tx() const { return frames_tx_; }
+  std::uint64_t frames_rx() const { return frames_rx_; }
+  std::uint64_t tx_dropped_switching() const { return tx_dropped_switching_; }
+
+  // Optional, non-owning: when attached, the radio charges resets and
+  // per-frame tx/rx airtime to the meter (steady state: idle).
+  void attach_energy_meter(EnergyMeter* meter) { energy_ = meter; }
+  EnergyMeter* energy_meter() { return energy_; }
+
+ private:
+  friend class Medium;
+  // Medium-side delivery entry point.
+  void handle_delivery(const net::Frame& frame, const RxInfo& info);
+  void handle_tx_result(const net::Frame& frame, bool ok);
+
+  Medium& medium_;
+  net::MacAddress address_;
+  RadioConfig config_;
+  net::ChannelId channel_;
+  Vec2 position_{};
+  bool switching_ = false;
+  sim::TimerHandle switch_timer_;
+  ReceiveHandler receive_handler_;
+  TxFailureHandler tx_failure_handler_;
+  TxResultHandler tx_result_handler_;
+  std::uint64_t frames_tx_ = 0;
+  std::uint64_t frames_rx_ = 0;
+  std::uint64_t tx_dropped_switching_ = 0;
+  EnergyMeter* energy_ = nullptr;
+
+  sim::Time frame_airtime(int size_bytes) const;
+};
+
+}  // namespace spider::phy

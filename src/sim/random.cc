@@ -1,0 +1,35 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+namespace spider::sim {
+namespace {
+
+// FNV-1a, enough to decorrelate substream seeds.
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  // splitmix64 finalizer
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::fork(std::string_view tag) const {
+  return Rng{mix(fnv1a(tag, seed_ ^ 0xcbf29ce484222325ULL))};
+}
+
+Rng Rng::fork(std::uint64_t tag) const {
+  return Rng{mix(seed_ ^ mix(tag))};
+}
+
+}  // namespace spider::sim

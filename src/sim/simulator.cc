@@ -1,0 +1,58 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace spider::sim {
+
+void TimerHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::pending() const {
+  // use_count > 1 means the event is still in the queue holding its copy.
+  return cancelled_ && !*cancelled_ && cancelled_.use_count() > 1;
+}
+
+TimerHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle{std::move(cancelled)};
+}
+
+TimerHandle Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  if (delay.is_negative())
+    throw std::invalid_argument("schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::drain(Time limit) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.at > limit) break;
+    // Move the event out before popping; fn may schedule more events.
+    Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn),
+             top.cancelled};
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(Time limit) {
+  drain(limit);
+  if (!stopped_ && now_ < limit) now_ = limit;
+}
+
+void Simulator::run_all() {
+  // Clock ends at the last executed event; it does not jump to infinity.
+  drain(Time::max());
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulator.
+//
+// A Simulator owns a priority queue of (time, sequence, callback) events.
+// Events scheduled for the same instant fire in scheduling order, which makes
+// runs bit-for-bit reproducible for a fixed seed. Timers are cancellable via
+// the handle returned from schedule_at()/schedule_after().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace spider::sim {
+
+class Simulator;
+
+// Cancellable reference to a scheduled event. Default-constructed handles are
+// inert; cancel() after the event has fired (or on an inert handle) is a
+// harmless no-op, so owners can cancel unconditionally in destructors.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel();
+  // True while the underlying event is still queued and not cancelled.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;  // shared with the queued event
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Non-copyable: handles and callbacks capture `this`.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at` (must be >= now()).
+  TimerHandle schedule_at(Time at, std::function<void()> fn);
+  // Schedules `fn` at now() + delay (delay must be >= 0).
+  TimerHandle schedule_after(Time delay, std::function<void()> fn);
+
+  // Runs events until the queue drains or the limit is hit. Advances now()
+  // to the limit even if the queue drains earlier, so back-to-back run_for()
+  // calls tile time exactly.
+  void run_until(Time limit);
+  void run_for(Time duration) { run_until(now_ + duration); }
+  // Runs until the queue is completely empty; now() ends at the last event.
+  void run_all();
+
+  // Makes run_* return after the current event completes; now() is left at
+  // the interrupting event's timestamp.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  void drain(Time limit);
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    // min-heap on (at, seq)
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace spider::sim

@@ -1,0 +1,21 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace spider::sim {
+
+std::string Time::to_string() const {
+  char buf[48];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us_ / 1'000));
+  } else if (us_ > 1'000'000 || us_ < -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", sec());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,68 @@
+// Simulated time: a strong integer type counting microseconds since the
+// start of a run. Kept as a plain value type so it is cheap to copy, totally
+// ordered, and impossible to confuse with wall-clock durations or raw
+// integers at API boundaries.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace spider::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // Named constructors; the unit is always explicit at the call site.
+  static constexpr Time micros(std::int64_t us) { return Time{us}; }
+  static constexpr Time millis(std::int64_t ms) { return Time{ms * 1000}; }
+  static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double sec() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.us_ + b.us_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.us_ - b.us_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.us_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.us_ * k}; }
+  friend constexpr Time operator*(Time a, int k) { return Time{a.us_ * k}; }
+  friend constexpr Time operator*(int k, Time a) { return Time{a.us_ * k}; }
+  friend constexpr Time operator*(Time a, double k) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.us_) * k)};
+  }
+  friend constexpr Time operator*(double k, Time a) { return a * k; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.us_ / k}; }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+  constexpr Time& operator+=(Time b) { us_ += b.us_; return *this; }
+  constexpr Time& operator-=(Time b) { us_ -= b.us_; return *this; }
+
+  // "12.345s" / "87ms" / "42us" — picks the coarsest exact-ish unit.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// Transmission time of `bytes` at `bits_per_second`.
+constexpr Time transmission_time(std::int64_t bytes, double bits_per_second) {
+  return Time::seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,64 @@
+#include "trace/connectivity.h"
+
+#include <cassert>
+
+namespace spider::trace {
+
+void ConnectivityTracker::record(sim::Time now, std::int64_t bytes) {
+  assert(!now.is_negative());
+  if (bytes <= 0) return;
+  const auto idx = static_cast<std::size_t>(now.us() / bucket_.us());
+  if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += bytes;
+  total_bytes_ += bytes;
+}
+
+ConnectivityTracker::Report ConnectivityTracker::report(
+    sim::Time duration) const {
+  Report r;
+  const auto n_buckets =
+      static_cast<std::size_t>((duration.us() + bucket_.us() - 1) / bucket_.us());
+  if (n_buckets == 0) return r;
+
+  const double bucket_sec = bucket_.sec();
+  std::size_t connected = 0;
+  std::size_t run = 0;
+  bool run_connected = false;
+
+  const auto flush_run = [&](std::size_t len, bool was_connected) {
+    if (len == 0) return;
+    const double secs = static_cast<double>(len) * bucket_sec;
+    if (was_connected) {
+      r.connection_durations_sec.add(secs);
+    } else {
+      r.disruption_durations_sec.add(secs);
+    }
+  };
+
+  for (std::size_t i = 0; i < n_buckets; ++i) {
+    const std::int64_t bytes = i < buckets_.size() ? buckets_[i] : 0;
+    const bool is_connected = bytes > 0;
+    if (is_connected) {
+      ++connected;
+      r.instantaneous_bytes_per_sec.add(static_cast<double>(bytes) / bucket_sec);
+    }
+    if (run == 0 || is_connected == run_connected) {
+      run_connected = is_connected;
+      ++run;
+    } else {
+      flush_run(run, run_connected);
+      run_connected = is_connected;
+      run = 1;
+    }
+  }
+  flush_run(run, run_connected);
+
+  r.total_bytes = total_bytes_;
+  r.avg_throughput_bytes_per_sec =
+      static_cast<double>(total_bytes_) / duration.sec();
+  r.connectivity_fraction =
+      static_cast<double>(connected) / static_cast<double>(n_buckets);
+  return r;
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,44 @@
+// Connectivity accounting — the paper's four evaluation metrics:
+//   average throughput      bytes delivered / experiment duration
+//   average connectivity    % of time buckets in which >0 bytes arrived
+//   connection durations    maximal runs of connected buckets   (Fig. 10a)
+//   disruption durations    maximal runs of silent buckets      (Fig. 10b)
+//   instantaneous bandwidth per-bucket rate while connected     (Fig. 10c)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "trace/stats.h"
+
+namespace spider::trace {
+
+class ConnectivityTracker {
+ public:
+  explicit ConnectivityTracker(sim::Time bucket = sim::Time::seconds(1))
+      : bucket_(bucket) {}
+
+  // Record `bytes` delivered at simulated time `now`.
+  void record(sim::Time now, std::int64_t bytes);
+
+  // Summary over [0, duration). Call once the run is over.
+  struct Report {
+    double avg_throughput_bytes_per_sec = 0.0;
+    double connectivity_fraction = 0.0;  // 0..1
+    std::int64_t total_bytes = 0;
+    EmpiricalCdf connection_durations_sec;
+    EmpiricalCdf disruption_durations_sec;
+    EmpiricalCdf instantaneous_bytes_per_sec;
+  };
+  Report report(sim::Time duration) const;
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  sim::Time bucket_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_bytes_ = 0;
+};
+
+}  // namespace spider::trace

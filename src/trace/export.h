@@ -1,0 +1,48 @@
+// Result exporters: CSV series (for gnuplot/matplotlib) and a small JSON
+// writer for experiment summaries. No external dependencies; writers
+// target any std::ostream so tests can capture into stringstreams.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/stats.h"
+
+namespace spider::trace {
+
+// "x,<label>" header then one "x,F(x)" row per point.
+void write_cdf_csv(std::ostream& out, const std::string& label,
+                   const EmpiricalCdf& cdf, int points, double x_min,
+                   double x_max);
+
+// Multiple series on a shared x grid: "x,label1,label2,..." —
+// the layout a spreadsheet or gnuplot expects for a multi-line figure.
+struct NamedCdf {
+  std::string label;
+  const EmpiricalCdf* cdf;
+};
+void write_cdfs_csv(std::ostream& out, const std::vector<NamedCdf>& series,
+                    int points, double x_min, double x_max);
+
+// Minimal JSON object writer: flat string->double / string->string maps,
+// escaped and deterministically ordered (insertion order).
+class JsonWriter {
+ public:
+  JsonWriter& add(const std::string& key, double value);
+  JsonWriter& add(const std::string& key, std::int64_t value);
+  JsonWriter& add(const std::string& key, const std::string& value);
+  void write(std::ostream& out) const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  // already JSON-encoded value
+  };
+  std::vector<Field> fields_;
+};
+
+// Escapes a string for inclusion in JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace spider::trace

@@ -1,0 +1,36 @@
+#include "trace/frame_log.h"
+
+#include <cstdio>
+
+namespace spider::trace {
+
+std::string FrameRecord::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s ch%d %s %s->%s %dB",
+                at.to_string().c_str(), channel, net::to_string(kind),
+                src.to_string().c_str(), dst.to_string().c_str(), size_bytes);
+  return buf;
+}
+
+void FrameLog::record(const FrameRecord& r) {
+  ++total_frames_;
+  total_bytes_ += static_cast<std::uint64_t>(r.size_bytes);
+  const bool mgmt = r.kind != net::FrameKind::kData;
+  if (mgmt) {
+    ++management_frames_;
+    management_bytes_ += static_cast<std::uint64_t>(r.size_bytes);
+  } else {
+    ++data_frames_;
+  }
+  if (filter_ && !filter_(r)) return;
+  entries_.push_back(r);
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void FrameLog::clear() {
+  entries_.clear();
+  total_frames_ = total_bytes_ = 0;
+  management_frames_ = management_bytes_ = data_frames_ = 0;
+}
+
+}  // namespace spider::trace

@@ -1,0 +1,66 @@
+// Frame log — a tcpdump-style tap on the shared medium.
+//
+// Records one entry per transmitted frame (time, channel, kind, src/dst,
+// size), bounded by a ring capacity so long runs cannot exhaust memory.
+// Filters and counters make it usable both as a debugging aid and as a
+// measurement instrument (e.g. management-overhead accounting).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/frame.h"
+#include "sim/time.h"
+
+namespace spider::trace {
+
+struct FrameRecord {
+  sim::Time at;
+  net::ChannelId channel = 0;
+  net::FrameKind kind = net::FrameKind::kData;
+  net::MacAddress src;
+  net::MacAddress dst;
+  int size_bytes = 0;
+
+  std::string to_string() const;  // "12.345s ch6 AssocRequest aa->bb 62B"
+};
+
+class FrameLog {
+ public:
+  explicit FrameLog(std::size_t capacity = 10000) : capacity_(capacity) {}
+
+  using Filter = std::function<bool(const FrameRecord&)>;
+  // Only records matching the filter are kept (counters still see all).
+  void set_filter(Filter f) { filter_ = std::move(f); }
+
+  void record(const FrameRecord& r);
+
+  const std::deque<FrameRecord>& entries() const { return entries_; }
+  std::uint64_t total_frames() const { return total_frames_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t management_frames() const { return management_frames_; }
+  std::uint64_t data_frames() const { return data_frames_; }
+
+  // Fraction of bytes spent on management traffic (join overhead).
+  double management_byte_fraction() const {
+    return total_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(management_bytes_) / total_bytes_;
+  }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  Filter filter_;
+  std::deque<FrameRecord> entries_;
+  std::uint64_t total_frames_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t management_frames_ = 0;
+  std::uint64_t management_bytes_ = 0;
+  std::uint64_t data_frames_ = 0;
+};
+
+}  // namespace spider::trace

@@ -1,0 +1,19 @@
+#include "trace/mesh_users.h"
+
+namespace spider::trace {
+
+MeshUserDemand generate_mesh_demand(sim::Rng rng, MeshUserConfig config) {
+  MeshUserDemand demand;
+  for (int u = 0; u < config.users; ++u) {
+    auto user_rng = rng.fork(static_cast<std::uint64_t>(u));
+    for (int f = 0; f < config.flows_per_user; ++f) {
+      demand.connection_durations_sec.add(
+          user_rng.lognormal(config.duration_mu, config.duration_sigma));
+      demand.inter_connection_sec.add(
+          user_rng.lognormal(config.gap_mu, config.gap_sigma));
+    }
+  }
+  return demand;
+}
+
+}  // namespace spider::trace

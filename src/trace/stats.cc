@@ -1,0 +1,53 @@
+#include "trace/stats.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace spider::trace {
+
+void EmpiricalCdf::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty())
+    throw std::logic_error("EmpiricalCdf::quantile: no samples");
+  sort();
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the ceil(q*N)-th smallest sample (1-indexed).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::mean() const {
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return samples_.empty() ? 0.0 : sum / static_cast<double>(samples_.size());
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(int points, double x_min,
+                                                     double x_max) const {
+  assert(points >= 2);
+  std::vector<Point> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        x_min + (x_max - x_min) * static_cast<double>(i) / (points - 1);
+    out.push_back({x, fraction_at_or_below(x)});
+  }
+  return out;
+}
+
+}  // namespace spider::trace

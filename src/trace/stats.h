@@ -1,0 +1,76 @@
+// Streaming statistics and empirical distributions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace spider::trace {
+
+// Welford online mean/variance.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Sample container with quantile / CDF queries. Samples are sorted lazily.
+class EmpiricalCdf {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // q in [0,1]; nearest-rank quantile. Requires at least one sample.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  // F(x): fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+
+  double mean() const;
+
+  // Evaluates the CDF at `points` evenly spaced values spanning
+  // [0 or min, max] — the series a figure plots.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> curve(int points, double x_min, double x_max) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace spider::trace

@@ -1,0 +1,210 @@
+// Rate adaptation: controller logic, rate-scaled airtime and range in the
+// medium, and AP-level end-to-end behaviour at the cell edge.
+#include <gtest/gtest.h>
+
+#include "mac/access_point.h"
+#include "mac/client_session.h"
+#include "phy/auto_rate.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+
+namespace spider::phy {
+namespace {
+
+const auto kPeer = net::MacAddress::from_index(1);
+
+TEST(AutoRate, StartsAtTopRate) {
+  AutoRate ar;
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 11e6);
+  EXPECT_EQ(ar.tracked_peers(), 0u);
+}
+
+TEST(AutoRate, FailureStepsDown) {
+  AutoRate ar;
+  ar.on_failure(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 5.5e6);
+  ar.on_failure(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 2e6);
+  ar.on_failure(kPeer);
+  ar.on_failure(kPeer);  // clamps at the bottom
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 1e6);
+}
+
+TEST(AutoRate, SustainedSuccessStepsUp) {
+  AutoRate ar(/*up_after=*/3);
+  ar.on_failure(kPeer);
+  ar.on_failure(kPeer);  // at 2 Mb/s
+  for (int i = 0; i < 3; ++i) ar.on_success(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 5.5e6);
+  for (int i = 0; i < 3; ++i) ar.on_success(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 11e6);
+}
+
+TEST(AutoRate, FailureResetsSuccessStreak) {
+  AutoRate ar(/*up_after=*/3);
+  ar.on_failure(kPeer);  // 5.5
+  ar.on_success(kPeer);
+  ar.on_success(kPeer);
+  ar.on_failure(kPeer);  // streak broken AND stepped down to 2
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 2e6);
+  ar.on_success(kPeer);
+  ar.on_success(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 2e6);  // only 2 of 3
+}
+
+TEST(AutoRate, PeersAreIndependent) {
+  AutoRate ar;
+  const auto other = net::MacAddress::from_index(2);
+  ar.on_failure(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 5.5e6);
+  EXPECT_DOUBLE_EQ(ar.rate_for(other), 11e6);
+  ar.forget(kPeer);
+  EXPECT_DOUBLE_EQ(ar.rate_for(kPeer), 11e6);
+}
+
+TEST(RateRangeScale, MonotoneAndBounded) {
+  EXPECT_DOUBLE_EQ(rate_range_scale(11e6, 11e6), 1.0);
+  EXPECT_DOUBLE_EQ(rate_range_scale(0.0, 11e6), 1.0);
+  const double s55 = rate_range_scale(5.5e6, 11e6);
+  const double s2 = rate_range_scale(2e6, 11e6);
+  const double s1 = rate_range_scale(1e6, 11e6);
+  EXPECT_GT(s55, 1.0);
+  EXPECT_GT(s2, s55);
+  EXPECT_GT(s1, s2);
+  EXPECT_LT(s1, 1.6);
+}
+
+TEST(MediumRate, LowRateFrameTakesProportionallyLonger) {
+  sim::Simulator sim;
+  MediumConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.edge_degradation = false;
+  cfg.preamble = sim::Time::micros(0);
+  cfg.bitrate_bps = 11e6;
+  Medium medium(sim, sim::Rng(1), cfg);
+  Radio tx(medium, net::MacAddress::from_index(1), {.initial_channel = 6});
+  Radio rx(medium, net::MacAddress::from_index(2), {.initial_channel = 6});
+  rx.set_position({10, 0});
+  std::vector<sim::Time> deliveries;
+  rx.set_receive_handler(
+      [&](const net::Frame&, const RxInfo&) { deliveries.push_back(sim.now()); });
+
+  net::TcpSegment seg;
+  seg.payload_bytes = 1335;  // 1409 bytes with headers -> 1 ms at 11 Mb/s
+  auto fast = net::make_tcp_frame(tx.address(), rx.address(), net::Bssid{}, seg);
+  auto slow = fast;
+  slow.tx_rate_bps = 1e6;
+  tx.send(fast);
+  sim.run_all();
+  tx.send(slow);
+  sim.run_all();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const sim::Time fast_airtime = deliveries[0];
+  const sim::Time slow_airtime = deliveries[1] - deliveries[0];
+  EXPECT_NEAR(slow_airtime.us() / static_cast<double>(fast_airtime.us()), 11.0,
+              0.1);
+}
+
+TEST(MediumRate, LowRateReachesBeyondNominalRange) {
+  sim::Simulator sim;
+  MediumConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.edge_degradation = false;
+  cfg.range_m = 100.0;
+  Medium medium(sim, sim::Rng(1), cfg);
+  Radio tx(medium, net::MacAddress::from_index(1), {.initial_channel = 6});
+  Radio rx(medium, net::MacAddress::from_index(2), {.initial_channel = 6});
+  rx.set_position({125, 0});  // outside 11 Mb/s range, inside 1 Mb/s range
+  int received = 0;
+  rx.set_receive_handler([&](const net::Frame&, const RxInfo&) { ++received; });
+
+  net::TcpSegment seg;
+  seg.payload_bytes = 100;
+  auto frame = net::make_tcp_frame(tx.address(), rx.address(), net::Bssid{}, seg);
+  tx.send(frame);  // nominal rate: out of range
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  frame.tx_rate_bps = 1e6;  // range scale ~1.41 -> effective 141 m
+  tx.send(frame);
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(MediumRate, TxResultHandlerReportsBothOutcomes) {
+  sim::Simulator sim;
+  MediumConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.edge_degradation = false;
+  Medium medium(sim, sim::Rng(1), cfg);
+  Radio tx(medium, net::MacAddress::from_index(1), {.initial_channel = 6});
+  Radio rx(medium, net::MacAddress::from_index(2), {.initial_channel = 6});
+  rx.set_position({10, 0});
+  int ok = 0, failed = 0;
+  tx.set_tx_result_handler([&](const net::Frame&, bool delivered) {
+    delivered ? ++ok : ++failed;
+  });
+  net::TcpSegment seg;
+  seg.payload_bytes = 10;
+  tx.send(net::make_tcp_frame(tx.address(), rx.address(), net::Bssid{}, seg));
+  sim.run_all();
+  rx.set_position({500, 0});  // gone
+  tx.send(net::make_tcp_frame(tx.address(), rx.address(), net::Bssid{}, seg));
+  sim.run_all();
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(failed, 1);
+}
+
+TEST(ApAutoRate, EdgeClientGetsServedAtLowerRate) {
+  sim::Simulator sim;
+  MediumConfig mcfg;
+  mcfg.base_loss = 0.05;
+  mcfg.edge_degradation = false;
+  mcfg.range_m = 100.0;
+  Medium medium(sim, sim::Rng(1), mcfg);
+
+  mac::AccessPointConfig acfg;
+  acfg.channel = 6;
+  acfg.auto_rate = true;
+  acfg.response_delay_min = sim::Time::millis(1);
+  acfg.response_delay_max = sim::Time::millis(2);
+  mac::AccessPoint ap(medium, net::MacAddress::from_index(0xA0), {0, 0},
+                      sim::Rng(2), acfg);
+  ap.start();
+
+  Radio client(medium, net::MacAddress::from_index(0xC0),
+               {.initial_channel = 6});
+  client.set_position({50, 0});
+  mac::ClientSession session(
+      sim, client.address(), ap.address(), 6,
+      [&](const net::Frame& f) { return client.send(f); },
+      mac::ClientSessionConfig{.link_timeout = sim::Time::millis(100)});
+  client.set_receive_handler([&](const net::Frame& f, const RxInfo&) {
+    session.handle_frame(f);
+  });
+  session.start_join();
+  sim.run_for(sim::Time::millis(500));
+  ASSERT_TRUE(session.associated());
+  EXPECT_DOUBLE_EQ(ap.downlink_rate_bps(client.address()), 11e6);
+
+  // Client drifts past nominal range: downlink at 11 Mb/s now fails, and
+  // the controller must step the rate down until frames land again.
+  client.set_position({120, 0});
+  int delivered = 0;
+  client.set_receive_handler([&](const net::Frame& f, const RxInfo&) {
+    session.handle_frame(f);
+    if (f.kind == net::FrameKind::kData) ++delivered;
+  });
+  net::TcpSegment seg;
+  seg.payload_bytes = 500;
+  for (int i = 0; i < 12; ++i) {
+    ap.send_to_client(client.address(),
+                      net::make_tcp_frame(ap.address(), client.address(),
+                                          ap.address(), seg));
+    sim.run_for(sim::Time::millis(20));
+  }
+  EXPECT_LT(ap.downlink_rate_bps(client.address()), 11e6);
+  EXPECT_GT(delivered, 0);
+}
+
+}  // namespace
+}  // namespace spider::phy

@@ -1,0 +1,103 @@
+#include "core/ap_history.h"
+
+#include <gtest/gtest.h>
+
+namespace spider::core {
+namespace {
+
+const net::Bssid kAp1 = net::MacAddress::from_index(1);
+const net::Bssid kAp2 = net::MacAddress::from_index(2);
+
+TEST(ApHistory, UnseenApGetsPriorScore) {
+  ApHistoryDb db;
+  EXPECT_DOUBLE_EQ(db.score(kAp1),
+                   0.5 / (1.0 + ApHistoryDb::kUnseenPriorJoinSec));
+  EXPECT_EQ(db.find(kAp1), nullptr);
+}
+
+TEST(ApHistory, ProvenButSlowApRanksBelowUnseen) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::seconds(8), sim::Time::seconds(1));
+  EXPECT_LT(db.score(kAp1), db.score(kAp2));
+}
+
+TEST(ApHistory, ProvenFastApRanksAboveUnseenEvenAfterOneMiss) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::millis(600), sim::Time::seconds(1));
+  db.record_attempt(kAp1);
+  db.record_failure(kAp1);  // one unlucky encounter
+  EXPECT_GT(db.score(kAp1), db.score(kAp2));
+}
+
+TEST(ApHistory, SuccessRateIsLaplaceSmoothed) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  const ApRecord* r = db.find(kAp1);
+  ASSERT_NE(r, nullptr);
+  // 1 attempt, 0 successes -> (0+1)/(1+2).
+  EXPECT_DOUBLE_EQ(r->success_rate(), 1.0 / 3.0);
+}
+
+TEST(ApHistory, FastJoinerOutranksUnseenOutranksFailed) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::millis(400), sim::Time::seconds(10));
+  db.record_attempt(kAp2);
+  db.record_failure(kAp2);
+  const double proven = db.score(kAp1);
+  const double unseen = db.score(net::MacAddress::from_index(3));
+  const double failed = db.score(kAp2);
+  EXPECT_GT(proven, unseen);
+  EXPECT_GT(unseen, failed);
+}
+
+TEST(ApHistory, EwmaTracksJoinTime) {
+  ApHistoryDb db(0.5);
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::seconds(2), sim::Time::seconds(1));
+  EXPECT_DOUBLE_EQ(db.find(kAp1)->ewma_join_sec, 2.0);
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::seconds(4), sim::Time::seconds(2));
+  EXPECT_DOUBLE_EQ(db.find(kAp1)->ewma_join_sec, 3.0);  // 0.5*4 + 0.5*2
+}
+
+TEST(ApHistory, SlowJoinerScoresBelowFastJoiner) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::millis(300), sim::Time::seconds(1));
+  db.record_attempt(kAp2);
+  db.record_success(kAp2, sim::Time::seconds(8), sim::Time::seconds(1));
+  EXPECT_GT(db.score(kAp1), db.score(kAp2));
+}
+
+TEST(ApHistory, RepeatedFailuresDriveScoreDown) {
+  ApHistoryDb db;
+  double prev = db.score(kAp1);
+  for (int i = 0; i < 5; ++i) {
+    db.record_attempt(kAp1);
+    db.record_failure(kAp1);
+    const double s = db.score(kAp1);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ApHistory, TracksLastSuccessTime) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  db.record_success(kAp1, sim::Time::millis(500), sim::Time::seconds(42));
+  EXPECT_EQ(db.find(kAp1)->last_success, sim::Time::seconds(42));
+}
+
+TEST(ApHistory, SizeCountsDistinctAps) {
+  ApHistoryDb db;
+  db.record_attempt(kAp1);
+  db.record_attempt(kAp1);
+  db.record_attempt(kAp2);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+}  // namespace
+}  // namespace spider::core

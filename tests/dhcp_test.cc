@@ -1,0 +1,294 @@
+#include "dhcpd/dhcp_client.h"
+#include "dhcpd/dhcp_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/access_point.h"
+#include "mac/client_session.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+
+namespace spider::dhcpd {
+namespace {
+
+// Fixture with an associated client, ready for DHCP.
+class DhcpTest : public ::testing::Test {
+ protected:
+  DhcpTest() {
+    phy::MediumConfig mcfg;
+    mcfg.base_loss = 0.0;
+    mcfg.edge_degradation = false;
+    medium_ = std::make_unique<phy::Medium>(sim_, sim::Rng(1), mcfg);
+
+    mac::AccessPointConfig acfg;
+    acfg.channel = 6;
+    acfg.response_delay_min = sim::Time::millis(1);
+    acfg.response_delay_max = sim::Time::millis(2);
+    ap_ = std::make_unique<mac::AccessPoint>(
+        *medium_, net::MacAddress::from_index(0xA0), phy::Vec2{0, 0},
+        sim::Rng(2), acfg);
+    ap_->start();
+
+    client_ = std::make_unique<phy::Radio>(
+        *medium_, net::MacAddress::from_index(0xC0),
+        phy::RadioConfig{.initial_channel = 6});
+    client_->set_position({20, 0});
+  }
+
+  DhcpServer& make_server(DhcpServerConfig cfg = fast_server()) {
+    server_ = std::make_unique<DhcpServer>(sim_, *ap_,
+                                           net::Ipv4Address(10, 1, 1, 1),
+                                           sim::Rng(3), cfg);
+    ap_->set_data_sink(
+        [this](const net::Frame& f) { server_->handle_frame(f); });
+    return *server_;
+  }
+
+  static DhcpServerConfig fast_server() {
+    DhcpServerConfig cfg;
+    cfg.offer_delay_min = sim::Time::millis(5);
+    cfg.offer_delay_max = sim::Time::millis(10);
+    cfg.ack_delay_min = sim::Time::millis(1);
+    cfg.ack_delay_max = sim::Time::millis(2);
+    return cfg;
+  }
+
+  void associate() {
+    session_ = std::make_unique<mac::ClientSession>(
+        sim_, client_->address(), ap_->address(), 6,
+        [this](const net::Frame& f) { return gate_ && client_->send(f); },
+        mac::ClientSessionConfig{.link_timeout = sim::Time::millis(100)});
+    client_->set_receive_handler(
+        [this](const net::Frame& f, const phy::RxInfo&) {
+          session_->handle_frame(f);
+          if (dhcp_) dhcp_->handle_frame(f);
+        });
+    session_->start_join();
+    sim_.run_for(sim::Time::millis(500));
+    ASSERT_TRUE(session_->associated());
+  }
+
+  DhcpClient& make_dhcp(DhcpClientConfig cfg = reduced_dhcp_timers(
+                            sim::Time::millis(200))) {
+    dhcp_ = std::make_unique<DhcpClient>(
+        sim_, client_->address(), ap_->address(),
+        [this](const net::Frame& f) { return gate_ && client_->send(f); },
+        cfg);
+    return *dhcp_;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::unique_ptr<mac::AccessPoint> ap_;
+  std::unique_ptr<phy::Radio> client_;
+  std::unique_ptr<mac::ClientSession> session_;
+  std::unique_ptr<DhcpClient> dhcp_;
+  std::unique_ptr<DhcpServer> server_;
+  bool gate_ = true;  // false emulates the radio being on another channel
+};
+
+TEST_F(DhcpTest, FullLeaseAcquisition) {
+  auto& server = make_server();
+  associate();
+  auto& dhcp = make_dhcp();
+  std::vector<DhcpEvent> events;
+  dhcp.set_event_handler(
+      [&](DhcpClient&, DhcpEvent ev) { events.push_back(ev); });
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(1));
+
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], DhcpEvent::kBound);
+  EXPECT_TRUE(dhcp.bound());
+  EXPECT_FALSE(dhcp.lease().ip.is_null());
+  EXPECT_EQ(dhcp.lease().server, net::Ipv4Address(10, 1, 1, 1));
+  EXPECT_EQ(server.active_leases(), 1u);
+  EXPECT_GE(dhcp.acquisition_delay(), sim::Time::millis(6));
+  EXPECT_EQ(dhcp.failed_attempts(), 0);
+}
+
+TEST_F(DhcpTest, LeaseIpComesFromServerSubnet) {
+  make_server();
+  associate();
+  auto& dhcp = make_dhcp();
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(1));
+  ASSERT_TRUE(dhcp.bound());
+  EXPECT_EQ(dhcp.lease().ip.value() & 0xFFFFFF00u,
+            net::Ipv4Address(10, 1, 1, 0).value());
+  EXPECT_NE(dhcp.lease().ip.value() & 0xFFu, 1u);  // not the gateway
+}
+
+TEST_F(DhcpTest, SameClientGetsSameLease) {
+  auto& server = make_server();
+  associate();
+  auto& dhcp = make_dhcp();
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(1));
+  ASSERT_TRUE(dhcp.bound());
+  const auto first_ip = dhcp.lease().ip;
+  dhcp.start();  // rejoin (e.g. second pass on the same street)
+  sim_.run_for(sim::Time::seconds(1));
+  ASSERT_TRUE(dhcp.bound());
+  EXPECT_EQ(dhcp.lease().ip, first_ip);
+  EXPECT_EQ(server.active_leases(), 1u);
+}
+
+TEST_F(DhcpTest, UnresponsiveServerNeverBinds) {
+  DhcpServerConfig cfg = fast_server();
+  cfg.responsive = false;  // the "dud" AP
+  auto& server = make_server(cfg);
+  associate();
+  auto& dhcp = make_dhcp();
+  int failures = 0;
+  dhcp.set_event_handler([&](DhcpClient&, DhcpEvent ev) {
+    if (ev == DhcpEvent::kAttemptFailed) ++failures;
+  });
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(10));
+  EXPECT_FALSE(dhcp.bound());
+  EXPECT_GT(failures, 2);
+  EXPECT_EQ(server.offers_sent(), 0u);
+}
+
+TEST_F(DhcpTest, OfferDelayRespectsConfiguredRange) {
+  DhcpServerConfig cfg = fast_server();
+  cfg.offer_delay_min = sim::Time::millis(300);
+  cfg.offer_delay_max = sim::Time::millis(400);
+  make_server(cfg);
+  associate();
+  auto& dhcp = make_dhcp(reduced_dhcp_timers(sim::Time::millis(600)));
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(2));
+  ASSERT_TRUE(dhcp.bound());
+  EXPECT_GE(dhcp.acquisition_delay(), sim::Time::millis(300));
+}
+
+TEST_F(DhcpTest, LateOfferAcceptedAcrossAttemptWindows) {
+  // Offer arrives after the (short) reduced attempt window expired: the
+  // client must still take it (same xid for the whole acquisition).
+  DhcpServerConfig cfg = fast_server();
+  cfg.offer_delay_min = sim::Time::millis(1200);
+  cfg.offer_delay_max = sim::Time::millis(1300);
+  make_server(cfg);
+  associate();
+  // Reduced 200 ms timers: window = 800 ms < offer delay.
+  auto& dhcp = make_dhcp(reduced_dhcp_timers(sim::Time::millis(200)));
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(4));
+  EXPECT_TRUE(dhcp.bound());
+  EXPECT_GE(dhcp.failed_attempts(), 1);
+}
+
+TEST_F(DhcpTest, OffChannelClientMissesOfferThenRecovers) {
+  make_server();
+  associate();
+  auto& dhcp = make_dhcp();
+  dhcp.start();
+  gate_ = false;          // radio leaves immediately after the discover...
+  client_->tune(1);       // ...and is deaf on another channel
+  sim_.run_for(sim::Time::millis(400));
+  EXPECT_FALSE(dhcp.bound());
+  // Radio returns.
+  client_->tune(6);
+  sim_.run_for(sim::Time::millis(50));
+  gate_ = true;
+  dhcp.radio_on_channel();
+  sim_.run_for(sim::Time::seconds(2));
+  EXPECT_TRUE(dhcp.bound());
+}
+
+TEST_F(DhcpTest, DefaultTimersBackOffSlowly) {
+  DhcpClientConfig def = default_dhcp_timers();
+  EXPECT_EQ(def.message_timeout, sim::Time::seconds(1));
+  EXPECT_EQ(def.attempt_duration, sim::Time::seconds(3));
+  EXPECT_EQ(def.idle_after_failure, sim::Time::seconds(60));
+}
+
+TEST_F(DhcpTest, ReducedTimersScaleWithMessageTimeout) {
+  DhcpClientConfig red = reduced_dhcp_timers(sim::Time::millis(400));
+  EXPECT_EQ(red.message_timeout, sim::Time::millis(400));
+  EXPECT_EQ(red.attempt_duration, sim::Time::millis(1600));
+  EXPECT_LT(red.idle_after_failure, sim::Time::seconds(5));
+}
+
+TEST_F(DhcpTest, AbandonStopsTraffic) {
+  make_server();
+  associate();
+  auto& dhcp = make_dhcp();
+  dhcp.start();
+  dhcp.abandon();
+  const int sent = dhcp.messages_sent();
+  sim_.run_for(sim::Time::seconds(3));
+  EXPECT_EQ(dhcp.messages_sent(), sent);
+  EXPECT_EQ(dhcp.state(), DhcpState::kIdle);
+}
+
+TEST_F(DhcpTest, PoolExhaustionYieldsSilence) {
+  DhcpServerConfig cfg = fast_server();
+  cfg.pool_size = 0;
+  auto& server = make_server(cfg);
+  associate();
+  auto& dhcp = make_dhcp();
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(3));
+  EXPECT_FALSE(dhcp.bound());
+  EXPECT_GT(server.pool_exhaustions(), 0u);
+}
+
+TEST_F(DhcpTest, MessageCountGrowsWithRetries) {
+  DhcpServerConfig cfg = fast_server();
+  cfg.responsive = false;
+  make_server(cfg);
+  associate();
+  auto& dhcp = make_dhcp(reduced_dhcp_timers(sim::Time::millis(100)));
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(2));
+  EXPECT_GT(dhcp.messages_sent(), 5);
+}
+
+TEST_F(DhcpTest, StateNames) {
+  EXPECT_STREQ(to_string(DhcpState::kIdle), "Idle");
+  EXPECT_STREQ(to_string(DhcpState::kBound), "Bound");
+  EXPECT_STREQ(to_string(DhcpState::kBackoff), "Backoff");
+}
+
+TEST_F(DhcpTest, DistinctClientsGetDistinctIps) {
+  auto& server = make_server();
+  associate();
+  auto& dhcp = make_dhcp();
+  dhcp.start();
+  sim_.run_for(sim::Time::seconds(1));
+  ASSERT_TRUE(dhcp.bound());
+
+  // Second client associates and asks for a lease.
+  phy::Radio client2(*medium_, net::MacAddress::from_index(0xC1),
+                     phy::RadioConfig{.initial_channel = 6});
+  client2.set_position({20, 0});
+  mac::ClientSession session2(
+      sim_, client2.address(), ap_->address(), 6,
+      [&](const net::Frame& f) { return client2.send(f); },
+      mac::ClientSessionConfig{.link_timeout = sim::Time::millis(100)});
+  DhcpClient dhcp2(sim_, client2.address(), ap_->address(),
+                   [&](const net::Frame& f) { return client2.send(f); },
+                   reduced_dhcp_timers(sim::Time::millis(200)));
+  client2.set_receive_handler([&](const net::Frame& f, const phy::RxInfo&) {
+    session2.handle_frame(f);
+    dhcp2.handle_frame(f);
+  });
+  session2.start_join();
+  sim_.run_for(sim::Time::millis(500));
+  ASSERT_TRUE(session2.associated());
+  dhcp2.start();
+  sim_.run_for(sim::Time::seconds(1));
+  ASSERT_TRUE(dhcp2.bound());
+
+  EXPECT_NE(dhcp.lease().ip, dhcp2.lease().ip);
+  EXPECT_EQ(server.active_leases(), 2u);
+}
+
+}  // namespace
+}  // namespace spider::dhcpd

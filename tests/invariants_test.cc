@@ -1,0 +1,103 @@
+// System-level invariants, swept over (seed x driver configuration) with
+// parameterized tests: whatever the configuration, an experiment's outputs
+// must be internally consistent.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/configs.h"
+#include "core/experiment.h"
+
+namespace spider::core {
+namespace {
+
+enum class Kind { kMulti, kSingle, kThreeCh, kThreeChSingle, kDynamic, kStock };
+
+const char* name(Kind k) {
+  switch (k) {
+    case Kind::kMulti: return "multi";
+    case Kind::kSingle: return "single";
+    case Kind::kThreeCh: return "3ch";
+    case Kind::kThreeChSingle: return "3ch-single";
+    case Kind::kDynamic: return "dynamic";
+    case Kind::kStock: return "stock";
+  }
+  return "?";
+}
+
+class ExperimentInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Kind>> {};
+
+TEST_P(ExperimentInvariants, HoldAcrossConfigurations) {
+  const auto [seed, kind] = GetParam();
+  SCOPED_TRACE(name(kind));
+
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = sim::Time::seconds(180);
+  sim::Rng rng(seed);
+  auto deploy_rng = rng.fork("deploy");
+  cfg.aps = mobility::area_deployment(700, 500, 25, deploy_rng);
+  cfg.vehicle = mobility::Vehicle(mobility::Route::rectangle(600, 400), 10.0);
+  switch (kind) {
+    case Kind::kMulti: cfg.spider = single_channel_multi_ap(1); break;
+    case Kind::kSingle: cfg.spider = single_channel_single_ap(1); break;
+    case Kind::kThreeCh: cfg.spider = multi_channel_multi_ap(); break;
+    case Kind::kThreeChSingle: cfg.spider = multi_channel_single_ap(); break;
+    case Kind::kDynamic: cfg.spider = dynamic_channel_multi_ap(1); break;
+    case Kind::kStock: cfg.driver = DriverKind::kStock; break;
+  }
+
+  const auto r = Experiment(std::move(cfg)).run();
+
+  // Connectivity is a fraction of time.
+  EXPECT_GE(r.traffic.connectivity_fraction, 0.0);
+  EXPECT_LE(r.traffic.connectivity_fraction, 1.0);
+
+  // Accounting identities.
+  EXPECT_GE(r.joins.join_attempts, r.joins.joins);
+  EXPECT_GE(r.joins.associations, r.joins.joins);
+  EXPECT_EQ(r.joins.join_delay_sec.count(), r.joins.joins);
+  EXPECT_EQ(r.joins.association_delay_sec.count(), r.joins.associations);
+  EXPECT_GE(r.joins.dhcp_attempts,
+            r.joins.joins + 0);  // every join consumed >= 1 window
+
+  // Bytes imply flows imply joins.
+  if (r.traffic.total_bytes > 0) {
+    EXPECT_GT(r.flows_opened, 0u);
+    EXPECT_GT(r.joins.joins, 0u);
+  }
+  EXPECT_LE(r.flows_opened, r.joins.joins);
+
+  // Throughput consistency with total bytes.
+  EXPECT_NEAR(r.traffic.avg_throughput_bytes_per_sec,
+              static_cast<double>(r.traffic.total_bytes) / 180.0, 1.0);
+
+  // Connection + disruption runs tile the run (within one bucket each).
+  double covered = 0.0;
+  for (double d : r.traffic.connection_durations_sec.samples()) covered += d;
+  for (double d : r.traffic.disruption_durations_sec.samples()) covered += d;
+  EXPECT_NEAR(covered, 180.0, 1.5);
+
+  // Join delays are positive and include the association stage.
+  if (r.joins.joins > 0) {
+    EXPECT_GT(r.joins.join_delay_sec.quantile(0.0), 0.0);
+  }
+
+  // Energy: bounded by the radio's min/max draw over the run.
+  EXPECT_GE(r.client_joules, 180.0 * 0.7);
+  EXPECT_LE(r.client_joules, 180.0 * 1.4);
+
+  // Loss accounting.
+  EXPECT_LE(r.frames_lost, r.frames_sent * 12);  // <= receivers per frame
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByConfig, ExperimentInvariants,
+    ::testing::Combine(::testing::Values(3ULL, 23ULL, 43ULL),
+                       ::testing::Values(Kind::kMulti, Kind::kSingle,
+                                         Kind::kThreeCh, Kind::kThreeChSingle,
+                                         Kind::kDynamic, Kind::kStock)));
+
+}  // namespace
+}  // namespace spider::core

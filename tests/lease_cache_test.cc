@@ -1,0 +1,143 @@
+// DHCP lease caching (INIT-REBOOT) — client fast path, NAK fallback, and
+// driver integration across repeat encounters.
+#include <gtest/gtest.h>
+
+#include "core/configs.h"
+#include "core/experiment.h"
+#include "dhcpd/dhcp_client.h"
+#include "dhcpd/dhcp_server.h"
+#include "mac/access_point.h"
+#include "mac/client_session.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+
+namespace spider {
+namespace {
+
+// Slim fixture: associated client against one AP with a slow-offer server.
+class LeaseCacheTest : public ::testing::Test {
+ protected:
+  LeaseCacheTest() {
+    phy::MediumConfig mcfg;
+    mcfg.base_loss = 0.0;
+    mcfg.edge_degradation = false;
+    medium_ = std::make_unique<phy::Medium>(sim_, sim::Rng(1), mcfg);
+    mac::AccessPointConfig acfg;
+    acfg.channel = 6;
+    acfg.response_delay_min = sim::Time::millis(1);
+    acfg.response_delay_max = sim::Time::millis(2);
+    ap_ = std::make_unique<mac::AccessPoint>(
+        *medium_, net::MacAddress::from_index(0xA0), phy::Vec2{0, 0},
+        sim::Rng(2), acfg);
+    ap_->start();
+    dhcpd::DhcpServerConfig scfg;
+    scfg.offer_delay_min = sim::Time::millis(800);  // slow discovery path
+    scfg.offer_delay_max = sim::Time::millis(900);
+    scfg.ack_delay_min = sim::Time::millis(5);
+    scfg.ack_delay_max = sim::Time::millis(10);
+    server_ = std::make_unique<dhcpd::DhcpServer>(
+        sim_, *ap_, net::Ipv4Address(10, 1, 1, 1), sim::Rng(3), scfg);
+    ap_->set_data_sink(
+        [this](const net::Frame& f) { server_->handle_frame(f); });
+
+    client_ = std::make_unique<phy::Radio>(
+        *medium_, net::MacAddress::from_index(0xC0),
+        phy::RadioConfig{.initial_channel = 6});
+    client_->set_position({20, 0});
+    session_ = std::make_unique<mac::ClientSession>(
+        sim_, client_->address(), ap_->address(), 6,
+        [this](const net::Frame& f) { return client_->send(f); },
+        mac::ClientSessionConfig{.link_timeout = sim::Time::millis(100)});
+    dhcp_ = std::make_unique<dhcpd::DhcpClient>(
+        sim_, client_->address(), ap_->address(),
+        [this](const net::Frame& f) { return client_->send(f); },
+        dhcpd::reduced_dhcp_timers(sim::Time::millis(400)));
+    client_->set_receive_handler(
+        [this](const net::Frame& f, const phy::RxInfo&) {
+          session_->handle_frame(f);
+          dhcp_->handle_frame(f);
+        });
+    session_->start_join();
+    sim_.run_for(sim::Time::millis(500));
+    EXPECT_TRUE(session_->associated());
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<phy::Medium> medium_;
+  std::unique_ptr<mac::AccessPoint> ap_;
+  std::unique_ptr<dhcpd::DhcpServer> server_;
+  std::unique_ptr<phy::Radio> client_;
+  std::unique_ptr<mac::ClientSession> session_;
+  std::unique_ptr<dhcpd::DhcpClient> dhcp_;
+};
+
+TEST_F(LeaseCacheTest, InitRebootSkipsDiscovery) {
+  // Cold acquisition: pays the ~850 ms offer delay.
+  dhcp_->start();
+  sim_.run_for(sim::Time::seconds(3));
+  ASSERT_TRUE(dhcp_->bound());
+  const auto cold_delay = dhcp_->acquisition_delay();
+  EXPECT_GT(cold_delay, sim::Time::millis(800));
+  const dhcpd::Lease lease = dhcp_->lease();
+
+  // Warm acquisition: REQUEST straight away; only the ACK delay remains.
+  dhcp_->start_with_cached(lease);
+  sim_.run_for(sim::Time::seconds(3));
+  ASSERT_TRUE(dhcp_->bound());
+  EXPECT_LT(dhcp_->acquisition_delay(), sim::Time::millis(100));
+  EXPECT_EQ(dhcp_->lease().ip, lease.ip);
+}
+
+TEST_F(LeaseCacheTest, StaleCacheFallsBackViaNak) {
+  // A cached lease the server never issued: NAK -> full discovery -> bound.
+  dhcpd::Lease bogus;
+  bogus.ip = net::Ipv4Address(10, 1, 1, 200);
+  bogus.server = net::Ipv4Address(10, 1, 1, 1);
+  bogus.duration = sim::Time::seconds(3600);
+  dhcp_->start_with_cached(bogus);
+  sim_.run_for(sim::Time::seconds(5));
+  ASSERT_TRUE(dhcp_->bound());
+  // Bound via the discovery path, so the slow offer delay was paid and the
+  // final address is the server's own allocation, not the bogus one.
+  EXPECT_GT(dhcp_->acquisition_delay(), sim::Time::millis(800));
+  EXPECT_NE(dhcp_->lease().ip, bogus.ip);
+}
+
+TEST(LeaseCacheDriver, SecondEncounterJoinsFaster) {
+  // A vehicle shuttles past one AP twice; with caching the second join
+  // skips the offer wait.
+  for (const bool cache : {false, true}) {
+    core::ExperimentConfig cfg;
+    cfg.seed = 77;
+    cfg.duration = sim::Time::seconds(240);
+    cfg.medium.base_loss = 0.02;
+    cfg.medium.edge_degradation = false;
+    mobility::ApDescriptor ap;
+    ap.ssid = "loop-ap";
+    ap.mac = net::MacAddress::from_index(0xA0);
+    ap.subnet = net::Ipv4Address(10, 1, 1, 0);
+    ap.position = {500, 10};
+    ap.channel = 1;
+    ap.backhaul_bps = 2e6;
+    ap.dhcp_offer_min = sim::Time::millis(900);
+    ap.dhcp_offer_max = sim::Time::millis(1000);
+    cfg.aps = {ap};
+    cfg.vehicle = mobility::Vehicle(
+        mobility::Route::straight(1000.0, mobility::RouteWrap::kPingPong),
+        10.0);
+    cfg.spider = core::single_channel_multi_ap(1);
+    cfg.spider.cache_leases = cache;
+    const auto r = core::Experiment(std::move(cfg)).run();
+    ASSERT_GE(r.joins.joins, 2u) << "cache=" << cache;
+    const auto& samples = r.joins.join_delay_sec.samples();
+    if (cache) {
+      // Later joins are INIT-REBOOT: dramatically under the offer delay.
+      EXPECT_LT(samples.back(), 0.5);
+    } else {
+      EXPECT_GT(samples.back(), 0.9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider

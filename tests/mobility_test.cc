@@ -1,0 +1,205 @@
+#include "mobility/deployment.h"
+#include "mobility/route.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace spider::mobility {
+namespace {
+
+TEST(Route, RejectsDegenerateInputs) {
+  EXPECT_THROW(Route({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Route({{1, 1}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Route, StraightLength) {
+  const Route r = Route::straight(500.0);
+  EXPECT_DOUBLE_EQ(r.length(), 500.0);
+  EXPECT_EQ(r.position_at_distance(0.0), (phy::Vec2{0, 0}));
+  EXPECT_EQ(r.position_at_distance(250.0), (phy::Vec2{250, 0}));
+}
+
+TEST(Route, StopClampsAtEnds) {
+  const Route r = Route::straight(100.0, RouteWrap::kStop);
+  EXPECT_EQ(r.position_at_distance(-5.0), (phy::Vec2{0, 0}));
+  EXPECT_EQ(r.position_at_distance(150.0), (phy::Vec2{100, 0}));
+}
+
+TEST(Route, LoopWraps) {
+  const Route r = Route::rectangle(100, 50);
+  EXPECT_DOUBLE_EQ(r.length(), 300.0);
+  EXPECT_EQ(r.position_at_distance(0.0), (phy::Vec2{0, 0}));
+  EXPECT_EQ(r.position_at_distance(300.0), (phy::Vec2{0, 0}));
+  EXPECT_EQ(r.position_at_distance(350.0), (phy::Vec2{50, 0}));
+  // Corners.
+  EXPECT_EQ(r.position_at_distance(100.0), (phy::Vec2{100, 0}));
+  EXPECT_EQ(r.position_at_distance(150.0), (phy::Vec2{100, 50}));
+}
+
+TEST(Route, PingPongReflects) {
+  const Route r = Route::straight(100.0, RouteWrap::kPingPong);
+  EXPECT_EQ(r.position_at_distance(90.0), (phy::Vec2{90, 0}));
+  EXPECT_EQ(r.position_at_distance(110.0), (phy::Vec2{90, 0}));
+  EXPECT_EQ(r.position_at_distance(200.0), (phy::Vec2{0, 0}));
+  EXPECT_EQ(r.position_at_distance(210.0), (phy::Vec2{10, 0}));
+}
+
+TEST(Vehicle, PositionIsSpeedTimesTime) {
+  const Vehicle v(Route::straight(1000.0), 10.0);
+  EXPECT_EQ(v.position(sim::Time::seconds(5)), (phy::Vec2{50, 0}));
+  EXPECT_EQ(v.position(sim::Time::zero()), (phy::Vec2{0, 0}));
+}
+
+TEST(Vehicle, RejectsNegativeSpeed) {
+  EXPECT_THROW(Vehicle(Route::straight(10.0), -1.0), std::invalid_argument);
+}
+
+TEST(Encounters, DriveThroughCoverageDisc) {
+  // AP at x=500 offset 0; range 100 -> in range for x in [400, 600].
+  const Route r = Route::straight(1000.0);
+  const auto enc = encounters(r, 10.0, {500, 0}, 100.0, sim::Time::seconds(100));
+  ASSERT_EQ(enc.size(), 1u);
+  EXPECT_NEAR(enc[0].enter.sec(), 40.0, 0.1);
+  EXPECT_NEAR(enc[0].exit.sec(), 60.0, 0.1);
+  EXPECT_NEAR(enc[0].duration().sec(), 20.0, 0.2);
+}
+
+TEST(Encounters, OffsetApShortensChord) {
+  const Route r = Route::straight(1000.0);
+  // Offset 80 m: chord half-length = sqrt(100^2-80^2) = 60 -> 12 s at 10 m/s.
+  const auto enc = encounters(r, 10.0, {500, 80}, 100.0, sim::Time::seconds(100));
+  ASSERT_EQ(enc.size(), 1u);
+  EXPECT_NEAR(enc[0].duration().sec(), 12.0, 0.3);
+}
+
+TEST(Encounters, OutOfRangeApNeverMet) {
+  const Route r = Route::straight(1000.0);
+  const auto enc = encounters(r, 10.0, {500, 150}, 100.0,
+                              sim::Time::seconds(100));
+  EXPECT_TRUE(enc.empty());
+}
+
+TEST(Encounters, LoopProducesRepeatEncounters) {
+  const Route r = Route::rectangle(400, 300);  // perimeter 1400 m
+  const auto enc = encounters(r, 14.0, {200, 0}, 100.0,
+                              sim::Time::seconds(300));
+  // One encounter per 100 s lap, 3 laps.
+  EXPECT_EQ(enc.size(), 3u);
+}
+
+TEST(Encounters, StationaryVehicleInsideIsOneLongEncounter) {
+  const Route r = Route::straight(10.0);
+  const auto enc = encounters(r, 0.0, {0, 50}, 100.0, sim::Time::seconds(60));
+  ASSERT_EQ(enc.size(), 1u);
+  EXPECT_EQ(enc[0].enter, sim::Time::zero());
+  EXPECT_EQ(enc[0].exit, sim::Time::seconds(60));
+}
+
+TEST(ChannelMix, MatchesSurveyProportions) {
+  sim::Rng rng(5);
+  ChannelMix mix;  // 28/33/34 + 5% others
+  std::map<net::ChannelId, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[sample_channel(mix, rng)];
+  EXPECT_NEAR(counts[1] / double(n), 0.28, 0.02);
+  EXPECT_NEAR(counts[6] / double(n), 0.33, 0.02);
+  EXPECT_NEAR(counts[11] / double(n), 0.34, 0.02);
+  int others = 0;
+  for (const auto& [ch, c] : counts) {
+    if (ch != 1 && ch != 6 && ch != 11) others += c;
+  }
+  EXPECT_NEAR(others / double(n), 0.05, 0.01);
+}
+
+TEST(Deployment, LinearRoadSpacingFollowsDensity) {
+  sim::Rng rng(5);
+  DeploymentConfig cfg;
+  cfg.mean_spacing_m = 100.0;
+  cfg.cluster_fraction = 0.0;  // isolate the spacing process
+  const auto aps = linear_road_deployment(10'000.0, rng, cfg);
+  // ~100 sites expected on a 10 km road.
+  EXPECT_GT(aps.size(), 70u);
+  EXPECT_LT(aps.size(), 130u);
+  for (const auto& ap : aps) {
+    EXPECT_GE(ap.position.x, 0.0);
+    EXPECT_LE(ap.position.x, 10'000.0);
+    EXPECT_GE(std::abs(ap.position.y), cfg.min_offset_m);
+    EXPECT_LE(std::abs(ap.position.y), cfg.max_offset_m);
+  }
+}
+
+TEST(Deployment, DudFractionApproximatelyHonoured) {
+  sim::Rng rng(5);
+  DeploymentConfig cfg;
+  cfg.dud_fraction = 0.4;
+  const auto aps = area_deployment(5000, 5000, 2000, rng, cfg);
+  int duds = 0;
+  for (const auto& ap : aps) duds += ap.dud;
+  EXPECT_NEAR(duds / double(aps.size()), 0.4, 0.03);
+}
+
+TEST(Deployment, ClustersInflateApCount) {
+  sim::Rng rng(5);
+  DeploymentConfig no_cluster;
+  no_cluster.cluster_fraction = 0.0;
+  DeploymentConfig clustered;
+  clustered.cluster_fraction = 1.0;
+  clustered.cluster_min = 3;
+  clustered.cluster_max = 3;
+  auto rng1 = rng.fork("a"), rng2 = rng.fork("a");
+  const auto singles = area_deployment(1000, 1000, 50, rng1, no_cluster);
+  const auto clusters = area_deployment(1000, 1000, 50, rng2, clustered);
+  EXPECT_EQ(singles.size(), 50u);
+  EXPECT_EQ(clusters.size(), 150u);
+}
+
+TEST(Deployment, UniqueIdentities) {
+  sim::Rng rng(5);
+  const auto aps = area_deployment(1000, 1000, 100, rng);
+  std::set<std::uint64_t> macs;
+  std::set<std::uint32_t> subnets;
+  for (const auto& ap : aps) {
+    macs.insert(ap.mac.value());
+    subnets.insert(ap.subnet.value());
+  }
+  EXPECT_EQ(macs.size(), aps.size());
+  EXPECT_EQ(subnets.size(), aps.size());
+}
+
+TEST(Deployment, BackhaulWithinConfiguredBand) {
+  sim::Rng rng(5);
+  DeploymentConfig cfg;
+  cfg.backhaul_min_bps = 1e6;
+  cfg.backhaul_max_bps = 4e6;
+  const auto aps = area_deployment(1000, 1000, 200, rng, cfg);
+  for (const auto& ap : aps) {
+    EXPECT_GE(ap.backhaul_bps, 1e6);
+    EXPECT_LE(ap.backhaul_bps, 4e6);
+  }
+}
+
+TEST(Deployment, EncounterDurationsMatchPaperScaleAtTownSpeeds) {
+  // The paper reports a median encounter of ~8 s and mean ~22 s. With our
+  // default deployment and a 10 m/s drive, medians should land in the same
+  // regime (a few seconds to tens of seconds).
+  sim::Rng rng(11);
+  DeploymentConfig cfg;
+  const auto aps = linear_road_deployment(20'000.0, rng, cfg);
+  const Route road = Route::straight(20'000.0);
+  std::vector<double> durations;
+  for (const auto& ap : aps) {
+    for (const auto& e :
+         encounters(road, 10.0, ap.position, 100.0, sim::Time::seconds(2000))) {
+      durations.push_back(e.duration().sec());
+    }
+  }
+  ASSERT_GT(durations.size(), 20u);
+  std::sort(durations.begin(), durations.end());
+  const double median = durations[durations.size() / 2];
+  EXPECT_GT(median, 5.0);
+  EXPECT_LT(median, 30.0);
+}
+
+}  // namespace
+}  // namespace spider::mobility

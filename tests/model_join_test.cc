@@ -1,0 +1,200 @@
+#include "model/join_model.h"
+#include "model/join_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spider::model {
+namespace {
+
+JoinModelParams paper_params(double beta_max = 10.0) {
+  JoinModelParams p;  // D=0.5, w=0.007, c=0.1, beta_min=0.5, h=0.1
+  p.beta_max = beta_max;
+  return p;
+}
+
+TEST(RequestsPerRound, CeilingOfWindowOverInterval) {
+  const JoinModelParams p = paper_params();
+  // (0.5*0.5 - 0.007) / 0.1 = 2.43 -> 3 requests.
+  EXPECT_EQ(requests_per_round(p, 0.5), 3);
+  // (0.5*1.0 - 0.007) / 0.1 = 4.93 -> 5.
+  EXPECT_EQ(requests_per_round(p, 1.0), 5);
+  // Tiny fraction still gets one request (the paper's ceiling).
+  EXPECT_EQ(requests_per_round(p, 0.1), 1);
+  EXPECT_EQ(requests_per_round(p, 0.0), 0);
+}
+
+TEST(QSingle, IsAProbability) {
+  const JoinModelParams p = paper_params();
+  for (int delta = 0; delta < 10; ++delta) {
+    for (int k = 1; k <= 5; ++k) {
+      const double q = q_single(p, 0.4, delta, k);
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+  }
+}
+
+TEST(QSingle, ZeroOutsideReachableRounds) {
+  const JoinModelParams p = paper_params(2.0);
+  // beta_max = 2 s: responses arrive within ~2.1 s => delta <= 4 rounds
+  // (D = 0.5 s). Far-future rounds have zero probability.
+  EXPECT_EQ(q_single(p, 0.5, 40, 1), 0.0);
+}
+
+TEST(QSingle, InvalidInputs) {
+  const JoinModelParams p = paper_params();
+  EXPECT_EQ(q_single(p, 0.5, -1, 1), 0.0);
+  EXPECT_EQ(q_single(p, 0.5, 0, 0), 0.0);
+  JoinModelParams bad = p;
+  bad.loss = 1.5;
+  EXPECT_THROW(q_single(bad, 0.5, 0, 1), std::invalid_argument);
+}
+
+TEST(QSingle, DegenerateUniformHandled) {
+  JoinModelParams p = paper_params();
+  p.beta_min = p.beta_max = 1.0;  // point mass at 1 s
+  // The response lands exactly 1 s after the request. For f=1.0 the window
+  // covers the whole timeline, so some (delta,k) must have q=1.
+  double max_q = 0.0;
+  for (int delta = 0; delta < 5; ++delta) {
+    for (int k = 1; k <= requests_per_round(p, 1.0); ++k) {
+      max_q = std::max(max_q, q_single(p, 1.0, delta, k));
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_q, 1.0);
+}
+
+TEST(QRoundFailure, OneWithoutRequests) {
+  const JoinModelParams p = paper_params();
+  EXPECT_DOUBLE_EQ(q_round_failure(p, 0.0, 0), 1.0);
+}
+
+TEST(QRoundFailure, LossIncreasesFailure) {
+  JoinModelParams lossless = paper_params();
+  lossless.loss = 0.0;
+  JoinModelParams lossy = paper_params();
+  lossy.loss = 0.5;
+  EXPECT_LT(q_round_failure(lossless, 0.5, 1),
+            q_round_failure(lossy, 0.5, 1));
+}
+
+TEST(JoinProbability, BoundaryCases) {
+  const JoinModelParams p = paper_params();
+  EXPECT_DOUBLE_EQ(join_probability(p, 0.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(join_probability(p, 0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(join_probability(p, 0.5, 0.3), 0.0);  // < one round
+  EXPECT_GT(join_probability(p, 1.0, 60.0), 0.999);
+}
+
+TEST(JoinProbability, MatchesPaperQuotedValues) {
+  // "the probability of getting a lease during the first t = 4 seconds
+  //  falls from 75% to 20% when the percentage of time devoted to the AP
+  //  reduces from 30% to 10%" (Section 2.1.2, beta_max = 5 s).
+  const JoinModelParams p = paper_params(5.0);
+  EXPECT_NEAR(join_probability(p, 0.30, 4.0), 0.75, 0.05);
+  EXPECT_NEAR(join_probability(p, 0.10, 4.0), 0.20, 0.05);
+}
+
+TEST(JoinProbability, ShorterBetaMaxHelps) {
+  EXPECT_GT(join_probability(paper_params(5.0), 0.4, 4.0),
+            join_probability(paper_params(10.0), 0.4, 4.0));
+}
+
+TEST(JoinProbability, MoreTimeInRangeHelps) {
+  const JoinModelParams p = paper_params();
+  EXPECT_LT(join_probability(p, 0.4, 2.0), join_probability(p, 0.4, 8.0));
+}
+
+// Property sweep: p(f, t) must be a probability and (weakly) monotone in f
+// across the whole parameter grid.
+class JoinProbabilitySweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(JoinProbabilitySweep, InUnitIntervalAndMonotoneInFraction) {
+  const auto [beta_max, loss, t] = GetParam();
+  JoinModelParams p = paper_params(beta_max);
+  p.loss = loss;
+  double prev = 0.0;
+  for (double f = 0.0; f <= 1.0001; f += 0.05) {
+    const double prob = join_probability(p, f, t);
+    EXPECT_GE(prob, 0.0);
+    EXPECT_LE(prob, 1.0);
+    EXPECT_GE(prob, prev - 1e-9) << "f=" << f;
+    prev = prob;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, JoinProbabilitySweep,
+    ::testing::Combine(::testing::Values(2.0, 5.0, 10.0),
+                       ::testing::Values(0.0, 0.1, 0.3),
+                       ::testing::Values(2.0, 4.0, 10.0)));
+
+// Property sweep: the closed form must agree with Monte-Carlo within the
+// sampling error bars (the paper's Fig. 2 corroboration).
+class ModelVsMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ModelVsMonteCarlo, StatisticallyEquivalent) {
+  const auto [fraction, beta_max] = GetParam();
+  const JoinModelParams p = paper_params(beta_max);
+  const double model = join_probability(p, fraction, 4.0);
+  const auto mc =
+      monte_carlo_join_probability(p, fraction, 4.0, sim::Rng(77), 50, 200);
+  // Allow 4 standard errors plus a small model-independence slack.
+  const double tolerance = 4.0 * mc.stddev / std::sqrt(50.0) + 0.04;
+  EXPECT_NEAR(model, mc.mean, tolerance)
+      << "f=" << fraction << " beta_max=" << beta_max;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig2Grid, ModelVsMonteCarlo,
+    ::testing::Combine(::testing::Values(0.1, 0.2, 0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(5.0, 10.0)));
+
+TEST(ExpectedJoinTime, BoundedByHorizon) {
+  const JoinModelParams p = paper_params();
+  for (double f : {0.1, 0.5, 1.0}) {
+    const double g = expected_join_time(p, f, 20.0);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 20.0);
+  }
+}
+
+TEST(ExpectedJoinTime, HopelessChannelConsumesWholeHorizon) {
+  const JoinModelParams p = paper_params();
+  EXPECT_DOUBLE_EQ(expected_join_time(p, 0.0, 10.0), 10.0);
+}
+
+TEST(ExpectedJoinTime, MonotoneDecreasingInFraction) {
+  const JoinModelParams p = paper_params();
+  double prev = 1e18;
+  for (double f = 0.05; f <= 1.0; f += 0.05) {
+    const double g = expected_join_time(p, f, 20.0);
+    EXPECT_LE(g, prev + 1e-9);
+    prev = g;
+  }
+}
+
+TEST(MonteCarlo, TrialIsDeterministicForSeed) {
+  const JoinModelParams p = paper_params();
+  sim::Rng a(5), b(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(simulate_join_trial(p, 0.4, 4.0, a),
+              simulate_join_trial(p, 0.4, 4.0, b));
+  }
+}
+
+TEST(MonteCarlo, ErrorBarsShrinkWithMoreRuns) {
+  const JoinModelParams p = paper_params();
+  const auto few = monte_carlo_join_probability(p, 0.4, 4.0, sim::Rng(5),
+                                                20, 20);
+  const auto many = monte_carlo_join_probability(p, 0.4, 4.0, sim::Rng(5),
+                                                 20, 500);
+  EXPECT_LT(many.stddev, few.stddev);
+}
+
+}  // namespace
+}  // namespace spider::model

@@ -1,0 +1,173 @@
+#include "model/throughput_opt.h"
+
+#include <gtest/gtest.h>
+
+namespace spider::model {
+namespace {
+
+OptimizerParams paper_optimizer(double T = 20.0) {
+  OptimizerParams p;
+  p.join.beta_max = 10.0;
+  p.time_in_range = T;
+  return p;
+}
+
+TEST(ChannelCap, JoinedBandwidthIsUndiscounted) {
+  const OptimizerParams p = paper_optimizer();
+  const ChannelOffer joined{.joined_bps = 5.5e6, .available_bps = 0.0};
+  EXPECT_DOUBLE_EQ(channel_cap_fraction(p, joined, 0.3), 0.5);
+  EXPECT_DOUBLE_EQ(channel_cap_fraction(p, joined, 0.9), 0.5);
+}
+
+TEST(ChannelCap, AvailableBandwidthDiscountedByJoinTime) {
+  const OptimizerParams p = paper_optimizer();
+  const ChannelOffer avail{.joined_bps = 0.0, .available_bps = 5.5e6};
+  const double cap = channel_cap_fraction(p, avail, 0.5);
+  EXPECT_GT(cap, 0.0);
+  EXPECT_LT(cap, 0.5);  // strictly less than the undiscounted share
+}
+
+TEST(ChannelCap, MonotoneInFraction) {
+  const OptimizerParams p = paper_optimizer();
+  const ChannelOffer avail{.joined_bps = 0.0, .available_bps = 8e6};
+  double prev = 0.0;
+  for (double f = 0.05; f <= 1.0; f += 0.05) {
+    const double cap = channel_cap_fraction(p, avail, f);
+    EXPECT_GE(cap, prev - 1e-9);
+    prev = cap;
+  }
+}
+
+TEST(ChannelCap, ClampedToUnit) {
+  const OptimizerParams p = paper_optimizer();
+  const ChannelOffer huge{.joined_bps = 100e6, .available_bps = 0.0};
+  EXPECT_DOUBLE_EQ(channel_cap_fraction(p, huge, 0.5), 1.0);
+}
+
+TEST(TwoChannel, RespectsPeriodBudget) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const auto a = optimize_two_channels(p, {0.5 * Bw, 0}, {0, 0.5 * Bw});
+  const double tax = p.join.switch_delay / p.join.period;
+  double used = a.fractions[0] + a.fractions[1];
+  if (a.fractions[0] > 0) used += tax;
+  if (a.fractions[1] > 0) used += tax;
+  EXPECT_LE(used, 1.0 + 1e-6);
+}
+
+TEST(TwoChannel, FractionsRespectCaps) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const ChannelOffer ch1{0.25 * Bw, 0};
+  const ChannelOffer ch2{0, 0.75 * Bw};
+  const auto a = optimize_two_channels(p, ch1, ch2);
+  EXPECT_LE(a.fractions[0], channel_cap_fraction(p, ch1, a.fractions[0]) + 1e-6);
+  EXPECT_LE(a.fractions[1], channel_cap_fraction(p, ch2, a.fractions[1]) + 1e-6);
+}
+
+TEST(TwoChannel, JoinedChannelSaturatesItsOffer) {
+  const OptimizerParams p = paper_optimizer(80.0);  // slow: plenty of time
+  const double Bw = p.wireless_bps;
+  const auto a = optimize_two_channels(p, {0.25 * Bw, 0}, {0, 0.75 * Bw});
+  EXPECT_NEAR(a.fractions[0], 0.25, 0.01);
+  EXPECT_GT(a.fractions[1], 0.5);  // worth joining at crawl speed
+}
+
+TEST(TwoChannel, SecondChannelShrinksWithSpeed) {
+  const double Bw = paper_optimizer().wireless_bps;
+  double prev_f2 = 1.0;
+  for (double speed : {2.5, 5.0, 10.0, 20.0, 40.0}) {
+    OptimizerParams p = paper_optimizer(time_in_range_for_speed(speed));
+    const auto a = optimize_two_channels(p, {0.75 * Bw, 0}, {0, 0.25 * Bw});
+    EXPECT_LE(a.fractions[1], prev_f2 + 1e-9) << "speed=" << speed;
+    prev_f2 = a.fractions[1];
+  }
+}
+
+TEST(TwoChannel, ThrowsOnNonPositiveHorizon) {
+  OptimizerParams p = paper_optimizer(0.0);
+  EXPECT_THROW(optimize_two_channels(p, {}, {}), std::invalid_argument);
+}
+
+TEST(TimeInRange, DiameterOverSpeed) {
+  EXPECT_DOUBLE_EQ(time_in_range_for_speed(10.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(time_in_range_for_speed(20.0, 50.0), 5.0);
+  EXPECT_THROW(time_in_range_for_speed(0.0), std::invalid_argument);
+}
+
+TEST(DividingSpeed, ExistsAndIsFiniteForPaperScenarios) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const double v = dividing_speed(p, {0.75 * Bw, 0}, {0, 0.25 * Bw});
+  EXPECT_GT(v, 0.5);
+  EXPECT_LT(v, 40.0);
+}
+
+TEST(DividingSpeed, LowerWhenJoinedShareIsLarger) {
+  // The more bandwidth already secured on channel 1, the earlier (in speed)
+  // it stops being worth chasing channel 2.
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const double v75 = dividing_speed(p, {0.75 * Bw, 0}, {0, 0.25 * Bw});
+  const double v25 = dividing_speed(p, {0.25 * Bw, 0}, {0, 0.75 * Bw});
+  EXPECT_LT(v75, v25);
+}
+
+TEST(DividingSpeed, ShrinksWithEffectiveRange) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const double v100 =
+      dividing_speed(p, {0.5 * Bw, 0}, {0, 0.5 * Bw}, /*range_m=*/100.0);
+  const double v50 =
+      dividing_speed(p, {0.5 * Bw, 0}, {0, 0.5 * Bw}, /*range_m=*/50.0);
+  EXPECT_LT(v50, v100);
+}
+
+TEST(KChannel, SingleChannelUsesWholeBudget) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const auto a = optimize_channels(p, {{Bw, 0}});
+  ASSERT_EQ(a.fractions.size(), 1u);
+  EXPECT_NEAR(a.fractions[0], 1.0 - p.join.switch_delay / p.join.period, 0.01);
+}
+
+TEST(KChannel, TwoChannelPathMatchesDedicatedSolver) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const auto a = optimize_channels(p, {{0.25 * Bw, 0}, {0, 0.75 * Bw}});
+  const auto b = optimize_two_channels(p, {0.25 * Bw, 0}, {0, 0.75 * Bw});
+  EXPECT_NEAR(a.total_bps, b.total_bps, 1e-6);
+}
+
+TEST(KChannel, ThreeChannelsDoNotExceedBudget) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const auto a = optimize_channels(
+      p, {{0.3 * Bw, 0}, {0, 0.4 * Bw}, {0, 0.4 * Bw}});
+  ASSERT_EQ(a.fractions.size(), 3u);
+  double total = 0.0;
+  for (double f : a.fractions) {
+    EXPECT_GE(f, 0.0);
+    total += f;
+  }
+  EXPECT_LE(total, 1.0 + 1e-6);
+}
+
+TEST(KChannel, EmptyOffersYieldEmptyAllocation) {
+  const auto a = optimize_channels(paper_optimizer(), {});
+  EXPECT_TRUE(a.fractions.empty());
+  EXPECT_DOUBLE_EQ(a.total_bps, 0.0);
+}
+
+TEST(Allocation, ExtractedMatchesFractions) {
+  const OptimizerParams p = paper_optimizer();
+  const double Bw = p.wireless_bps;
+  const auto a = optimize_two_channels(p, {0.5 * Bw, 0}, {0, 0.5 * Bw});
+  ASSERT_EQ(a.extracted_bps.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.extracted_bps[0], a.fractions[0] * Bw);
+  EXPECT_DOUBLE_EQ(a.extracted_bps[1], a.fractions[1] * Bw);
+  EXPECT_DOUBLE_EQ(a.total_bps, a.extracted_bps[0] + a.extracted_bps[1]);
+}
+
+}  // namespace
+}  // namespace spider::model

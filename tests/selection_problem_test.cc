@@ -1,0 +1,128 @@
+#include "model/ap_selection_problem.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace spider::model {
+namespace {
+
+ApCandidate mk(double cost, double bw, double residual, double success = 1.0) {
+  return ApCandidate{cost, bw, residual, success};
+}
+
+TEST(ApCandidate, UtilityIsUsableTimeTimesBandwidth) {
+  EXPECT_DOUBLE_EQ(mk(2.0, 1e6, 10.0).utility(), 8e6);
+  EXPECT_DOUBLE_EQ(mk(2.0, 1e6, 10.0, 0.5).utility(), 4e6);
+}
+
+TEST(ApCandidate, NoUtilityIfJoinOutlastsEncounter) {
+  EXPECT_DOUBLE_EQ(mk(10.0, 1e6, 8.0).utility(), 0.0);
+}
+
+TEST(SelectionExact, EmptyProblem) {
+  const auto s = solve_exact(SelectionProblem{});
+  EXPECT_TRUE(s.chosen.empty());
+  EXPECT_DOUBLE_EQ(s.total_utility, 0.0);
+}
+
+TEST(SelectionExact, TakesEverythingWhenBudgetAllows) {
+  SelectionProblem p;
+  p.candidates = {mk(1, 1e6, 10), mk(1, 2e6, 10), mk(1, 3e6, 10)};
+  p.join_budget_sec = 10.0;
+  const auto s = solve_exact(p);
+  EXPECT_EQ(s.chosen.size(), 3u);
+}
+
+TEST(SelectionExact, RespectsBudget) {
+  SelectionProblem p;
+  p.candidates = {mk(3, 1e6, 10), mk(3, 1e6, 10), mk(3, 1e6, 10)};
+  p.join_budget_sec = 6.0;
+  const auto s = solve_exact(p);
+  EXPECT_EQ(s.chosen.size(), 2u);
+  EXPECT_LE(s.total_cost_sec, 6.0);
+}
+
+TEST(SelectionExact, RespectsSlotLimit) {
+  SelectionProblem p;
+  p.candidates = std::vector<ApCandidate>(10, mk(0.1, 1e6, 10));
+  p.join_budget_sec = 100.0;
+  p.max_selection = 4;
+  const auto s = solve_exact(p);
+  EXPECT_EQ(s.chosen.size(), 4u);
+}
+
+TEST(SelectionExact, SolvesAKnapsackTradeoffCorrectly) {
+  // One expensive high-utility AP vs. two cheap ones whose sum is better.
+  SelectionProblem p;
+  p.candidates = {mk(4.0, 10e6, 10.0),   // utility 60e6, cost 4
+                  mk(2.0, 6e6, 10.0),    // utility 48e6, cost 2
+                  mk(2.0, 5.9e6, 10.0)}; // utility 47.2e6, cost 2
+  p.join_budget_sec = 4.0;
+  const auto s = solve_exact(p);
+  // {1,2}: 95.2e6 beats {0}: 60e6.
+  EXPECT_EQ(s.chosen, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(SelectionGreedy, SpiderGreedyIgnoresBandwidth) {
+  // Spider ranks by join speed; density greedy would pick the fat one.
+  SelectionProblem p;
+  p.candidates = {mk(0.5, 1e5, 10.0),   // joins fast, thin
+                  mk(3.0, 10e6, 10.0)}; // slow, fat
+  p.join_budget_sec = 3.0;  // only room for one of them... (0.5 or 3.0)
+  p.max_selection = 1;
+  const auto spider = solve_spider_greedy(p);
+  const auto density = solve_density_greedy(p);
+  ASSERT_EQ(spider.chosen.size(), 1u);
+  ASSERT_EQ(density.chosen.size(), 1u);
+  EXPECT_EQ(spider.chosen[0], 0u);
+  EXPECT_EQ(density.chosen[0], 1u);
+}
+
+TEST(SelectionGreedy, SkipsZeroUtilityCandidates) {
+  SelectionProblem p;
+  p.candidates = {mk(12.0, 1e6, 10.0), mk(1.0, 1e6, 10.0)};
+  const auto s = solve_spider_greedy(p);
+  EXPECT_EQ(s.chosen, (std::vector<std::size_t>{1}));
+}
+
+TEST(SelectionGreedy, DudProbabilityLowersRank) {
+  SelectionProblem p;
+  p.candidates = {mk(1.0, 1e6, 10.0, 0.1), mk(1.0, 1e6, 10.0, 0.9)};
+  p.max_selection = 1;
+  const auto s = solve_spider_greedy(p);
+  EXPECT_EQ(s.chosen, (std::vector<std::size_t>{1}));
+}
+
+// Property sweep: on random instances, exact >= both greedies, and all
+// solutions respect budget and slots.
+class SelectionRandomInstances : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectionRandomInstances, ExactDominatesHeuristics) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  SelectionProblem p;
+  const int n = static_cast<int>(rng.uniform_int(4, 14));
+  for (int i = 0; i < n; ++i) {
+    p.candidates.push_back(mk(rng.uniform(0.3, 5.0), rng.uniform(5e5, 8e6),
+                              rng.uniform(3.0, 25.0), rng.uniform(0.3, 1.0)));
+  }
+  p.join_budget_sec = rng.uniform(2.0, 10.0);
+  p.max_selection = static_cast<int>(rng.uniform_int(1, 7));
+
+  const auto exact = solve_exact(p);
+  const auto spider = solve_spider_greedy(p);
+  const auto density = solve_density_greedy(p);
+
+  EXPECT_GE(exact.total_utility, spider.total_utility - 1e-6);
+  EXPECT_GE(exact.total_utility, density.total_utility - 1e-6);
+  for (const auto* s : {&exact, &spider, &density}) {
+    EXPECT_LE(s->total_cost_sec, p.join_budget_sec + 1e-9);
+    EXPECT_LE(static_cast<int>(s->chosen.size()), p.max_selection);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionRandomInstances,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace spider::model

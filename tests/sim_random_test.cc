@@ -1,0 +1,125 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spider::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng root(42);
+  Rng a = root.fork("medium");
+  Rng b = Rng(42).fork("medium");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForksWithDifferentTagsAreIndependent) {
+  Rng root(42);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("beta");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkByIndexDiffers) {
+  Rng root(42);
+  Rng a = root.fork(std::uint64_t{0});
+  Rng b = root.fork(std::uint64_t{1});
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(7), b(7);
+  (void)a.fork("child");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliRateApproximatesP) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / 20000.0, 250.0, 10.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(5);
+  std::vector<double> v;
+  for (int i = 0; i < 10001; ++i) v.push_back(rng.lognormal(2.0, 1.0));
+  std::nth_element(v.begin(), v.begin() + 5000, v.end());
+  EXPECT_NEAR(v[5000], std::exp(2.0), 0.5);
+}
+
+}  // namespace
+}  // namespace spider::sim

@@ -1,0 +1,158 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace spider::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_TRUE(sim.now().is_zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::millis(30), [&] { order.push_back(3); });
+  sim.schedule_at(Time::millis(10), [&] { order.push_back(1); });
+  sim.schedule_at(Time::millis(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TieBrokenByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time::millis(5), [&] { order.push_back(1); });
+  sim.schedule_at(Time::millis(5), [&] { order.push_back(2); });
+  sim.schedule_at(Time::millis(5), [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  Time seen;
+  sim.schedule_at(Time::millis(42), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, Time::millis(42));
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(Time::seconds(5));
+  EXPECT_EQ(sim.now(), Time::seconds(5));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(Time::seconds(10), [&] { fired = true; });
+  sim.run_until(Time::seconds(5));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(Time::seconds(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunForTilesExactly) {
+  Simulator sim;
+  sim.run_for(Time::millis(100));
+  sim.run_for(Time::millis(100));
+  EXPECT_EQ(sim.now(), Time::millis(200));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  sim.run_until(Time::millis(50));
+  Time seen;
+  sim.schedule_after(Time::millis(25), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, Time::millis(75));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.run_until(Time::millis(100));
+  EXPECT_THROW(sim.schedule_at(Time::millis(50), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(Time::millis(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(Time::millis(10), chain);
+  };
+  sim.schedule_after(Time::millis(10), chain);
+  sim.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), Time::millis(50));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  TimerHandle h = sim.schedule_at(Time::millis(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  TimerHandle h = sim.schedule_at(Time::millis(10), [] {});
+  sim.run_all();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, DefaultHandleIsInert) {
+  TimerHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(Time::millis(1), [&] { ++count; });
+  sim.schedule_at(Time::millis(2), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(Time::millis(3), [&] { ++count; });
+  sim.run_until(Time::seconds(1));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), Time::millis(2));
+  // A later run resumes.
+  sim.run_all();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(Time::millis(i), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, CancelledEventsAreNotCounted) {
+  Simulator sim;
+  auto h = sim.schedule_at(Time::millis(1), [] {});
+  sim.schedule_at(Time::millis(2), [] {});
+  h.cancel();
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+}  // namespace
+}  // namespace spider::sim

@@ -1,0 +1,84 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace spider::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.us(), 0);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_FALSE(t.is_negative());
+}
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(Time::micros(1500).us(), 1500);
+  EXPECT_EQ(Time::millis(3).us(), 3000);
+  EXPECT_EQ(Time::seconds(2.5).us(), 2'500'000);
+}
+
+TEST(Time, UnitAccessors) {
+  const Time t = Time::micros(1'500'000);
+  EXPECT_DOUBLE_EQ(t.ms(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.5);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::millis(1), Time::millis(2));
+  EXPECT_LE(Time::millis(2), Time::millis(2));
+  EXPECT_GT(Time::seconds(1), Time::millis(999));
+  EXPECT_EQ(Time::millis(1000), Time::seconds(1));
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::millis(300);
+  const Time b = Time::millis(200);
+  EXPECT_EQ((a + b).us(), 500'000);
+  EXPECT_EQ((a - b).us(), 100'000);
+  EXPECT_EQ((b - a).us(), -100'000);
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+TEST(Time, ScalarMultiplication) {
+  EXPECT_EQ((Time::millis(100) * 3).us(), 300'000);
+  EXPECT_EQ((3 * Time::millis(100)).us(), 300'000);
+  EXPECT_EQ((Time::millis(100) * 0.5).us(), 50'000);
+  EXPECT_EQ((Time::millis(100) / 4).us(), 25'000);
+}
+
+TEST(Time, Ratio) {
+  EXPECT_DOUBLE_EQ(Time::millis(100) / Time::millis(400), 0.25);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::millis(100);
+  t += Time::millis(50);
+  EXPECT_EQ(t.us(), 150'000);
+  t -= Time::millis(150);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(Time::seconds(3.0).to_string(), "3s");
+  EXPECT_EQ(Time::millis(250).to_string(), "250ms");
+  EXPECT_EQ(Time::micros(42).to_string(), "42us");
+}
+
+TEST(Time, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(Time::max(), Time::seconds(1e12));
+}
+
+TEST(TransmissionTime, MatchesRateMath) {
+  // 1500 bytes at 12 Mbps = 1 ms.
+  EXPECT_EQ(transmission_time(1500, 12e6).us(), 1000);
+  // 11 Mbps MSS frame ~ 1.06 ms.
+  EXPECT_NEAR(transmission_time(1460, 11e6).us(), 1062, 1);
+}
+
+TEST(TransmissionTime, ZeroBytesIsZero) {
+  EXPECT_TRUE(transmission_time(0, 11e6).is_zero());
+}
+
+}  // namespace
+}  // namespace spider::sim

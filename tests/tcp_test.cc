@@ -1,0 +1,295 @@
+#include "tcp/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+namespace spider::tcp {
+namespace {
+
+// A bidirectional pipe with configurable one-way latency and a drop hook.
+class TcpHarness {
+ public:
+  explicit TcpHarness(sim::Simulator& sim,
+                      sim::Time latency = sim::Time::millis(50),
+                      TcpConfig config = {})
+      : sim_(sim), latency_(latency), config_(config) {
+    receiver_ = std::make_unique<TcpReceiver>(
+        sim_, 1, [this](const net::TcpSegment& s) { to_sender(s); }, config_);
+  }
+
+  // total_bytes < 0: endless stream.
+  TcpSender& make_sender(std::int64_t total_bytes) {
+    sender_ = std::make_unique<TcpSender>(
+        sim_, 1, [this](const net::TcpSegment& s) { to_receiver(s); },
+        total_bytes, config_);
+    return *sender_;
+  }
+
+  TcpSender& sender() { return *sender_; }
+  TcpReceiver& receiver() { return *receiver_; }
+
+  // Returns true if the segment should be dropped (forward path).
+  std::function<bool(const net::TcpSegment&)> drop_data;
+  // True while the "radio is parked": both directions blackholed.
+  bool blackhole = false;
+
+ private:
+  void to_receiver(const net::TcpSegment& s) {
+    if (blackhole) return;
+    if (drop_data && drop_data(s)) return;
+    sim_.schedule_after(latency_, [this, s] {
+      if (!blackhole) receiver_->on_segment(s);
+    });
+  }
+  void to_sender(const net::TcpSegment& s) {
+    if (blackhole) return;
+    sim_.schedule_after(latency_, [this, s] { sender_->on_ack(s); });
+  }
+
+  sim::Simulator& sim_;
+  sim::Time latency_;
+  TcpConfig config_;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+TEST(Tcp, FiniteTransferCompletes) {
+  sim::Simulator sim;
+  TcpHarness h(sim);
+  auto& sender = h.make_sender(100'000);
+  sender.start();
+  sim.run_until(sim::Time::seconds(30));
+  EXPECT_TRUE(sender.finished());
+  EXPECT_EQ(h.receiver().bytes_in_order(), 100'000);
+  EXPECT_EQ(sender.timeouts(), 0u);
+  EXPECT_EQ(sender.retransmissions(), 0u);
+}
+
+TEST(Tcp, SubMssTransfer) {
+  sim::Simulator sim;
+  TcpHarness h(sim);
+  auto& sender = h.make_sender(100);
+  sender.start();
+  sim.run_until(sim::Time::seconds(5));
+  EXPECT_TRUE(sender.finished());
+  EXPECT_EQ(h.receiver().bytes_in_order(), 100);
+}
+
+TEST(Tcp, SlowStartDoublesWindow) {
+  sim::Simulator sim;
+  TcpHarness h(sim);
+  auto& sender = h.make_sender(-1);
+  sender.start();
+  const double cwnd0 = sender.cwnd_segments();
+  sim.run_until(sim::Time::millis(150));  // one RTT (100 ms) + margin
+  // In slow start each acked segment grows cwnd by 1 -> roughly doubles.
+  EXPECT_GE(sender.cwnd_segments(), cwnd0 * 1.8);
+}
+
+TEST(Tcp, RttEstimateTracksPathLatency) {
+  sim::Simulator sim;
+  TcpHarness h(sim, sim::Time::millis(75));
+  auto& sender = h.make_sender(-1);
+  sender.start();
+  sim.run_until(sim::Time::seconds(2));
+  EXPECT_NEAR(sender.smoothed_rtt().ms(), 150.0, 20.0);
+}
+
+TEST(Tcp, SingleLossTriggersFastRetransmitNotTimeout) {
+  sim::Simulator sim;
+  TcpHarness h(sim);
+  auto& sender = h.make_sender(-1);
+  bool dropped_one = false;
+  h.drop_data = [&](const net::TcpSegment& s) {
+    // Drop the segment at seq 30*MSS exactly once.
+    if (!dropped_one && s.seq == 30 * net::kTcpMssBytes) {
+      dropped_one = true;
+      return true;
+    }
+    return false;
+  };
+  sender.start();
+  sim.run_until(sim::Time::seconds(5));
+  EXPECT_TRUE(dropped_one);
+  EXPECT_GE(sender.retransmissions(), 1u);
+  EXPECT_EQ(sender.timeouts(), 0u);
+  // Stream kept flowing past the hole.
+  EXPECT_GT(h.receiver().bytes_in_order(), 100 * net::kTcpMssBytes);
+  EXPECT_GT(h.receiver().out_of_order_segments(), 0u);
+}
+
+TEST(Tcp, BlackholeCausesRtoAndRecovery) {
+  sim::Simulator sim;
+  TcpHarness h(sim);
+  auto& sender = h.make_sender(-1);
+  sender.start();
+  sim.run_until(sim::Time::seconds(2));
+  const auto before = h.receiver().bytes_in_order();
+  h.blackhole = true;
+  sim.run_until(sim::Time::seconds(4));
+  EXPECT_GE(sender.timeouts(), 1u);
+  h.blackhole = false;
+  sim.run_until(sim::Time::seconds(8));
+  EXPECT_GT(h.receiver().bytes_in_order(), before);
+}
+
+TEST(Tcp, RtoBacksOffExponentially) {
+  sim::Simulator sim;
+  TcpHarness h(sim);
+  auto& sender = h.make_sender(-1);
+  sender.start();
+  sim.run_until(sim::Time::seconds(1));
+  h.blackhole = true;
+  sim.run_until(sim::Time::seconds(10));
+  EXPECT_GE(sender.timeouts(), 3u);
+  // After several timeouts the RTO must have grown well beyond the minimum.
+  EXPECT_GT(sender.current_rto(), sim::Time::millis(800));
+  EXPECT_DOUBLE_EQ(sender.cwnd_segments(), 1.0);
+}
+
+TEST(Tcp, ReceiverReassemblesOutOfOrder) {
+  sim::Simulator sim;
+  int acks = 0;
+  std::int64_t last_ack = -1;
+  TcpReceiver rx(sim, 9, [&](const net::TcpSegment& a) {
+    ++acks;
+    last_ack = a.ack;
+  });
+  auto seg = [](std::int64_t seq, std::int64_t len) {
+    net::TcpSegment s;
+    s.flow_id = 9;
+    s.seq = seq;
+    s.payload_bytes = len;
+    return s;
+  };
+  rx.on_segment(seg(1000, 500));  // hole at 0
+  EXPECT_EQ(rx.bytes_in_order(), 0);
+  EXPECT_EQ(last_ack, 0);
+  rx.on_segment(seg(1500, 500));
+  EXPECT_EQ(rx.bytes_in_order(), 0);
+  rx.on_segment(seg(0, 1000));  // plugs the hole; everything merges
+  EXPECT_EQ(rx.bytes_in_order(), 2000);
+  EXPECT_EQ(last_ack, 2000);
+  EXPECT_EQ(acks, 3);
+}
+
+TEST(Tcp, ReceiverIgnoresDuplicates) {
+  sim::Simulator sim;
+  std::int64_t delivered = 0;
+  TcpReceiver rx(sim, 9, [](const net::TcpSegment&) {});
+  rx.set_delivery_handler([&](std::int64_t b) { delivered += b; });
+  net::TcpSegment s;
+  s.flow_id = 9;
+  s.seq = 0;
+  s.payload_bytes = 1000;
+  rx.on_segment(s);
+  rx.on_segment(s);  // duplicate
+  EXPECT_EQ(rx.bytes_in_order(), 1000);
+  EXPECT_EQ(delivered, 1000);
+}
+
+TEST(Tcp, AckCarriesTimestampEcho) {
+  sim::Simulator sim;
+  net::TcpSegment captured;
+  TcpReceiver rx(sim, 9, [&](const net::TcpSegment& a) { captured = a; });
+  net::TcpSegment s;
+  s.flow_id = 9;
+  s.seq = 0;
+  s.payload_bytes = 100;
+  s.ts = sim::Time::millis(123);
+  rx.on_segment(s);
+  EXPECT_TRUE(captured.has_ts_echo);
+  EXPECT_EQ(captured.ts_echo, sim::Time::millis(123));
+  EXPECT_FALSE(captured.from_sender);
+}
+
+TEST(Tcp, WindowLimitsInFlightData) {
+  sim::Simulator sim;
+  TcpConfig cfg;
+  cfg.receive_window_segments = 4;
+  int in_flight = 0;
+  TcpSender sender(sim, 1, [&](const net::TcpSegment&) { ++in_flight; }, -1,
+                   cfg);
+  sender.start();
+  // No acks ever: sender must stop at min(cwnd, rwnd) = 3 (initial cwnd).
+  sim.run_until(sim::Time::millis(10));
+  EXPECT_EQ(in_flight, 3);
+}
+
+TEST(ContentServer, SynOpensFlowAndStreams) {
+  sim::Simulator sim;
+  ContentServer server(sim);
+  int segments = 0;
+  net::TcpSegment syn;
+  syn.flow_id = 42;
+  syn.from_sender = false;
+  syn.syn = true;
+  server.handle_segment(syn, [&](const net::TcpSegment& s) {
+    EXPECT_TRUE(s.from_sender);
+    ++segments;
+  });
+  EXPECT_EQ(server.active_flows(), 1u);
+  EXPECT_GT(segments, 0);  // initial window sent immediately
+  ASSERT_NE(server.find(42), nullptr);
+}
+
+TEST(ContentServer, NonSynForUnknownFlowIgnored) {
+  sim::Simulator sim;
+  ContentServer server(sim);
+  net::TcpSegment ack;
+  ack.flow_id = 7;
+  ack.from_sender = false;
+  ack.ack = 100;
+  server.handle_segment(ack, [](const net::TcpSegment&) { FAIL(); });
+  EXPECT_EQ(server.active_flows(), 0u);
+}
+
+TEST(ContentServer, DuplicateSynDoesNotResetFlow) {
+  sim::Simulator sim;
+  ContentServer server(sim);
+  net::TcpSegment syn;
+  syn.flow_id = 42;
+  syn.from_sender = false;
+  syn.syn = true;
+  server.handle_segment(syn, [](const net::TcpSegment&) {});
+  const TcpSender* first = server.find(42);
+  server.handle_segment(syn, [](const net::TcpSegment&) {});
+  EXPECT_EQ(server.find(42), first);
+  EXPECT_EQ(server.active_flows(), 1u);
+}
+
+TEST(ContentServer, RemoveFlowStopsRetransmissions) {
+  sim::Simulator sim;
+  ContentServer server(sim);
+  int segments = 0;
+  net::TcpSegment syn;
+  syn.flow_id = 42;
+  syn.from_sender = false;
+  syn.syn = true;
+  server.handle_segment(syn, [&](const net::TcpSegment&) { ++segments; });
+  server.remove_flow(42);
+  const int after_removal = segments;
+  sim.run_until(sim::Time::seconds(10));  // would RTO-retransmit if alive
+  EXPECT_EQ(segments, after_removal);
+  EXPECT_EQ(server.active_flows(), 0u);
+}
+
+TEST(Tcp, ThroughputApproachesPathCapacityOnCleanLink) {
+  // 50 ms one-way latency, no loss: an endless transfer should keep the
+  // pipe near-fully utilized once slow start has opened the window.
+  sim::Simulator sim;
+  TcpHarness h(sim, sim::Time::millis(10));
+  auto& sender = h.make_sender(-1);
+  sender.start();
+  sim.run_until(sim::Time::seconds(10));
+  // With RTT 20 ms and rwnd 512 segments, the window allows ~37 MB/s; the
+  // harness has no rate limit so delivery is bounded by window turnover.
+  EXPECT_GT(h.receiver().bytes_in_order(), 10'000'000);
+  EXPECT_EQ(sender.timeouts(), 0u);
+}
+
+}  // namespace
+}  // namespace spider::tcp

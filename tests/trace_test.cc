@@ -1,0 +1,178 @@
+#include "trace/connectivity.h"
+#include "trace/mesh_users.h"
+#include "trace/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace spider::trace {
+namespace {
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(EmpiricalCdf, QuantilesOnKnownData) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.median(), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_NEAR(cdf.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileOnEmptyThrows) {
+  EmpiricalCdf cdf;
+  EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+}
+
+TEST(EmpiricalCdf, FractionAtOrBelow) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, InterleavedAddAndQuery) {
+  EmpiricalCdf cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.0);
+  cdf.add(1.0);
+  cdf.add(9.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.0), 1.0 / 3.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  EmpiricalCdf cdf;
+  sim::Rng rng(3);
+  for (int i = 0; i < 500; ++i) cdf.add(rng.uniform(0.0, 10.0));
+  const auto curve = cdf.curve(21, 0.0, 10.0);
+  ASSERT_EQ(curve.size(), 21u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].f, curve[i - 1].f);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().x, 10.0);
+  EXPECT_DOUBLE_EQ(curve.back().f, 1.0);
+}
+
+TEST(EmpiricalCdf, MeanMatches) {
+  EmpiricalCdf cdf;
+  for (double x : {1.0, 2.0, 3.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+}
+
+TEST(Connectivity, ThroughputAveragesOverWholeDuration) {
+  ConnectivityTracker t;
+  t.record(sim::Time::seconds(1.5), 1000);
+  t.record(sim::Time::seconds(2.5), 3000);
+  const auto r = t.report(sim::Time::seconds(10));
+  EXPECT_DOUBLE_EQ(r.avg_throughput_bytes_per_sec, 400.0);
+  EXPECT_EQ(r.total_bytes, 4000);
+}
+
+TEST(Connectivity, FractionCountsNonEmptyBuckets) {
+  ConnectivityTracker t;
+  t.record(sim::Time::seconds(0.2), 10);
+  t.record(sim::Time::seconds(0.7), 10);  // same bucket
+  t.record(sim::Time::seconds(5.1), 10);
+  const auto r = t.report(sim::Time::seconds(10));
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction, 0.2);
+}
+
+TEST(Connectivity, RunsSplitIntoConnectionsAndDisruptions) {
+  ConnectivityTracker t;
+  // Buckets 0,1,2 active; 3,4 silent; 5 active; 6..9 silent.
+  for (int s : {0, 1, 2, 5}) t.record(sim::Time::seconds(s + 0.5), 10);
+  const auto r = t.report(sim::Time::seconds(10));
+  ASSERT_EQ(r.connection_durations_sec.count(), 2u);
+  ASSERT_EQ(r.disruption_durations_sec.count(), 2u);
+  EXPECT_DOUBLE_EQ(r.connection_durations_sec.quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(r.connection_durations_sec.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.disruption_durations_sec.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.disruption_durations_sec.quantile(1.0), 4.0);
+}
+
+TEST(Connectivity, InstantaneousSamplesOnlyWhenConnected) {
+  ConnectivityTracker t;
+  t.record(sim::Time::seconds(0.5), 5000);
+  t.record(sim::Time::seconds(3.5), 1000);
+  const auto r = t.report(sim::Time::seconds(5));
+  ASSERT_EQ(r.instantaneous_bytes_per_sec.count(), 2u);
+  EXPECT_DOUBLE_EQ(r.instantaneous_bytes_per_sec.quantile(1.0), 5000.0);
+}
+
+TEST(Connectivity, EmptyTrackerReportsZeroes) {
+  ConnectivityTracker t;
+  const auto r = t.report(sim::Time::seconds(5));
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_throughput_bytes_per_sec, 0.0);
+  EXPECT_EQ(r.connection_durations_sec.count(), 0u);
+  EXPECT_EQ(r.disruption_durations_sec.count(), 1u);  // one long silence
+}
+
+TEST(Connectivity, ZeroByteRecordsIgnored) {
+  ConnectivityTracker t;
+  t.record(sim::Time::seconds(0.5), 0);
+  const auto r = t.report(sim::Time::seconds(2));
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction, 0.0);
+}
+
+TEST(Connectivity, CustomBucketSize) {
+  ConnectivityTracker t(sim::Time::millis(500));
+  t.record(sim::Time::millis(250), 10);
+  t.record(sim::Time::millis(750), 10);
+  const auto r = t.report(sim::Time::seconds(1));
+  EXPECT_DOUBLE_EQ(r.connectivity_fraction, 1.0);
+  ASSERT_EQ(r.instantaneous_bytes_per_sec.count(), 2u);
+  // 10 bytes per half-second bucket = 20 B/s.
+  EXPECT_DOUBLE_EQ(r.instantaneous_bytes_per_sec.quantile(0.5), 20.0);
+}
+
+TEST(MeshUsers, GeneratesRequestedPopulation) {
+  const auto demand = generate_mesh_demand(sim::Rng(5),
+                                           {.users = 10, .flows_per_user = 50});
+  EXPECT_EQ(demand.connection_durations_sec.count(), 500u);
+  EXPECT_EQ(demand.inter_connection_sec.count(), 500u);
+}
+
+TEST(MeshUsers, ShapeMatchesPaperReadings) {
+  // Fig. 13/14 calibration targets: most user connections complete within
+  // ~30 s; most inter-connection gaps are below ~60 s, with a heavy tail.
+  const auto demand = generate_mesh_demand(sim::Rng(5));
+  EXPECT_NEAR(demand.connection_durations_sec.median(), 7.4, 2.0);
+  EXPECT_GT(demand.connection_durations_sec.fraction_at_or_below(30.0), 0.75);
+  EXPECT_GT(demand.inter_connection_sec.fraction_at_or_below(60.0), 0.7);
+  // Heavy tail exists.
+  EXPECT_GT(demand.inter_connection_sec.quantile(0.99), 200.0);
+}
+
+TEST(MeshUsers, DeterministicForSeed) {
+  const auto a = generate_mesh_demand(sim::Rng(9), {.users = 3});
+  const auto b = generate_mesh_demand(sim::Rng(9), {.users = 3});
+  EXPECT_EQ(a.connection_durations_sec.median(),
+            b.connection_durations_sec.median());
+}
+
+}  // namespace
+}  // namespace spider::trace
