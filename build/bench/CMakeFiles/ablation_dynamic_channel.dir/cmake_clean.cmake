@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_channel.dir/ablation_dynamic_channel.cc.o"
+  "CMakeFiles/ablation_dynamic_channel.dir/ablation_dynamic_channel.cc.o.d"
+  "ablation_dynamic_channel"
+  "ablation_dynamic_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

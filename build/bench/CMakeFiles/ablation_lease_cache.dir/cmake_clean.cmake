@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lease_cache.dir/ablation_lease_cache.cc.o"
+  "CMakeFiles/ablation_lease_cache.dir/ablation_lease_cache.cc.o.d"
+  "ablation_lease_cache"
+  "ablation_lease_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lease_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rate_adapt.dir/ablation_rate_adapt.cc.o"
+  "CMakeFiles/ablation_rate_adapt.dir/ablation_rate_adapt.cc.o.d"
+  "ablation_rate_adapt"
+  "ablation_rate_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rate_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selection_problem.dir/ablation_selection_problem.cc.o"
+  "CMakeFiles/ablation_selection_problem.dir/ablation_selection_problem.cc.o.d"
+  "ablation_selection_problem"
+  "ablation_selection_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selection_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

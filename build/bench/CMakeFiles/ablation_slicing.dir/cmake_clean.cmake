@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slicing.dir/ablation_slicing.cc.o"
+  "CMakeFiles/ablation_slicing.dir/ablation_slicing.cc.o.d"
+  "ablation_slicing"
+  "ablation_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_upload_striping.dir/ablation_upload_striping.cc.o"
+  "CMakeFiles/ablation_upload_striping.dir/ablation_upload_striping.cc.o.d"
+  "ablation_upload_striping"
+  "ablation_upload_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_upload_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cdfs.dir/fig10_cdfs.cc.o"
+  "CMakeFiles/fig10_cdfs.dir/fig10_cdfs.cc.o.d"
+  "fig10_cdfs"
+  "fig10_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

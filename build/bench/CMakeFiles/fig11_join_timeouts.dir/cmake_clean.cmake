@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_join_timeouts.dir/fig11_join_timeouts.cc.o"
+  "CMakeFiles/fig11_join_timeouts.dir/fig11_join_timeouts.cc.o.d"
+  "fig11_join_timeouts"
+  "fig11_join_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_join_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_join_policies.dir/fig12_join_policies.cc.o"
+  "CMakeFiles/fig12_join_policies.dir/fig12_join_policies.cc.o.d"
+  "fig12_join_policies"
+  "fig12_join_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_join_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_usability_conn.dir/fig13_usability_conn.cc.o"
+  "CMakeFiles/fig13_usability_conn.dir/fig13_usability_conn.cc.o.d"
+  "fig13_usability_conn"
+  "fig13_usability_conn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_usability_conn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

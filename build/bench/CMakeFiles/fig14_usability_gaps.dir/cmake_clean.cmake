@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_usability_gaps.dir/fig14_usability_gaps.cc.o"
+  "CMakeFiles/fig14_usability_gaps.dir/fig14_usability_gaps.cc.o.d"
+  "fig14_usability_gaps"
+  "fig14_usability_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_usability_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_join_model.dir/fig2_join_model.cc.o"
+  "CMakeFiles/fig2_join_model.dir/fig2_join_model.cc.o.d"
+  "fig2_join_model"
+  "fig2_join_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_join_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dividing_speed.dir/fig4_dividing_speed.cc.o"
+  "CMakeFiles/fig4_dividing_speed.dir/fig4_dividing_speed.cc.o.d"
+  "fig4_dividing_speed"
+  "fig4_dividing_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dividing_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_assoc_cdf.dir/fig5_assoc_cdf.cc.o"
+  "CMakeFiles/fig5_assoc_cdf.dir/fig5_assoc_cdf.cc.o.d"
+  "fig5_assoc_cdf"
+  "fig5_assoc_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_assoc_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

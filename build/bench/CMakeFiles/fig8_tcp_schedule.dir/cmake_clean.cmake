@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tcp_schedule.dir/fig8_tcp_schedule.cc.o"
+  "CMakeFiles/fig8_tcp_schedule.dir/fig8_tcp_schedule.cc.o.d"
+  "fig8_tcp_schedule"
+  "fig8_tcp_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tcp_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_microbench.dir/fig9_microbench.cc.o"
+  "CMakeFiles/fig9_microbench.dir/fig9_microbench.cc.o.d"
+  "fig9_microbench"
+  "fig9_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

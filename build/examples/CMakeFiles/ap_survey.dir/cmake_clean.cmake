@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_survey.dir/ap_survey.cpp.o"
+  "CMakeFiles/ap_survey.dir/ap_survey.cpp.o.d"
+  "ap_survey"
+  "ap_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commute_comparison.dir/commute_comparison.cpp.o"
+  "CMakeFiles/commute_comparison.dir/commute_comparison.cpp.o.d"
+  "commute_comparison"
+  "commute_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commute_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

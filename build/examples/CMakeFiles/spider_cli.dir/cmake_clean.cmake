@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_cli.dir/spider_cli.cpp.o"
+  "CMakeFiles/spider_cli.dir/spider_cli.cpp.o.d"
+  "spider_cli"
+  "spider_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

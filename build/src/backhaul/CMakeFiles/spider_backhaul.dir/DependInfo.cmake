@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backhaul/ap_host.cc" "src/backhaul/CMakeFiles/spider_backhaul.dir/ap_host.cc.o" "gcc" "src/backhaul/CMakeFiles/spider_backhaul.dir/ap_host.cc.o.d"
+  "/root/repo/src/backhaul/wired_link.cc" "src/backhaul/CMakeFiles/spider_backhaul.dir/wired_link.cc.o" "gcc" "src/backhaul/CMakeFiles/spider_backhaul.dir/wired_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/spider_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcpd/CMakeFiles/spider_dhcpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

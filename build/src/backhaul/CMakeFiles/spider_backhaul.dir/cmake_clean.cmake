@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_backhaul.dir/ap_host.cc.o"
+  "CMakeFiles/spider_backhaul.dir/ap_host.cc.o.d"
+  "CMakeFiles/spider_backhaul.dir/wired_link.cc.o"
+  "CMakeFiles/spider_backhaul.dir/wired_link.cc.o.d"
+  "libspider_backhaul.a"
+  "libspider_backhaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_backhaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap_history.cc" "src/core/CMakeFiles/spider_core.dir/ap_history.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/ap_history.cc.o.d"
+  "/root/repo/src/core/client_device.cc" "src/core/CMakeFiles/spider_core.dir/client_device.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/client_device.cc.o.d"
+  "/root/repo/src/core/configs.cc" "src/core/CMakeFiles/spider_core.dir/configs.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/configs.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/spider_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/fleet.cc" "src/core/CMakeFiles/spider_core.dir/fleet.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/fleet.cc.o.d"
+  "/root/repo/src/core/flow_manager.cc" "src/core/CMakeFiles/spider_core.dir/flow_manager.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/flow_manager.cc.o.d"
+  "/root/repo/src/core/spider_driver.cc" "src/core/CMakeFiles/spider_core.dir/spider_driver.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/spider_driver.cc.o.d"
+  "/root/repo/src/core/stock_driver.cc" "src/core/CMakeFiles/spider_core.dir/stock_driver.cc.o" "gcc" "src/core/CMakeFiles/spider_core.dir/stock_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backhaul/CMakeFiles/spider_backhaul.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/spider_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcpd/CMakeFiles/spider_dhcpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/spider_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

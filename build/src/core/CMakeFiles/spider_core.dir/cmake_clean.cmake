@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_core.dir/ap_history.cc.o"
+  "CMakeFiles/spider_core.dir/ap_history.cc.o.d"
+  "CMakeFiles/spider_core.dir/client_device.cc.o"
+  "CMakeFiles/spider_core.dir/client_device.cc.o.d"
+  "CMakeFiles/spider_core.dir/configs.cc.o"
+  "CMakeFiles/spider_core.dir/configs.cc.o.d"
+  "CMakeFiles/spider_core.dir/experiment.cc.o"
+  "CMakeFiles/spider_core.dir/experiment.cc.o.d"
+  "CMakeFiles/spider_core.dir/fleet.cc.o"
+  "CMakeFiles/spider_core.dir/fleet.cc.o.d"
+  "CMakeFiles/spider_core.dir/flow_manager.cc.o"
+  "CMakeFiles/spider_core.dir/flow_manager.cc.o.d"
+  "CMakeFiles/spider_core.dir/spider_driver.cc.o"
+  "CMakeFiles/spider_core.dir/spider_driver.cc.o.d"
+  "CMakeFiles/spider_core.dir/stock_driver.cc.o"
+  "CMakeFiles/spider_core.dir/stock_driver.cc.o.d"
+  "libspider_core.a"
+  "libspider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

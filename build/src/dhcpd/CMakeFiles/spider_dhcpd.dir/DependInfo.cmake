@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dhcpd/dhcp_client.cc" "src/dhcpd/CMakeFiles/spider_dhcpd.dir/dhcp_client.cc.o" "gcc" "src/dhcpd/CMakeFiles/spider_dhcpd.dir/dhcp_client.cc.o.d"
+  "/root/repo/src/dhcpd/dhcp_server.cc" "src/dhcpd/CMakeFiles/spider_dhcpd.dir/dhcp_server.cc.o" "gcc" "src/dhcpd/CMakeFiles/spider_dhcpd.dir/dhcp_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mac/CMakeFiles/spider_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/spider_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

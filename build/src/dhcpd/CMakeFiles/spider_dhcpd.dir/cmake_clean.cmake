@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_dhcpd.dir/dhcp_client.cc.o"
+  "CMakeFiles/spider_dhcpd.dir/dhcp_client.cc.o.d"
+  "CMakeFiles/spider_dhcpd.dir/dhcp_server.cc.o"
+  "CMakeFiles/spider_dhcpd.dir/dhcp_server.cc.o.d"
+  "libspider_dhcpd.a"
+  "libspider_dhcpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_dhcpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_mac.dir/access_point.cc.o"
+  "CMakeFiles/spider_mac.dir/access_point.cc.o.d"
+  "CMakeFiles/spider_mac.dir/client_session.cc.o"
+  "CMakeFiles/spider_mac.dir/client_session.cc.o.d"
+  "libspider_mac.a"
+  "libspider_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_mobility.dir/deployment.cc.o"
+  "CMakeFiles/spider_mobility.dir/deployment.cc.o.d"
+  "CMakeFiles/spider_mobility.dir/route.cc.o"
+  "CMakeFiles/spider_mobility.dir/route.cc.o.d"
+  "libspider_mobility.a"
+  "libspider_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

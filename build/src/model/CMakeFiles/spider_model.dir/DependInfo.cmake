@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/ap_selection_problem.cc" "src/model/CMakeFiles/spider_model.dir/ap_selection_problem.cc.o" "gcc" "src/model/CMakeFiles/spider_model.dir/ap_selection_problem.cc.o.d"
+  "/root/repo/src/model/join_model.cc" "src/model/CMakeFiles/spider_model.dir/join_model.cc.o" "gcc" "src/model/CMakeFiles/spider_model.dir/join_model.cc.o.d"
+  "/root/repo/src/model/join_sim.cc" "src/model/CMakeFiles/spider_model.dir/join_sim.cc.o" "gcc" "src/model/CMakeFiles/spider_model.dir/join_sim.cc.o.d"
+  "/root/repo/src/model/throughput_opt.cc" "src/model/CMakeFiles/spider_model.dir/throughput_opt.cc.o" "gcc" "src/model/CMakeFiles/spider_model.dir/throughput_opt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/spider_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

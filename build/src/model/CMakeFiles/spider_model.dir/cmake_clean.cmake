@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_model.dir/ap_selection_problem.cc.o"
+  "CMakeFiles/spider_model.dir/ap_selection_problem.cc.o.d"
+  "CMakeFiles/spider_model.dir/join_model.cc.o"
+  "CMakeFiles/spider_model.dir/join_model.cc.o.d"
+  "CMakeFiles/spider_model.dir/join_sim.cc.o"
+  "CMakeFiles/spider_model.dir/join_sim.cc.o.d"
+  "CMakeFiles/spider_model.dir/throughput_opt.cc.o"
+  "CMakeFiles/spider_model.dir/throughput_opt.cc.o.d"
+  "libspider_model.a"
+  "libspider_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

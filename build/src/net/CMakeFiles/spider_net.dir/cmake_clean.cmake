@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_net.dir/addr.cc.o"
+  "CMakeFiles/spider_net.dir/addr.cc.o.d"
+  "CMakeFiles/spider_net.dir/frame.cc.o"
+  "CMakeFiles/spider_net.dir/frame.cc.o.d"
+  "libspider_net.a"
+  "libspider_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

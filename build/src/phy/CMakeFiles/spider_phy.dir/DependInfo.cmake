@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/auto_rate.cc" "src/phy/CMakeFiles/spider_phy.dir/auto_rate.cc.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/auto_rate.cc.o.d"
+  "/root/repo/src/phy/energy.cc" "src/phy/CMakeFiles/spider_phy.dir/energy.cc.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/energy.cc.o.d"
+  "/root/repo/src/phy/medium.cc" "src/phy/CMakeFiles/spider_phy.dir/medium.cc.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/medium.cc.o.d"
+  "/root/repo/src/phy/radio.cc" "src/phy/CMakeFiles/spider_phy.dir/radio.cc.o" "gcc" "src/phy/CMakeFiles/spider_phy.dir/radio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

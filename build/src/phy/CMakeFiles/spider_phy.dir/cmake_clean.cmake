@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_phy.dir/auto_rate.cc.o"
+  "CMakeFiles/spider_phy.dir/auto_rate.cc.o.d"
+  "CMakeFiles/spider_phy.dir/energy.cc.o"
+  "CMakeFiles/spider_phy.dir/energy.cc.o.d"
+  "CMakeFiles/spider_phy.dir/medium.cc.o"
+  "CMakeFiles/spider_phy.dir/medium.cc.o.d"
+  "CMakeFiles/spider_phy.dir/radio.cc.o"
+  "CMakeFiles/spider_phy.dir/radio.cc.o.d"
+  "libspider_phy.a"
+  "libspider_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

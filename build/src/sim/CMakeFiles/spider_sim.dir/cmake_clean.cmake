@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_sim.dir/random.cc.o"
+  "CMakeFiles/spider_sim.dir/random.cc.o.d"
+  "CMakeFiles/spider_sim.dir/simulator.cc.o"
+  "CMakeFiles/spider_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/spider_sim.dir/time.cc.o"
+  "CMakeFiles/spider_sim.dir/time.cc.o.d"
+  "libspider_sim.a"
+  "libspider_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

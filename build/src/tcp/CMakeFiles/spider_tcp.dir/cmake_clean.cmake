@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_tcp.dir/tcp.cc.o"
+  "CMakeFiles/spider_tcp.dir/tcp.cc.o.d"
+  "libspider_tcp.a"
+  "libspider_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/connectivity.cc" "src/trace/CMakeFiles/spider_trace.dir/connectivity.cc.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/connectivity.cc.o.d"
+  "/root/repo/src/trace/export.cc" "src/trace/CMakeFiles/spider_trace.dir/export.cc.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/export.cc.o.d"
+  "/root/repo/src/trace/frame_log.cc" "src/trace/CMakeFiles/spider_trace.dir/frame_log.cc.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/frame_log.cc.o.d"
+  "/root/repo/src/trace/mesh_users.cc" "src/trace/CMakeFiles/spider_trace.dir/mesh_users.cc.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/mesh_users.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/spider_trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/spider_trace.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/spider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spider_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_trace.dir/connectivity.cc.o"
+  "CMakeFiles/spider_trace.dir/connectivity.cc.o.d"
+  "CMakeFiles/spider_trace.dir/export.cc.o"
+  "CMakeFiles/spider_trace.dir/export.cc.o.d"
+  "CMakeFiles/spider_trace.dir/frame_log.cc.o"
+  "CMakeFiles/spider_trace.dir/frame_log.cc.o.d"
+  "CMakeFiles/spider_trace.dir/mesh_users.cc.o"
+  "CMakeFiles/spider_trace.dir/mesh_users.cc.o.d"
+  "CMakeFiles/spider_trace.dir/stats.cc.o"
+  "CMakeFiles/spider_trace.dir/stats.cc.o.d"
+  "libspider_trace.a"
+  "libspider_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_rate_test.dir/auto_rate_test.cc.o"
+  "CMakeFiles/auto_rate_test.dir/auto_rate_test.cc.o.d"
+  "auto_rate_test"
+  "auto_rate_test.pdb"
+  "auto_rate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_rate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_driver_test.dir/core_driver_test.cc.o"
+  "CMakeFiles/core_driver_test.dir/core_driver_test.cc.o.d"
+  "core_driver_test"
+  "core_driver_test.pdb"
+  "core_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_cache_test.dir/lease_cache_test.cc.o"
+  "CMakeFiles/lease_cache_test.dir/lease_cache_test.cc.o.d"
+  "lease_cache_test"
+  "lease_cache_test.pdb"
+  "lease_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_join_test.dir/model_join_test.cc.o"
+  "CMakeFiles/model_join_test.dir/model_join_test.cc.o.d"
+  "model_join_test"
+  "model_join_test.pdb"
+  "model_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

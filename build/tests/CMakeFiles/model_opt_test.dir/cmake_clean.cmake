@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_opt_test.dir/model_opt_test.cc.o"
+  "CMakeFiles/model_opt_test.dir/model_opt_test.cc.o.d"
+  "model_opt_test"
+  "model_opt_test.pdb"
+  "model_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_problem_test.dir/selection_problem_test.cc.o"
+  "CMakeFiles/selection_problem_test.dir/selection_problem_test.cc.o.d"
+  "selection_problem_test"
+  "selection_problem_test.pdb"
+  "selection_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

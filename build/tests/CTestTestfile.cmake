@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/phy_test[1]_include.cmake")
+include("/root/repo/build/tests/mac_test[1]_include.cmake")
+include("/root/repo/build/tests/dhcp_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/backhaul_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/model_join_test[1]_include.cmake")
+include("/root/repo/build/tests/model_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/core_history_test[1]_include.cmake")
+include("/root/repo/build/tests/core_device_test[1]_include.cmake")
+include("/root/repo/build/tests/core_driver_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/configs_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_problem_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_export_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/lease_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/auto_rate_test[1]_include.cmake")
+include("/root/repo/build/tests/final_coverage_test[1]_include.cmake")
