@@ -3,7 +3,7 @@
 // frame-level trace). The tool a downstream user scripts parameter sweeps
 // with.
 //
-//   $ ./spider_cli --config=multi --channel=1 --speed=10 --duration=300 \
+//   $ ./spider_cli --config=multi --channel=1 --speed=10 --duration=300
 //                  --seed=7 --sites=30 --csv=cdfs.csv --frames=20
 //
 // Flags (all optional):

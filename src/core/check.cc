@@ -1,0 +1,98 @@
+#include "core/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace spider::check {
+namespace {
+
+std::atomic<Policy> g_policy{Policy::kFatal};
+std::atomic<std::uint64_t> g_check_failures{0};
+std::atomic<std::uint64_t> g_dcheck_failures{0};
+std::atomic<std::uint64_t> g_unreachable_failures{0};
+
+std::mutex g_last_message_mutex;
+std::string g_last_message;  // guarded by g_last_message_mutex
+
+const char* kind_name(detail::Kind kind) {
+  switch (kind) {
+    case detail::Kind::kCheck: return "SPIDER_CHECK";
+    case detail::Kind::kDcheck: return "SPIDER_DCHECK";
+    case detail::Kind::kUnreachable: return "SPIDER_UNREACHABLE";
+  }
+  return "SPIDER_CHECK";
+}
+
+std::atomic<std::uint64_t>& counter_for(detail::Kind kind) {
+  switch (kind) {
+    case detail::Kind::kDcheck: return g_dcheck_failures;
+    case detail::Kind::kUnreachable: return g_unreachable_failures;
+    case detail::Kind::kCheck: break;
+  }
+  return g_check_failures;
+}
+
+}  // namespace
+
+void set_policy(Policy policy) {
+  g_policy.store(policy, std::memory_order_relaxed);
+}
+
+Policy policy() { return g_policy.load(std::memory_order_relaxed); }
+
+std::uint64_t check_failures() {
+  return g_check_failures.load(std::memory_order_relaxed);
+}
+
+std::uint64_t dcheck_failures() {
+  return g_dcheck_failures.load(std::memory_order_relaxed);
+}
+
+std::uint64_t unreachable_failures() {
+  return g_unreachable_failures.load(std::memory_order_relaxed);
+}
+
+std::uint64_t failures() {
+  return check_failures() + dcheck_failures() + unreachable_failures();
+}
+
+std::string last_failure_message() {
+  std::lock_guard<std::mutex> lock(g_last_message_mutex);
+  return g_last_message;
+}
+
+void reset_counters() {
+  g_check_failures.store(0, std::memory_order_relaxed);
+  g_dcheck_failures.store(0, std::memory_order_relaxed);
+  g_unreachable_failures.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_last_message_mutex);
+  g_last_message.clear();
+}
+
+namespace detail {
+
+Failure::Failure(Kind kind, const char* expr, const char* file, int line)
+    : kind_(kind) {
+  stream_ << kind_name(kind) << " failed: " << expr << " (" << file << ":"
+          << line << ")";
+  // Separate the call site's streamed context from the location header.
+  stream_ << " ";
+}
+
+Failure::~Failure() {
+  const std::string message = stream_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  if (policy() == Policy::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+  counter_for(kind_).fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_last_message_mutex);
+  g_last_message = message;
+}
+
+}  // namespace detail
+}  // namespace spider::check

@@ -1,0 +1,114 @@
+// Machine-checked invariants for the simulator core.
+//
+// SPIDER_CHECK(cond)      — always-on invariant; streams extra context:
+//                             SPIDER_CHECK(at >= now) << "late by " << delta;
+// SPIDER_DCHECK(cond)     — debug-only (compiled out under NDEBUG unless
+//                           SPIDER_FORCE_DCHECKS is defined; the sanitizer
+//                           presets force it on).
+// SPIDER_UNREACHABLE()    — marks switch arms / states that must never run.
+//
+// A failed check consults the global policy: kFatal (default) prints the
+// formatted message and aborts — the right behaviour under CI and the
+// sanitizer presets — while kLogAndCount records the failure in process-wide
+// counters and keeps going, which lets tests exercise failure paths and lets
+// long fleet runs survive a non-critical invariant while still reporting it.
+// Counters and the last failure message are queryable so tests can assert on
+// them and million-user runs can export them as health metrics.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace spider::check {
+
+enum class Policy : std::uint8_t {
+  kFatal,        // print and abort (default)
+  kLogAndCount,  // print, bump counters, continue
+};
+
+void set_policy(Policy policy);
+Policy policy();
+
+// RAII policy override, for tests that exercise failure paths.
+class ScopedPolicy {
+ public:
+  explicit ScopedPolicy(Policy p) : previous_(policy()) { set_policy(p); }
+  ~ScopedPolicy() { set_policy(previous_); }
+  ScopedPolicy(const ScopedPolicy&) = delete;
+  ScopedPolicy& operator=(const ScopedPolicy&) = delete;
+
+ private:
+  Policy previous_;
+};
+
+// Process-wide failure counters (only advance under kLogAndCount; a kFatal
+// failure aborts before anyone could read them).
+std::uint64_t failures();             // total across all kinds
+std::uint64_t check_failures();       // SPIDER_CHECK
+std::uint64_t dcheck_failures();      // SPIDER_DCHECK
+std::uint64_t unreachable_failures(); // SPIDER_UNREACHABLE
+std::string last_failure_message();
+void reset_counters();
+
+namespace detail {
+
+enum class Kind : std::uint8_t { kCheck, kDcheck, kUnreachable };
+
+// Collects the streamed context for one failure; its destructor (end of the
+// full expression) formats the message and applies the policy.
+class Failure {
+ public:
+  Failure(Kind kind, const char* expr, const char* file, int line);
+  ~Failure();
+  Failure(const Failure&) = delete;
+  Failure& operator=(const Failure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  Kind kind_;
+  std::ostringstream stream_;
+};
+
+// Swallows the ostream& so both ?: branches are void. '&' binds looser than
+// '<<', so user context streams into Failure first.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace detail
+}  // namespace spider::check
+
+#define SPIDER_CHECK_IMPL(kind, cond)                                   \
+  (cond) ? (void)0                                                      \
+         : ::spider::check::detail::Voidify() &                         \
+               ::spider::check::detail::Failure(kind, #cond, __FILE__,  \
+                                                __LINE__)               \
+                   .stream()
+
+#define SPIDER_CHECK(cond) \
+  SPIDER_CHECK_IMPL(::spider::check::detail::Kind::kCheck, cond)
+
+#define SPIDER_UNREACHABLE()                                               \
+  ::spider::check::detail::Voidify() &                                     \
+      ::spider::check::detail::Failure(                                    \
+          ::spider::check::detail::Kind::kUnreachable, "reached", __FILE__, \
+          __LINE__)                                                        \
+          .stream()
+
+#if !defined(NDEBUG) || defined(SPIDER_FORCE_DCHECKS)
+#define SPIDER_DCHECK_ENABLED 1
+#else
+#define SPIDER_DCHECK_ENABLED 0
+#endif
+
+#if SPIDER_DCHECK_ENABLED
+#define SPIDER_DCHECK(cond) \
+  SPIDER_CHECK_IMPL(::spider::check::detail::Kind::kDcheck, cond)
+#else
+// Never evaluated, but still compiled, so the condition stays well-formed
+// (and its operands stay referenced) in release builds.
+#define SPIDER_DCHECK(cond) \
+  while (false) SPIDER_CHECK_IMPL(::spider::check::detail::Kind::kDcheck, cond)
+#endif

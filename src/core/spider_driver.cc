@@ -1,9 +1,11 @@
 #include "core/spider_driver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
 #include "phy/channel.h"
 
 namespace spider::core {
@@ -23,6 +25,10 @@ SpiderDriver::SpiderDriver(sim::Simulator& simulator, ClientDevice& device,
     total += slice.fraction;
   }
   for (auto& slice : config_.schedule) slice.fraction /= total;
+  double normalized = 0.0;
+  for (const auto& slice : config_.schedule) normalized += slice.fraction;
+  SPIDER_DCHECK(std::abs(normalized - 1.0) < 1e-9)
+      << "schedule fractions normalized to " << normalized;
 
   device_.set_connected_lookup([this](net::ChannelId ch) {
     std::vector<net::Bssid> out;
@@ -131,6 +137,11 @@ void SpiderDriver::finish_channel_eval() {
 }
 
 void SpiderDriver::accumulate_airtime() {
+  // Dwell accounting is monotonic: the open interval can never end before it
+  // started, and closed per-channel totals only grow.
+  SPIDER_CHECK(sim_.now() >= dwell_since_)
+      << "dwell interval ends " << sim_.now().to_string()
+      << " before it started " << dwell_since_.to_string();
   if (dwell_channel_ != 0) {
     airtime_[dwell_channel_] += sim_.now() - dwell_since_;
   }
@@ -212,6 +223,14 @@ void SpiderDriver::note_heard(VirtualInterface& vif) {
 
 void SpiderDriver::create_interface(const ScanEntry& entry) {
   const net::Bssid bssid = entry.bssid;
+  // One virtual interface per AP relationship; selection_tick filters
+  // candidates, so a duplicate here means the scan table and the interface
+  // map disagree.
+  SPIDER_CHECK(!interfaces_.contains(bssid))
+      << "duplicate virtual interface for " << bssid.to_string();
+  SPIDER_DCHECK(scheduled_channel(entry.channel))
+      << "interface for " << bssid.to_string() << " on unscheduled channel "
+      << entry.channel;
   auto vif = std::make_unique<VirtualInterface>();
   vif->bssid = bssid;
   vif->channel = entry.channel;
@@ -310,6 +329,8 @@ void SpiderDriver::selection_tick() {
     if (static_cast<int>(interfaces_.size()) >= capacity) break;
     create_interface(e);
   }
+  SPIDER_CHECK(static_cast<int>(interfaces_.size()) <= capacity)
+      << interfaces_.size() << " interfaces exceed capacity " << capacity;
 }
 
 void SpiderDriver::destroy_interface(net::Bssid bssid, bool lost) {
@@ -344,6 +365,11 @@ void SpiderDriver::on_session_event(VirtualInterface& vif,
                                     mac::SessionEvent event) {
   switch (event) {
     case mac::SessionEvent::kAssociated: {
+      // Join pipeline ordering: association completes exactly once, from the
+      // associating stage; DHCP only starts on top of it.
+      SPIDER_CHECK(vif.state == VirtualInterface::State::kAssociating)
+          << "kAssociated for " << vif.bssid.to_string()
+          << " in driver state " << static_cast<int>(vif.state);
       ++metrics_.associations;
       metrics_.association_delay_sec.add(vif.session->association_delay().sec());
       vif.state = VirtualInterface::State::kDhcp;
@@ -372,6 +398,11 @@ void SpiderDriver::on_session_event(VirtualInterface& vif,
 void SpiderDriver::on_dhcp_event(VirtualInterface& vif, dhcpd::DhcpEvent event) {
   switch (event) {
     case dhcpd::DhcpEvent::kBound: {
+      SPIDER_CHECK(vif.state == VirtualInterface::State::kDhcp)
+          << "kBound for " << vif.bssid.to_string() << " in driver state "
+          << static_cast<int>(vif.state);
+      SPIDER_CHECK(!vif.dhcp->lease().ip.is_null())
+          << "bound with a null lease on " << vif.bssid.to_string();
       const sim::Time join_delay = sim_.now() - vif.join_started;
       ++metrics_.joins;
       ++metrics_.dhcp_attempts;

@@ -3,7 +3,35 @@
 #include <utility>
 #include <variant>
 
+#include "core/check.h"
+
 namespace spider::dhcpd {
+namespace {
+
+// Legal DHCP-machine transitions. Teardown (-> Idle) is allowed from
+// anywhere; discovery restarts from Idle/Backoff and from Requesting on a
+// NAK; Requesting is reachable from discovery, from a late OFFER landing in
+// Backoff, and directly from Idle via INIT-REBOOT; only Requesting binds.
+bool transition_legal(DhcpState from, DhcpState to) {
+  switch (to) {
+    case DhcpState::kIdle:
+      return true;
+    case DhcpState::kDiscovering:
+      return from == DhcpState::kIdle || from == DhcpState::kBackoff ||
+             from == DhcpState::kRequesting;
+    case DhcpState::kRequesting:
+      return from == DhcpState::kIdle || from == DhcpState::kDiscovering ||
+             from == DhcpState::kBackoff;
+    case DhcpState::kBound:
+      return from == DhcpState::kRequesting;
+    case DhcpState::kBackoff:
+      return from == DhcpState::kDiscovering ||
+             from == DhcpState::kRequesting;
+  }
+  return false;
+}
+
+}  // namespace
 
 const char* to_string(DhcpState s) {
   switch (s) {
@@ -13,6 +41,7 @@ const char* to_string(DhcpState s) {
     case DhcpState::kBound: return "Bound";
     case DhcpState::kBackoff: return "Backoff";
   }
+  SPIDER_UNREACHABLE() << "DhcpState " << static_cast<int>(s);
   return "?";
 }
 
@@ -61,9 +90,11 @@ void DhcpClient::start_with_cached(const Lease& cached) {
   transaction_id_ = static_cast<std::uint32_t>(
       (self_.value() << 8) ^ static_cast<std::uint64_t>(sim_.now().us()) ^
       0x1B07u);
+  SPIDER_CHECK(!cached.ip.is_null())
+      << "INIT-REBOOT with a null cached lease for " << bssid_.to_string();
   offered_ip_ = cached.ip;
   server_ip_ = cached.server;
-  state_ = DhcpState::kRequesting;
+  enter(DhcpState::kRequesting);
   transmit_current();
   arm_message_timer();
   attempt_timer_.cancel();
@@ -71,10 +102,18 @@ void DhcpClient::start_with_cached(const Lease& cached) {
                                        [this] { on_attempt_expired(); });
 }
 
+void DhcpClient::enter(DhcpState next) {
+  SPIDER_CHECK(transition_legal(state_, next))
+      << "illegal DHCP transition " << to_string(state_) << " -> "
+      << to_string(next) << " (bssid " << bssid_.to_string() << ", xid "
+      << transaction_id_ << ")";
+  state_ = next;
+}
+
 void DhcpClient::abandon() {
   message_timer_.cancel();
   attempt_timer_.cancel();
-  state_ = DhcpState::kIdle;
+  enter(DhcpState::kIdle);
 }
 
 void DhcpClient::begin_attempt() {
@@ -88,7 +127,7 @@ void DhcpClient::begin_attempt() {
       (self_.value() << 8) ^ static_cast<std::uint64_t>(sim_.now().us()));
   offered_ip_ = net::Ipv4Address{};
   server_ip_ = net::Ipv4Address{};
-  state_ = DhcpState::kDiscovering;
+  enter(DhcpState::kDiscovering);
   transmit_current();
   arm_message_timer();
   attempt_timer_.cancel();
@@ -133,12 +172,12 @@ void DhcpClient::on_attempt_expired() {
   if (state_ == DhcpState::kBound || state_ == DhcpState::kIdle) return;
   message_timer_.cancel();
   ++failed_attempts_;
-  state_ = DhcpState::kBackoff;
+  enter(DhcpState::kBackoff);
   if (event_handler_) event_handler_(*this, DhcpEvent::kAttemptFailed);
   if (state_ != DhcpState::kBackoff) return;  // handler may have abandoned us
   if (config_.max_attempt_windows > 0 &&
       attempt_windows_ >= config_.max_attempt_windows) {
-    state_ = DhcpState::kIdle;
+    enter(DhcpState::kIdle);
     return;
   }
   attempt_timer_.cancel();
@@ -150,6 +189,11 @@ void DhcpClient::handle_frame(const net::Frame& frame) {
   if (frame.src != bssid_ || frame.dst != self_) return;
   const auto* msg = std::get_if<net::DhcpMessage>(&frame.payload);
   if (msg == nullptr || msg->transaction_id != transaction_id_) return;
+  // Past the filter above, everything we act on carries our current xid —
+  // the consistency the stale-OFFER logic in begin_attempt() relies on.
+  SPIDER_DCHECK(msg->client_mac == self_)
+      << "xid " << msg->transaction_id << " matched but client mac "
+      << msg->client_mac.to_string() << " is not ours";
 
   switch (msg->kind) {
     case net::DhcpMessage::Kind::kOffer:
@@ -157,9 +201,11 @@ void DhcpClient::handle_frame(const net::Frame& frame) {
       // (the radio may simply have been elsewhere when it first arrived).
       if (state_ == DhcpState::kDiscovering || state_ == DhcpState::kBackoff) {
         const bool was_backoff = state_ == DhcpState::kBackoff;
+        SPIDER_CHECK(!msg->offered_ip.is_null())
+            << "OFFER with null address from " << bssid_.to_string();
         offered_ip_ = msg->offered_ip;
         server_ip_ = msg->server_ip;
-        state_ = DhcpState::kRequesting;
+        enter(DhcpState::kRequesting);
         transmit_current();
         arm_message_timer();
         if (was_backoff) {
@@ -174,10 +220,17 @@ void DhcpClient::handle_frame(const net::Frame& frame) {
       if (state_ == DhcpState::kRequesting) {
         message_timer_.cancel();
         attempt_timer_.cancel();
+        // Lease consistency: the ACK must confirm the address we requested;
+        // a server re-assigning mid-exchange must NAK instead.
+        SPIDER_CHECK(!msg->offered_ip.is_null() &&
+                     msg->offered_ip == offered_ip_)
+            << "ACK for " << msg->offered_ip.to_string()
+            << " but we requested " << offered_ip_.to_string() << " (xid "
+            << transaction_id_ << ")";
         lease_ = Lease{msg->offered_ip, msg->server_ip, msg->lease_duration,
                        sim_.now()};
         acquisition_delay_ = sim_.now() - started_;
-        state_ = DhcpState::kBound;
+        enter(DhcpState::kBound);
         if (event_handler_) event_handler_(*this, DhcpEvent::kBound);
       }
       break;
@@ -185,7 +238,7 @@ void DhcpClient::handle_frame(const net::Frame& frame) {
     case net::DhcpMessage::Kind::kNak:
       if (state_ == DhcpState::kRequesting) {
         // Stale offer; restart discovery within the same attempt window.
-        state_ = DhcpState::kDiscovering;
+        enter(DhcpState::kDiscovering);
         offered_ip_ = net::Ipv4Address{};
         transmit_current();
         arm_message_timer();

@@ -97,6 +97,8 @@ class DhcpClient {
   int messages_sent() const { return messages_sent_; }
 
  private:
+  // Sole write path for state_; SPIDER_CHECKs the transition's legality.
+  void enter(DhcpState next);
   void begin_attempt();
   void transmit_current();
   void arm_message_timer();

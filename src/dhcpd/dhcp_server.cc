@@ -3,6 +3,8 @@
 #include <utility>
 #include <variant>
 
+#include "core/check.h"
+
 namespace spider::dhcpd {
 
 DhcpServer::DhcpServer(sim::Simulator& simulator, mac::AccessPoint& ap,
@@ -29,6 +31,20 @@ net::Ipv4Address DhcpServer::allocate(net::MacAddress client) {
   const auto ip = net::Ipv4Address{(server_ip_.value() & 0xFFFFFF00u) |
                                    (next_host_++ & 0xFFu)};
   leases_.emplace(client, ip);
+  // Lease-table consistency: the pool never overruns, the sequential
+  // allocator and the table never drift apart, and every handed-out address
+  // sits inside the server's /24 without colliding with .0/.1/.255.
+  SPIDER_CHECK(leases_.size() <= config_.pool_size)
+      << "lease table overran pool of " << config_.pool_size;
+  SPIDER_CHECK(next_host_ == 2 + leases_.size())
+      << "allocator cursor " << next_host_ << " vs " << leases_.size()
+      << " leases";
+  SPIDER_DCHECK((ip.value() & 0xFFFFFF00u) ==
+                (server_ip_.value() & 0xFFFFFF00u))
+      << "allocated " << ip.to_string() << " outside subnet of "
+      << server_ip_.to_string();
+  SPIDER_DCHECK((ip.value() & 0xFFu) >= 2 && (ip.value() & 0xFFu) <= 254)
+      << "allocated reserved host byte in " << ip.to_string();
   return ip;
 }
 

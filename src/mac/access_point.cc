@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/check.h"
+
 namespace spider::mac {
 
 AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
@@ -12,6 +14,15 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
              phy::RadioConfig{.initial_channel = config.channel}),
       rng_(std::move(rng)),
       config_(std::move(config)) {
+  SPIDER_CHECK(config_.beacon_interval > sim::Time::zero())
+      << "AP " << address.to_string() << " beacon interval "
+      << config_.beacon_interval.to_string();
+  SPIDER_CHECK(config_.response_delay_min <= config_.response_delay_max)
+      << "AP response delay window inverted: "
+      << config_.response_delay_min.to_string() << " > "
+      << config_.response_delay_max.to_string();
+  SPIDER_CHECK(config_.max_buffered_frames > 0)
+      << "AP power-save buffer capacity must be positive";
   radio_.set_position(position);
   radio_.set_receive_handler(
       [this](const net::Frame& f, const phy::RxInfo& i) { on_receive(f, i); });
@@ -34,6 +45,9 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
     }
     ++buffered_total_;
     it->second.buffer.push_back(f);
+    SPIDER_DCHECK(it->second.buffer.size() <= config_.max_buffered_frames)
+        << "power-save buffer overran its cap for "
+        << f.dst.to_string();
   });
   if (config_.auto_rate) {
     radio_.set_tx_result_handler([this](const net::Frame& f, bool ok) {
@@ -81,6 +95,10 @@ void AccessPoint::respond_after_delay(net::Frame response) {
   const sim::Time hi = config_.response_delay_max;
   const sim::Time delay =
       lo + sim::Time::micros(rng_.uniform_int(0, (hi - lo).us()));
+  SPIDER_DCHECK(delay >= lo && delay <= hi)
+      << "management response delay " << delay.to_string()
+      << " outside configured [" << lo.to_string() << ", " << hi.to_string()
+      << "]";
   medium_.simulator().schedule_after(
       delay, [this, alive = std::weak_ptr<char>(alive_),
               response = std::move(response)] {
@@ -111,6 +129,11 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
         // and let the client's link-layer timeout drive a retry of auth.
         break;
       }
+      // MAC state-transition legality: association is only ever granted on
+      // top of authentication (the 802.11 state ladder).
+      SPIDER_CHECK(it->second.authenticated)
+          << "assoc grant for unauthenticated client "
+          << frame.src.to_string();
       if (!it->second.associated) ++assoc_grants_;
       it->second.associated = true;
       respond_after_delay(net::make_assoc_response(address(), frame.src));
@@ -167,6 +190,11 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
 }
 
 void AccessPoint::flush_buffer(net::MacAddress client, ClientState& state) {
+  // Flushing only makes sense for an associated client that is awake; both
+  // call sites clear the PS bit before draining.
+  SPIDER_DCHECK(state.associated && !state.power_save)
+      << "flush for " << client.to_string() << " in associated="
+      << state.associated << " power_save=" << state.power_save;
   while (!state.buffer.empty()) {
     net::Frame f = std::move(state.buffer.front());
     state.buffer.pop_front();

@@ -2,7 +2,32 @@
 
 #include <utility>
 
+#include "core/check.h"
+
 namespace spider::mac {
+namespace {
+
+// Legal association-machine transitions. Any state may restart (start_join
+// -> Authenticating) or be torn down (abandon -> Idle); forward progress is
+// strictly Auth -> Assoc -> Associated, and only an in-flight exchange may
+// exhaust its attempts into Failed.
+bool transition_legal(SessionState from, SessionState to) {
+  switch (to) {
+    case SessionState::kIdle:
+    case SessionState::kAuthenticating:
+      return true;
+    case SessionState::kAssociating:
+      return from == SessionState::kAuthenticating;
+    case SessionState::kAssociated:
+      return from == SessionState::kAssociating;
+    case SessionState::kFailed:
+      return from == SessionState::kAuthenticating ||
+             from == SessionState::kAssociating;
+  }
+  return false;
+}
+
+}  // namespace
 
 const char* to_string(SessionState s) {
   switch (s) {
@@ -12,6 +37,7 @@ const char* to_string(SessionState s) {
     case SessionState::kAssociated: return "Associated";
     case SessionState::kFailed: return "Failed";
   }
+  SPIDER_UNREACHABLE() << "SessionState " << static_cast<int>(s);
   return "?";
 }
 
@@ -28,6 +54,9 @@ ClientSession::ClientSession(sim::Simulator& simulator, net::MacAddress self,
 ClientSession::~ClientSession() { retry_timer_.cancel(); }
 
 void ClientSession::enter(SessionState next) {
+  SPIDER_CHECK(transition_legal(state_, next))
+      << "illegal session transition " << to_string(state_) << " -> "
+      << to_string(next) << " (bssid " << bssid_.to_string() << ")";
   state_ = next;
   stage_retries_ = 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/check.h"
 #include "phy/auto_rate.h"
 #include "phy/channel.h"
 #include "phy/radio.h"
@@ -10,7 +11,18 @@
 namespace spider::phy {
 
 Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
-    : sim_(simulator), rng_(std::move(rng)), config_(config) {}
+    : sim_(simulator), rng_(std::move(rng)), config_(config) {
+  SPIDER_CHECK(config_.range_m > 0.0) << "range " << config_.range_m << " m";
+  SPIDER_CHECK(config_.base_loss >= 0.0 && config_.base_loss <= 1.0)
+      << "base_loss " << config_.base_loss << " is not a probability";
+  SPIDER_CHECK(config_.bitrate_bps > 0.0)
+      << "bitrate " << config_.bitrate_bps << " bps";
+  SPIDER_CHECK(config_.edge_start > 0.0 && config_.edge_start <= 1.0)
+      << "edge_start " << config_.edge_start
+      << " must be a fraction of range";
+  SPIDER_CHECK(config_.data_retry_limit >= 0)
+      << "data_retry_limit " << config_.data_retry_limit;
+}
 
 void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
 
@@ -28,7 +40,10 @@ double Medium::loss_probability(double distance_m) const {
       loss += (1.0 - loss) * frac * frac;
     }
   }
-  return std::min(loss, 1.0);
+  loss = std::min(loss, 1.0);
+  SPIDER_DCHECK(loss >= 0.0 && loss <= 1.0)
+      << "loss " << loss << " at " << distance_m << " m";
+  return loss;
 }
 
 sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
@@ -49,6 +64,12 @@ sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   sim::Time& busy = busy_until_[channel];
   const sim::Time start = std::max(sim_.now(), busy);
   const sim::Time done = start + airtime;
+  // Channel-occupancy monotonicity: serialization can only extend the busy
+  // horizon forward; a regression here would deliver frames into the past.
+  SPIDER_CHECK(done >= busy && done >= sim_.now())
+      << "channel " << channel << " busy horizon moved backwards: "
+      << busy.to_string() << " -> " << done.to_string() << " (airtime "
+      << airtime.to_string() << ")";
   busy = done;
 
   // Snapshot the sender's position at transmit time; at vehicular speeds the
@@ -77,12 +98,16 @@ void Medium::deliver(const Radio* sender_snapshot, Vec2 sender_pos,
   // low rates): scale the geometry by the rate's range factor.
   const double range_scale =
       rate_range_scale(frame.tx_rate_bps, config_.bitrate_bps);
+  SPIDER_DCHECK(range_scale > 0.0)
+      << "rate " << frame.tx_rate_bps << " bps scaled range by "
+      << range_scale;
 
   for (Radio* rx : radios_) {
     if (rx == sender_snapshot) continue;
     const bool is_addressee = arq_eligible && rx->address() == frame.dst;
     if (rx->channel() != channel || rx->switching()) continue;
     const double d = distance(sender_pos, rx->position()) / range_scale;
+    SPIDER_DCHECK(d >= 0.0) << "negative distance " << d << " m";
     if (d > config_.range_m) continue;
 
     const double p = loss_probability(d);

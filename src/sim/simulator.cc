@@ -1,10 +1,41 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace spider::sim {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+constexpr std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (i * 8)) & 0xFFu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Hash of one executed (time, event-id) pair. Pairs within an instant are
+// combined with wrapping addition (commutative), so the per-instant
+// accumulator identifies the executed set regardless of pop order details.
+constexpr std::uint64_t event_hash(std::int64_t at_us, std::uint64_t seq) {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, static_cast<std::uint64_t>(at_us));
+  return fnv1a_u64(h, seq);
+}
+
+// Closes an instant: mixes (time, accumulator, count) into the digest.
+constexpr std::uint64_t fold(std::uint64_t digest, std::int64_t instant_us,
+                             std::uint64_t acc, std::uint64_t count) {
+  digest = fnv1a_u64(digest, static_cast<std::uint64_t>(instant_us));
+  digest = fnv1a_u64(digest, acc);
+  return fnv1a_u64(digest, count);
+}
+
+}  // namespace
 
 void TimerHandle::cancel() {
   if (cancelled_) *cancelled_ = true;
@@ -28,6 +59,17 @@ TimerHandle Simulator::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Simulator::fold_instant() {
+  digest_ = fold(digest_, instant_us_, instant_acc_, instant_count_);
+  instant_acc_ = 0;
+  instant_count_ = 0;
+}
+
+std::uint64_t Simulator::digest() const {
+  if (instant_count_ == 0) return digest_;
+  return fold(digest_, instant_us_, instant_acc_, instant_count_);
+}
+
 void Simulator::drain(Time limit) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
@@ -38,7 +80,16 @@ void Simulator::drain(Time limit) {
              top.cancelled};
     queue_.pop();
     if (*ev.cancelled) continue;
-    assert(ev.at >= now_);
+    // Event-queue monotonicity: the heap must never surface an event behind
+    // the clock — schedule_at() rejects past times, so a violation here means
+    // heap corruption or clock tampering, and every digest after it is junk.
+    SPIDER_CHECK(ev.at >= now_)
+        << "event seq " << ev.seq << " at " << ev.at.to_string()
+        << " behind clock " << now_.to_string();
+    if (instant_count_ > 0 && ev.at.us() != instant_us_) fold_instant();
+    instant_us_ = ev.at.us();
+    instant_acc_ += event_hash(ev.at.us(), ev.seq);
+    ++instant_count_;
     now_ = ev.at;
     ++executed_;
     ev.fn();
@@ -46,6 +97,9 @@ void Simulator::drain(Time limit) {
 }
 
 void Simulator::run_until(Time limit) {
+  SPIDER_CHECK(limit >= now_) << "run_until(" << limit.to_string()
+                              << ") would rewind clock at "
+                              << now_.to_string();
   drain(limit);
   if (!stopped_ && now_ < limit) now_ = limit;
 }

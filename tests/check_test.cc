@@ -1,0 +1,136 @@
+// Unit tests for the SPIDER_CHECK invariant subsystem: pass/fail paths,
+// counter accumulation, message formatting, and the log-and-count policy.
+// Fatal-policy behaviour is covered with gtest death tests.
+#include "core/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace spider::check {
+namespace {
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_counters(); }
+  void TearDown() override {
+    reset_counters();
+    set_policy(Policy::kFatal);
+  }
+};
+
+TEST_F(CheckTest, PassingCheckHasNoSideEffects) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  SPIDER_CHECK(1 + 1 == 2) << "never formatted";
+  EXPECT_EQ(failures(), 0u);
+  EXPECT_EQ(last_failure_message(), "");
+}
+
+TEST_F(CheckTest, FailingCheckCountsUnderLogAndCount) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  SPIDER_CHECK(false) << "context";
+  EXPECT_EQ(check_failures(), 1u);
+  EXPECT_EQ(failures(), 1u);
+}
+
+TEST_F(CheckTest, CountersAccumulateAcrossFailures) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  for (int i = 0; i < 5; ++i) {
+    SPIDER_CHECK(i < 0) << "iteration " << i;
+  }
+  EXPECT_EQ(check_failures(), 5u);
+}
+
+TEST_F(CheckTest, MessageCarriesExpressionLocationAndContext) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  const int lease = 42;
+  SPIDER_CHECK(lease == 0) << "lease was " << lease;
+  const std::string msg = last_failure_message();
+  EXPECT_NE(msg.find("SPIDER_CHECK failed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lease == 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("check_test.cc"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lease was 42"), std::string::npos) << msg;
+}
+
+TEST_F(CheckTest, UnreachableCountsSeparately) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  SPIDER_UNREACHABLE() << "fell off a switch";
+  EXPECT_EQ(unreachable_failures(), 1u);
+  EXPECT_EQ(check_failures(), 0u);
+  EXPECT_EQ(failures(), 1u);
+  EXPECT_NE(last_failure_message().find("SPIDER_UNREACHABLE"),
+            std::string::npos);
+}
+
+TEST_F(CheckTest, DcheckFollowsBuildConfiguration) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  SPIDER_DCHECK(false) << "debug-only invariant";
+#if SPIDER_DCHECK_ENABLED
+  EXPECT_EQ(dcheck_failures(), 1u);
+#else
+  EXPECT_EQ(dcheck_failures(), 0u);
+#endif
+}
+
+TEST_F(CheckTest, DcheckConditionIsNotEvaluatedWhenDisabled) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  int evaluations = 0;
+  SPIDER_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+#if SPIDER_DCHECK_ENABLED
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST_F(CheckTest, ResetClearsCountersAndMessage) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  SPIDER_CHECK(false) << "to be cleared";
+  ASSERT_EQ(failures(), 1u);
+  reset_counters();
+  EXPECT_EQ(failures(), 0u);
+  EXPECT_EQ(last_failure_message(), "");
+}
+
+TEST_F(CheckTest, ScopedPolicyRestoresPrevious) {
+  ASSERT_EQ(policy(), Policy::kFatal);
+  {
+    ScopedPolicy scoped(Policy::kLogAndCount);
+    EXPECT_EQ(policy(), Policy::kLogAndCount);
+  }
+  EXPECT_EQ(policy(), Policy::kFatal);
+}
+
+TEST_F(CheckTest, ShortCircuitKeepsSideEffectsOrdered) {
+  ScopedPolicy scoped(Policy::kLogAndCount);
+  // The context expressions must only run on failure.
+  int formatted = 0;
+  auto tag = [&] {
+    ++formatted;
+    return "tag";
+  };
+  SPIDER_CHECK(true) << tag();
+  EXPECT_EQ(formatted, 0);
+  SPIDER_CHECK(false) << tag();
+  EXPECT_EQ(formatted, 1);
+}
+
+using CheckDeathTest = CheckTest;
+
+TEST_F(CheckDeathTest, FatalPolicyAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH({ SPIDER_CHECK(2 + 2 == 5) << "arithmetic drifted"; },
+               "SPIDER_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST_F(CheckDeathTest, UnreachableAbortsUnderFatalPolicy) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH({ SPIDER_UNREACHABLE() << "impossible state"; },
+               "SPIDER_UNREACHABLE");
+}
+
+}  // namespace
+}  // namespace spider::check

@@ -1,0 +1,181 @@
+// Determinism self-verification: the simulator's FNV-1a digest of executed
+// (time, event-id) pairs must be identical across repeated seeded runs, and
+// insensitive to how a scenario interleaves insertions of same-timestamp
+// events. This turns DESIGN.md's "deterministic simulator" claim into a
+// gated invariant that every refactor of the event queue must preserve.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/configs.h"
+#include "core/experiment.h"
+#include "sim/simulator.h"
+
+namespace spider {
+namespace {
+
+// -------------------------- simulator-level tests --------------------------
+
+TEST(SimulatorDigest, FreshSimulatorsAgree) {
+  sim::Simulator a;
+  sim::Simulator b;
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(SimulatorDigest, ChangesAsEventsExecute) {
+  sim::Simulator sim;
+  const std::uint64_t before = sim.digest();
+  sim.schedule_at(sim::Time::millis(5), [] {});
+  EXPECT_EQ(sim.digest(), before) << "scheduling alone must not digest";
+  sim.run_all();
+  EXPECT_NE(sim.digest(), before);
+}
+
+TEST(SimulatorDigest, IdenticalScenariosProduceIdenticalDigests) {
+  auto run = [] {
+    sim::Simulator sim;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(sim::Time::millis(i * 3), [] {});
+    }
+    sim.run_all();
+    return sim.digest();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimulatorDigest, InsensitiveToSameInstantInsertionOrder) {
+  // Three independent callbacks land at the same instant; inserting them in
+  // any order must yield the same digest — the executed *set* per instant is
+  // the determinism contract, not the insertion interleaving.
+  auto run = [](const std::array<int, 3>& order) {
+    sim::Simulator sim;
+    int touched[3] = {0, 0, 0};
+    sim.schedule_at(sim::Time::millis(1), [] {});  // align seq numbering
+    for (int idx : order) {
+      sim.schedule_at(sim::Time::millis(7), [&touched, idx] { ++touched[idx]; });
+    }
+    sim.schedule_at(sim::Time::millis(9), [] {});
+    sim.run_all();
+    EXPECT_EQ(touched[0] + touched[1] + touched[2], 3);
+    return sim.digest();
+  };
+  const std::uint64_t baseline = run({0, 1, 2});
+  EXPECT_EQ(run({2, 0, 1}), baseline);
+  EXPECT_EQ(run({1, 2, 0}), baseline);
+}
+
+TEST(SimulatorDigest, SensitiveToEventTimes) {
+  auto run = [](int ms) {
+    sim::Simulator sim;
+    sim.schedule_at(sim::Time::millis(ms), [] {});
+    sim.run_all();
+    return sim.digest();
+  };
+  EXPECT_NE(run(10), run(11));
+}
+
+TEST(SimulatorDigest, SensitiveToEventCount) {
+  auto run = [](int n) {
+    sim::Simulator sim;
+    for (int i = 0; i < n; ++i) sim.schedule_at(sim::Time::millis(4), [] {});
+    sim.run_all();
+    return sim.digest();
+  };
+  EXPECT_NE(run(2), run(3));
+}
+
+TEST(SimulatorDigest, CancelledEventsDoNotDigest) {
+  auto run = [](bool with_cancelled) {
+    sim::Simulator sim;
+    sim.schedule_at(sim::Time::millis(1), [] {});
+    if (with_cancelled) {
+      auto h = sim.schedule_at(sim::Time::millis(2), [] {});
+      h.cancel();
+    }
+    sim.schedule_at(sim::Time::millis(3), [] {});
+    sim.run_all();
+    return sim.digest();
+  };
+  // A cancelled event never executes, but it does consume a sequence number,
+  // so the surviving events' ids shift: runs that *schedule* differently are
+  // different runs. Equal-scheduling runs must still agree.
+  EXPECT_EQ(run(true), run(true));
+  EXPECT_EQ(run(false), run(false));
+}
+
+TEST(SimulatorDigest, StableAcrossRunBoundaries) {
+  // Draining in one run_all or tiling with run_until must not change what
+  // executed, hence not the digest.
+  auto events = [](sim::Simulator& sim) {
+    for (int i = 1; i <= 10; ++i) {
+      sim.schedule_at(sim::Time::millis(i * 10), [] {});
+    }
+  };
+  sim::Simulator whole;
+  events(whole);
+  whole.run_all();
+
+  sim::Simulator tiled;
+  events(tiled);
+  for (int i = 1; i <= 10; ++i) tiled.run_until(sim::Time::millis(i * 10));
+  EXPECT_EQ(whole.digest(), tiled.digest());
+}
+
+// ------------------------- full-stack seeded replay -------------------------
+
+core::ExperimentConfig seeded_scenario(std::uint64_t seed) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = sim::Time::seconds(30);
+  cfg.medium.base_loss = 0.1;
+  cfg.vehicle =
+      mobility::Vehicle(mobility::Route::straight(400.0), 10.0);
+  cfg.spider = core::single_channel_multi_ap(1);
+
+  mobility::ApDescriptor ap;
+  ap.ssid = "det-ap";
+  ap.mac = net::MacAddress::from_index(0xD0);
+  ap.subnet = net::Ipv4Address{(10u << 24) | (0xD0u << 8)};
+  ap.position = {120, 15};
+  ap.channel = 1;
+  ap.backhaul_bps = 2e6;
+  mobility::ApDescriptor ap2 = ap;
+  ap2.ssid = "det-ap2";
+  ap2.mac = net::MacAddress::from_index(0xD1);
+  ap2.subnet = net::Ipv4Address{(10u << 24) | (0xD1u << 8)};
+  ap2.position = {260, -10};
+  cfg.aps = {ap, ap2};
+  return cfg;
+}
+
+std::uint64_t run_and_digest(std::uint64_t seed) {
+  core::Experiment exp(seeded_scenario(seed));
+  exp.run();
+  return exp.simulator().digest();
+}
+
+TEST(DeterminismSelfCheck, RepeatedSeededRunsProduceIdenticalDigests) {
+  const std::uint64_t first = run_and_digest(7);
+  const std::uint64_t second = run_and_digest(7);
+  EXPECT_EQ(first, second)
+      << "the full stack scheduled or executed events differently across "
+         "identical seeded runs — the simulator is no longer deterministic";
+}
+
+TEST(DeterminismSelfCheck, DifferentSeedsProduceDifferentDigests) {
+  EXPECT_NE(run_and_digest(7), run_and_digest(8));
+}
+
+TEST(DeterminismSelfCheck, DigestCoversEveryExecutedEvent) {
+  core::Experiment exp(seeded_scenario(7));
+  exp.run();
+  // A vehicular run is hundreds of thousands of events; the digest must have
+  // been fed by all of them (indirect check: executed count is nonzero and
+  // digest moved off the FNV offset basis).
+  EXPECT_GT(exp.simulator().events_executed(), 1000u);
+  EXPECT_NE(exp.simulator().digest(), 0xcbf29ce484222325ull);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every translation unit in src/,
+# in parallel, against a compile database produced by the `tidy` CMake preset.
+#
+# Usage:
+#   tools/run_clang_tidy.sh [path ...]
+#
+# With no arguments, all of src/**/*.cc is checked. Pass file paths to check
+# a subset (e.g. the files touched by a branch). Exits non-zero on any
+# finding — .clang-tidy promotes all enabled checks to errors — so this is
+# directly usable as a CI gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${SPIDER_TIDY_BUILD_DIR:-${repo_root}/build-tidy}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH (set CLANG_TIDY to" >&2
+  echo "override); install clang-tidy or run the 'tidy' CI job instead." >&2
+  exit 2
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "== configuring compile database in ${build_dir}"
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find "${repo_root}/src" -name '*.cc' | sort)
+fi
+
+echo "== ${tidy_bin} over ${#files[@]} files"
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 1 -P "${jobs}" \
+    "${tidy_bin}" -p "${build_dir}" --quiet
+echo "== clang-tidy clean"
