@@ -30,22 +30,26 @@ int main() {
   };
   const auto run_policies = [&](sim::Time give_up) {
     for (const auto& row : rows) {
+      const std::vector<std::uint64_t> seeds = {7, 17, 27, 37};
+      const auto runs = bench::run_seed_replications(
+          seeds, [&row, give_up](std::uint64_t seed) {
+            auto cfg = bench::amherst_drive(seed, sim::Time::seconds(900));
+            // Rebuild the deployment with a much higher dud density.
+            sim::Rng rng(seed);
+            auto deploy_rng = rng.fork("deploy");
+            mobility::DeploymentConfig dcfg;
+            dcfg.dud_fraction = 0.45;
+            cfg.aps = mobility::area_deployment(700, 500, 30, deploy_rng, dcfg);
+            cfg.spider = core::single_channel_multi_ap(1);
+            cfg.spider.multi_ap = false;
+            cfg.spider.max_interfaces = 1;
+            cfg.spider.policy = row.policy;
+            cfg.spider.join_give_up = give_up;
+            return cfg;
+          });
       trace::OnlineStats thr, conn;
       std::uint64_t joins = 0, attempts = 0;
-      for (std::uint64_t seed : {7ULL, 17ULL, 27ULL, 37ULL}) {
-        auto cfg = bench::amherst_drive(seed, sim::Time::seconds(900));
-        // Rebuild the deployment with a much higher dud density.
-        sim::Rng rng(seed);
-        auto deploy_rng = rng.fork("deploy");
-        mobility::DeploymentConfig dcfg;
-        dcfg.dud_fraction = 0.45;
-        cfg.aps = mobility::area_deployment(700, 500, 30, deploy_rng, dcfg);
-        cfg.spider = core::single_channel_multi_ap(1);
-        cfg.spider.multi_ap = false;
-        cfg.spider.max_interfaces = 1;
-        cfg.spider.policy = row.policy;
-        cfg.spider.join_give_up = give_up;
-        const auto r = core::Experiment(std::move(cfg)).run();
+      for (const auto& r : runs) {
         thr.add(r.avg_throughput_kBps());
         conn.add(r.connectivity_percent());
         joins += r.joins.joins;

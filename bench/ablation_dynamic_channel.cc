@@ -14,10 +14,20 @@ using namespace spider;
 
 namespace {
 
-double run(std::uint64_t seed, core::SpiderConfig sc) {
-  auto cfg = spider::bench::amherst_drive(seed);
-  cfg.spider = sc;
-  return core::Experiment(std::move(cfg)).run().avg_throughput_kBps();
+// Per-seed throughput for one Spider configuration across all seeds, run as
+// one parallel sweep (seed order preserved).
+std::vector<double> run_all(const std::vector<std::uint64_t>& seeds,
+                            core::SpiderConfig sc) {
+  const auto runs =
+      bench::run_seed_replications(seeds, [&sc](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        cfg.spider = sc;
+        return cfg;
+      });
+  std::vector<double> kBps;
+  kBps.reserve(runs.size());
+  for (const auto& r : runs) kBps.push_back(r.avg_throughput_kBps());
+  return kBps;
 }
 
 }  // namespace
@@ -28,18 +38,19 @@ int main() {
   std::printf("  %-6s %-12s %-12s %-12s %-14s\n", "seed", "static ch1",
               "oracle best", "dynamic", "dynamic/oracle");
 
+  const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47};
+  const auto ch1 = run_all(seeds, core::single_channel_multi_ap(1));
+  const auto ch6 = run_all(seeds, core::single_channel_multi_ap(6));
+  const auto ch11 = run_all(seeds, core::single_channel_multi_ap(11));
+  const auto dyn = run_all(seeds, core::dynamic_channel_multi_ap(1));
+
   trace::OnlineStats ratio;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL, 37ULL, 47ULL}) {
-    const double ch1 = run(seed, core::single_channel_multi_ap(1));
-    double best = ch1;
-    for (net::ChannelId ch : {6, 11}) {
-      best = std::max(best, run(seed, core::single_channel_multi_ap(ch)));
-    }
-    const double dynamic = run(seed, core::dynamic_channel_multi_ap(1));
-    ratio.add(best > 0 ? dynamic / best : 1.0);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const double best = std::max({ch1[i], ch6[i], ch11[i]});
+    ratio.add(best > 0 ? dyn[i] / best : 1.0);
     std::printf("  %-6llu %-12.1f %-12.1f %-12.1f %-14.2f\n",
-                static_cast<unsigned long long>(seed), ch1, best, dynamic,
-                best > 0 ? dynamic / best : 1.0);
+                static_cast<unsigned long long>(seeds[i]), ch1[i], best,
+                dyn[i], best > 0 ? dyn[i] / best : 1.0);
   }
   std::printf("\n  mean dynamic/oracle ratio: %.2f\n", ratio.mean());
   std::printf(

@@ -30,17 +30,21 @@ int main() {
       {"Spider dynamic channel", core::dynamic_channel_multi_ap(1)},
       {"stock driver", core::SpiderConfig{}, true},
   };
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
   for (const auto& row : rows) {
+    const auto runs =
+        bench::run_seed_replications(seeds, [&row](std::uint64_t seed) {
+          auto cfg = bench::amherst_drive(seed);
+          if (row.stock) {
+            cfg.driver = core::DriverKind::kStock;
+          } else {
+            cfg.spider = row.sc;
+          }
+          return cfg;
+        });
     trace::OnlineStats joules, jpm;
     std::uint64_t switches = 0;
-    for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-      auto cfg = bench::amherst_drive(seed);
-      if (row.stock) {
-        cfg.driver = core::DriverKind::kStock;
-      } else {
-        cfg.spider = row.sc;
-      }
-      const auto r = core::Experiment(std::move(cfg)).run();
+    for (const auto& r : runs) {
       joules.add(r.client_joules);
       if (r.traffic.total_bytes > 0) jpm.add(r.joules_per_megabyte());
       switches += r.channel_switches;

@@ -19,13 +19,17 @@ struct Outcome {
 };
 
 Outcome run(bool cache) {
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
+  const auto runs =
+      bench::run_seed_replications(seeds, [cache](std::uint64_t seed) {
+        auto cfg = bench::amherst_drive(seed, sim::Time::seconds(1200));
+        cfg.spider = core::single_channel_multi_ap(1);
+        cfg.spider.cache_leases = cache;
+        return cfg;
+      });
   trace::EmpiricalCdf joins;
   trace::OnlineStats thr, conn;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-    auto cfg = bench::amherst_drive(seed, sim::Time::seconds(1200));
-    cfg.spider = core::single_channel_multi_ap(1);
-    cfg.spider.cache_leases = cache;
-    const auto r = core::Experiment(std::move(cfg)).run();
+  for (const auto& r : runs) {
     for (double d : r.joins.join_delay_sec.samples()) joins.add(d);
     thr.add(r.avg_throughput_kBps());
     conn.add(r.connectivity_percent());

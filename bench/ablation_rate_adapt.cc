@@ -10,17 +10,23 @@ using namespace spider;
 
 namespace {
 
-double goodput_at(double distance_m, bool auto_rate, std::uint64_t seed) {
-  core::ExperimentConfig cfg =
-      bench::static_lab(seed, 1, 1, 4e6, sim::Time::seconds(60));
-  cfg.medium.base_loss = 0.1;
-  cfg.medium.edge_degradation = true;  // vehicular-style fringe
-  cfg.aps[0].position = {distance_m, 0.0};
-  cfg.ap_mac.auto_rate = auto_rate;
-  cfg.client_auto_rate = auto_rate;
-  cfg.spider = core::single_channel_multi_ap(1);
-  const auto r = core::Experiment(std::move(cfg)).run();
-  return r.avg_throughput_kbps();
+double mean_goodput_at(double distance_m, bool auto_rate,
+                       const std::vector<std::uint64_t>& seeds) {
+  const auto runs = bench::run_seed_replications(
+      seeds, [distance_m, auto_rate](std::uint64_t seed) {
+        core::ExperimentConfig cfg =
+            bench::static_lab(seed, 1, 1, 4e6, sim::Time::seconds(60));
+        cfg.medium.base_loss = 0.1;
+        cfg.medium.edge_degradation = true;  // vehicular-style fringe
+        cfg.aps[0].position = {distance_m, 0.0};
+        cfg.ap_mac.auto_rate = auto_rate;
+        cfg.client_auto_rate = auto_rate;
+        cfg.spider = core::single_channel_multi_ap(1);
+        return cfg;
+      });
+  trace::OnlineStats kbps;
+  for (const auto& r : runs) kbps.add(r.avg_throughput_kbps());
+  return kbps.mean();
 }
 
 }  // namespace
@@ -32,14 +38,11 @@ int main() {
               " nominal range 100 m, edge degradation from 75 m)\n\n");
   std::printf("  %-14s %-18s %-18s\n", "distance (m)", "fixed 11 Mb/s",
               "auto-rate (kb/s)");
+  const std::vector<std::uint64_t> seeds = {3, 5, 9};
   for (double d : {40.0, 70.0, 85.0, 92.0, 98.0, 104.0}) {
-    trace::OnlineStats fixed, adaptive;
-    for (std::uint64_t seed : {3ULL, 5ULL, 9ULL}) {
-      fixed.add(goodput_at(d, false, seed));
-      adaptive.add(goodput_at(d, true, seed));
-    }
-    std::printf("  %-14.0f %-18.0f %-18.0f\n", d, fixed.mean(),
-                adaptive.mean());
+    std::printf("  %-14.0f %-18.0f %-18.0f\n", d,
+                mean_goodput_at(d, false, seeds),
+                mean_goodput_at(d, true, seeds));
   }
   std::printf(
       "\nexpected shape: identical well inside the cell (adaptation stays\n"

@@ -21,24 +21,29 @@ namespace {
 
 double run(int aps_ch1, int aps_ch11, std::vector<core::ChannelSlice> schedule,
            sim::Time period) {
+  const std::vector<std::uint64_t> seeds = {3, 5, 7};
+  const auto runs = bench::run_seed_replications(
+      seeds, [&](std::uint64_t seed) {
+        auto cfg =
+            bench::static_lab(seed, aps_ch1, 1, 2e6, sim::Time::seconds(120));
+        for (int i = 0; i < aps_ch11; ++i) {
+          mobility::ApDescriptor d = cfg.aps.front();
+          d.ssid = "lab11-" + std::to_string(i);
+          d.mac =
+              net::MacAddress::from_index(0xB0 + static_cast<std::uint32_t>(i));
+          d.subnet = net::Ipv4Address{
+              (10u << 24) | (static_cast<std::uint32_t>(0xB0 + i) << 8)};
+          d.position = {12.0, 5.0};
+          d.channel = 11;
+          cfg.aps.push_back(d);
+        }
+        cfg.spider = core::single_channel_multi_ap(1);
+        cfg.spider.schedule = schedule;
+        cfg.spider.period = period;
+        return cfg;
+      });
   trace::OnlineStats thr;
-  for (std::uint64_t seed : {3ULL, 5ULL, 7ULL}) {
-    auto cfg = bench::static_lab(seed, aps_ch1, 1, 2e6, sim::Time::seconds(120));
-    for (int i = 0; i < aps_ch11; ++i) {
-      mobility::ApDescriptor d = cfg.aps.front();
-      d.ssid = "lab11-" + std::to_string(i);
-      d.mac = net::MacAddress::from_index(0xB0 + static_cast<std::uint32_t>(i));
-      d.subnet = net::Ipv4Address{
-          (10u << 24) | (static_cast<std::uint32_t>(0xB0 + i) << 8)};
-      d.position = {12.0, 5.0};
-      d.channel = 11;
-      cfg.aps.push_back(d);
-    }
-    cfg.spider = core::single_channel_multi_ap(1);
-    cfg.spider.schedule = schedule;
-    cfg.spider.period = period;
-    thr.add(core::Experiment(std::move(cfg)).run().avg_throughput_kbps());
-  }
+  for (const auto& r : runs) thr.add(r.avg_throughput_kbps());
   return thr.mean();
 }
 

@@ -1,0 +1,98 @@
+// Minimal JSON emitter for machine-readable bench artifacts (BENCH_*.json).
+//
+// Scope: exactly what the perf trajectory needs — objects, arrays, numbers,
+// strings, bools — built into a std::string and written atomically enough
+// for CI artifact upload (single fwrite). Not a general serializer; if a
+// bench needs more, grow this, don't hand-roll printf JSON in the bench.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace spider::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.push_back('{'); }
+
+  JsonWriter& add(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return add_raw(key, buf);
+  }
+  JsonWriter& add(std::string_view key, std::uint64_t value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonWriter& add(std::string_view key, std::int64_t value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonWriter& add(std::string_view key, unsigned value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  JsonWriter& add(std::string_view key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  JsonWriter& add(std::string_view key, bool value) {
+    return add_raw(key, value ? "true" : "false");
+  }
+  JsonWriter& add(std::string_view key, std::string_view value) {
+    return add_raw(key, quoted(value));
+  }
+  // Without this overload a string literal would take the bool overload
+  // (pointer-to-bool is a standard conversion; string_view is user-defined).
+  JsonWriter& add(std::string_view key, const char* value) {
+    return add_raw(key, quoted(value));
+  }
+  // Hex form for digests, so the JSON matches the printf'd diagnostics.
+  JsonWriter& add_hex(std::string_view key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                  static_cast<unsigned long long>(value));
+    return add_raw(key, buf);
+  }
+  // Nests a finished object (or any pre-rendered JSON value).
+  JsonWriter& add_object(std::string_view key, const JsonWriter& nested) {
+    return add_raw(key, nested.str());
+  }
+
+  std::string str() const { return out_ + "}"; }
+
+  // Writes the document (plus trailing newline) to `path`; returns success.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string doc = str() + "\n";
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  static std::string quoted(std::string_view value) {
+    std::string q = "\"";
+    for (char c : value) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\t': q += "\\t"; break;
+        default: q.push_back(c);
+      }
+    }
+    q.push_back('"');
+    return q;
+  }
+
+  JsonWriter& add_raw(std::string_view key, std::string_view value) {
+    if (out_.size() > 1) out_.push_back(',');
+    out_ += quoted(key);
+    out_.push_back(':');
+    out_ += value;
+    return *this;
+  }
+
+  std::string out_;
+};
+
+}  // namespace spider::bench

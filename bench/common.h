@@ -5,14 +5,46 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/configs.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "trace/stats.h"
 
 namespace spider::bench {
+
+// Worker threads for bench sweeps: SPIDER_BENCH_THREADS if set (>0), else
+// hardware concurrency. Per-seed results are bit-identical either way — the
+// sweep determinism gate in tests/sweep_test.cc is what lets every bench
+// default to parallel without perturbing a single reproduced number.
+inline unsigned sweep_threads() {
+  if (const char* env = std::getenv("SPIDER_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  return 0;  // SweepRunner resolves 0 to hardware concurrency
+}
+
+// Replicates one scenario across seeds (one Simulator world per worker) and
+// returns per-seed results in seed order, exactly as the old serial loops
+// produced them.
+inline std::vector<core::ExperimentResults> run_seed_replications(
+    const std::vector<std::uint64_t>& seeds,
+    const std::function<core::ExperimentConfig(std::uint64_t)>& make_config) {
+  core::SweepReport report =
+      core::run_seed_sweep(seeds, make_config, sweep_threads());
+  std::vector<core::ExperimentResults> results;
+  results.reserve(report.runs.size());
+  for (core::SweepRunResult& run : report.runs) {
+    results.push_back(std::move(run.results));
+  }
+  return results;
+}
 
 // Downtown-core drive: ~0.35 km^2 area, 30 building sites (roughly doubled
 // by clustering), rectangular loop at 10 m/s (the paper's town speeds).
@@ -82,10 +114,13 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");
 }
 
-// Prints a CDF as "x F(x)" rows, one series per call.
-inline void print_cdf(const std::string& label, const trace::EmpiricalCdf& cdf,
+// Prints a CDF as "x F(x)" rows, one series per call. Labels are plain
+// C strings (every caller passes a literal or a local char buffer); taking
+// std::string here used to construct and destroy a throwaway heap string on
+// every row of every figure's inner loop.
+inline void print_cdf(const char* label, const trace::EmpiricalCdf& cdf,
                       double x_max, int points = 16) {
-  std::printf("# series: %s (%zu samples)\n", label.c_str(), cdf.count());
+  std::printf("# series: %s (%zu samples)\n", label, cdf.count());
   if (cdf.empty()) {
     std::printf("#   (empty)\n");
     return;
@@ -95,13 +130,13 @@ inline void print_cdf(const std::string& label, const trace::EmpiricalCdf& cdf,
   }
 }
 
-inline void print_cdf_summary(const std::string& label,
+inline void print_cdf_summary(const char* label,
                               const trace::EmpiricalCdf& cdf) {
   if (cdf.empty()) {
-    std::printf("  %-38s  (no samples)\n", label.c_str());
+    std::printf("  %-38s  (no samples)\n", label);
     return;
   }
-  std::printf("  %-38s median=%7.2f  p90=%7.2f  n=%zu\n", label.c_str(),
+  std::printf("  %-38s median=%7.2f  p90=%7.2f  n=%zu\n", label,
               cdf.median(), cdf.quantile(0.9), cdf.count());
 }
 

@@ -16,11 +16,15 @@ struct Curves {
 };
 
 Curves collect(core::SpiderConfig sc) {
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
+  const auto runs =
+      bench::run_seed_replications(seeds, [&sc](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        cfg.spider = sc;
+        return cfg;
+      });
   Curves c;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-    auto cfg = spider::bench::amherst_drive(seed);
-    cfg.spider = sc;
-    const auto r = core::Experiment(std::move(cfg)).run();
+  for (const auto& r : runs) {
     for (double d : r.traffic.connection_durations_sec.samples())
       c.connections.add(d);
     for (double d : r.traffic.disruption_durations_sec.samples())

@@ -12,15 +12,20 @@ namespace {
 
 trace::EmpiricalCdf run_config(bool three_channels,
                                dhcpd::DhcpClientConfig timers) {
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
+  const auto runs = bench::run_seed_replications(
+      seeds, [three_channels, &timers](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        core::SpiderConfig sc = three_channels
+                                    ? core::multi_channel_multi_ap()
+                                    : core::single_channel_multi_ap(1);
+        sc.dhcp = timers;
+        sc.join_give_up = sim::Time::seconds(15);
+        cfg.spider = sc;
+        return cfg;
+      });
   trace::EmpiricalCdf join;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-    auto cfg = spider::bench::amherst_drive(seed);
-    core::SpiderConfig sc = three_channels ? core::multi_channel_multi_ap()
-                                           : core::single_channel_multi_ap(1);
-    sc.dhcp = timers;
-    sc.join_give_up = sim::Time::seconds(15);
-    cfg.spider = sc;
-    const auto r = core::Experiment(std::move(cfg)).run();
+  for (const auto& r : runs) {
     for (double d : r.joins.join_delay_sec.samples()) join.add(d);
   }
   return join;

@@ -11,12 +11,16 @@ using namespace spider;
 namespace {
 
 trace::EmpiricalCdf run_policy(core::SpiderConfig sc) {
+  sc.join_give_up = sim::Time::seconds(15);
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
+  const auto runs =
+      bench::run_seed_replications(seeds, [&sc](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        cfg.spider = sc;
+        return cfg;
+      });
   trace::EmpiricalCdf join;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-    auto cfg = spider::bench::amherst_drive(seed);
-    sc.join_give_up = sim::Time::seconds(15);
-    cfg.spider = sc;
-    const auto r = core::Experiment(std::move(cfg)).run();
+  for (const auto& r : runs) {
     for (double d : r.joins.join_delay_sec.samples()) join.add(d);
   }
   return join;

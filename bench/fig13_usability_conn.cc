@@ -13,11 +13,15 @@ using namespace spider;
 namespace {
 
 trace::EmpiricalCdf spider_connections(core::SpiderConfig sc) {
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
+  const auto runs =
+      bench::run_seed_replications(seeds, [&sc](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        cfg.spider = sc;
+        return cfg;
+      });
   trace::EmpiricalCdf cdf;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-    auto cfg = spider::bench::amherst_drive(seed);
-    cfg.spider = sc;
-    const auto r = core::Experiment(std::move(cfg)).run();
+  for (const auto& r : runs) {
     for (double d : r.traffic.connection_durations_sec.samples()) cdf.add(d);
   }
   return cdf;

@@ -16,18 +16,21 @@ int main() {
   std::printf("setup: D=400ms, f6=x, f1=f11=(1-x)/2, link timeout 100ms,\n"
               "       vehicular drives over the Amherst-style deployment\n\n");
 
+  const std::vector<std::uint64_t> seeds = {11, 22, 33};
   for (double x : {0.25, 0.50, 0.75, 1.00}) {
+    const auto runs =
+        bench::run_seed_replications(seeds, [x](std::uint64_t seed) {
+          auto cfg = bench::amherst_drive(seed);
+          core::SpiderConfig sc = core::single_channel_multi_ap(6);
+          sc.period = sim::Time::millis(400);
+          if (x < 1.0) {
+            sc.schedule = {{6, x}, {1, (1 - x) / 2}, {11, (1 - x) / 2}};
+          }
+          cfg.spider = sc;
+          return cfg;
+        });
     trace::EmpiricalCdf assoc;
-    for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
-      auto cfg = bench::amherst_drive(seed);
-      core::SpiderConfig sc = core::single_channel_multi_ap(6);
-      sc.period = sim::Time::millis(400);
-      if (x < 1.0) {
-        sc.schedule = {{6, x}, {1, (1 - x) / 2}, {11, (1 - x) / 2}};
-      }
-      cfg.spider = sc;
-      core::Experiment exp(std::move(cfg));
-      const auto r = exp.run();
+    for (const auto& r : runs) {
       for (double d : r.joins.association_delay_sec.samples()) assoc.add(d);
     }
     char label[64];

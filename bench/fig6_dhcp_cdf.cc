@@ -12,19 +12,22 @@ using namespace spider;
 namespace {
 
 trace::EmpiricalCdf run_config(double f6, dhcpd::DhcpClientConfig timers) {
+  const std::vector<std::uint64_t> seeds = {11, 22, 33};
+  const auto runs =
+      bench::run_seed_replications(seeds, [f6, &timers](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        core::SpiderConfig sc = core::single_channel_multi_ap(6);
+        sc.period = sim::Time::millis(400);
+        if (f6 < 1.0) {
+          sc.schedule = {{6, f6}, {1, (1 - f6) / 2}, {11, (1 - f6) / 2}};
+        }
+        sc.dhcp = timers;
+        sc.join_give_up = sim::Time::seconds(15);
+        cfg.spider = sc;
+        return cfg;
+      });
   trace::EmpiricalCdf join;
-  for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
-    auto cfg = spider::bench::amherst_drive(seed);
-    core::SpiderConfig sc = core::single_channel_multi_ap(6);
-    sc.period = sim::Time::millis(400);
-    if (f6 < 1.0) {
-      sc.schedule = {{6, f6}, {1, (1 - f6) / 2}, {11, (1 - f6) / 2}};
-    }
-    sc.dhcp = timers;
-    sc.join_give_up = sim::Time::seconds(15);
-    cfg.spider = sc;
-    core::Experiment exp(std::move(cfg));
-    const auto r = exp.run();
+  for (const auto& r : runs) {
     for (double d : r.joins.join_delay_sec.samples()) join.add(d);
   }
   return join;

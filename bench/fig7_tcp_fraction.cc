@@ -15,19 +15,22 @@ int main() {
               "       D=400ms, remainder split between ch6 and ch11\n\n");
   std::printf("  %-12s %-18s\n", "% primary", "throughput (kb/s)");
 
+  const std::vector<std::uint64_t> seeds = {3, 5, 7};
   for (double f : {0.125, 0.25, 0.375, 0.50, 0.625, 0.75, 0.875, 1.0}) {
+    const auto runs =
+        bench::run_seed_replications(seeds, [f](std::uint64_t seed) {
+          auto cfg =
+              bench::static_lab(seed, 1, 1, 5e6, sim::Time::seconds(120));
+          core::SpiderConfig sc = core::single_channel_multi_ap(1);
+          sc.period = sim::Time::millis(400);
+          if (f < 1.0) {
+            sc.schedule = {{1, f}, {6, (1 - f) / 2}, {11, (1 - f) / 2}};
+          }
+          cfg.spider = sc;
+          return cfg;
+        });
     trace::OnlineStats kbps;
-    for (std::uint64_t seed : {3ULL, 5ULL, 7ULL}) {
-      auto cfg = bench::static_lab(seed, 1, 1, 5e6, sim::Time::seconds(120));
-      core::SpiderConfig sc = core::single_channel_multi_ap(1);
-      sc.period = sim::Time::millis(400);
-      if (f < 1.0) {
-        sc.schedule = {{1, f}, {6, (1 - f) / 2}, {11, (1 - f) / 2}};
-      }
-      cfg.spider = sc;
-      const auto r = core::Experiment(std::move(cfg)).run();
-      kbps.add(r.avg_throughput_kbps());
-    }
+    for (const auto& r : runs) kbps.add(r.avg_throughput_kbps());
     std::printf("  %-12.1f %8.0f  (+/- %.0f)\n", 100 * f, kbps.mean(),
                 kbps.stddev());
   }

@@ -16,16 +16,18 @@ int main() {
               "       equal schedule over ch1/ch6/ch11, dwell x per channel\n\n");
   std::printf("  %-14s %-18s\n", "x (ms/chan)", "throughput (kb/s)");
 
+  const std::vector<std::uint64_t> seeds = {3, 5, 7};
   for (int x_ms : {33, 67, 100, 133, 167, 200, 267, 333, 400}) {
+    const auto runs =
+        bench::run_seed_replications(seeds, [x_ms](std::uint64_t seed) {
+          auto cfg =
+              bench::static_lab(seed, 1, 1, 5e6, sim::Time::seconds(120));
+          cfg.spider = core::multi_channel_multi_ap(
+              sim::Time::millis(3 * x_ms), {1, 6, 11});
+          return cfg;
+        });
     trace::OnlineStats kbps;
-    for (std::uint64_t seed : {3ULL, 5ULL, 7ULL}) {
-      auto cfg = bench::static_lab(seed, 1, 1, 5e6, sim::Time::seconds(120));
-      core::SpiderConfig sc = core::multi_channel_multi_ap(
-          sim::Time::millis(3 * x_ms), {1, 6, 11});
-      cfg.spider = sc;
-      const auto r = core::Experiment(std::move(cfg)).run();
-      kbps.add(r.avg_throughput_kbps());
-    }
+    for (const auto& r : runs) kbps.add(r.avg_throughput_kbps());
     std::printf("  %-14d %8.0f  (+/- %.0f)\n", x_ms, kbps.mean(),
                 kbps.stddev());
   }

@@ -1,0 +1,261 @@
+// perf_smoke — the repo's perf trajectory, as one machine-readable artifact.
+//
+// Measures (1) single-threaded event-queue throughput of the optimized
+// simulator against an in-binary replica of the pre-optimization hot path
+// (std::function callback storage + per-event make_shared<bool> cancellation
+// token — the exact layout simulator.cc shipped before the SmallFn/token-slab
+// rework), and (2) wall-clock time of an 8-replication vehicular sweep run
+// serially vs. on all hardware threads, verifying per-run digests match.
+//
+// Emits BENCH_perf.json (schema "spider-bench-perf-v1"; see README) so CI can
+// upload the numbers and successive PRs have a comparable perf record.
+#include <cstdio>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/common.h"
+#include "core/check.h"
+#include "core/sweep.h"
+#include "sim/simulator.h"
+#include "sim/thread_pool.h"
+
+using namespace spider;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline replica: the event queue exactly as it was before the hot-path
+// rework — a std::function per event (heap-allocated once captures exceed
+// its ~16-byte inline buffer) and a make_shared<bool> cancellation token per
+// event. Digest folding matches the real simulator so the comparison
+// isolates the allocation strategy, nothing else.
+class LegacySimulator {
+ public:
+  class Handle {
+   public:
+    Handle() = default;
+    explicit Handle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+    void cancel() {
+      if (cancelled_) *cancelled_ = true;
+    }
+
+   private:
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  sim::Time now() const { return now_; }
+
+  Handle schedule_at(sim::Time at, std::function<void()> fn) {
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+    return Handle{std::move(cancelled)};
+  }
+
+  // The pre-rework API had no fire-and-forget path: every beacon tick and
+  // frame delivery paid for a token it would never use.
+  void post_at(sim::Time at, std::function<void()> fn) {
+    schedule_at(at, std::move(fn));
+  }
+
+  void run_all() {
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn),
+               top.cancelled};
+      queue_.pop();
+      if (*ev.cancelled) continue;
+      // Digest folding identical to the shipped simulator (pre- and
+      // post-rework), so the measured delta is the event layout alone.
+      if (instant_count_ > 0 && ev.at.us() != instant_us_) fold_instant();
+      instant_us_ = ev.at.us();
+      instant_acc_ += event_hash(ev.at.us(), ev.seq);
+      ++instant_count_;
+      now_ = ev.at;
+      ++executed_;
+      ev.fn();
+    }
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  struct Event {
+    sim::Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  static constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+  static std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (i * 8)) & 0xFFu;
+      hash *= kFnvPrime;
+    }
+    return hash;
+  }
+
+  static std::uint64_t event_hash(std::int64_t at_us, std::uint64_t seq) {
+    return fnv1a_u64(fnv1a_u64(0xcbf29ce484222325ull,
+                               static_cast<std::uint64_t>(at_us)),
+                     seq);
+  }
+
+  void fold_instant() {
+    digest_ = fnv1a_u64(digest_, static_cast<std::uint64_t>(instant_us_));
+    digest_ = fnv1a_u64(digest_, instant_acc_);
+    digest_ = fnv1a_u64(digest_, instant_count_);
+    instant_acc_ = 0;
+    instant_count_ = 0;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  sim::Time now_ = sim::Time::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;
+  std::int64_t instant_us_ = 0;
+  std::uint64_t instant_acc_ = 0;
+  std::uint64_t instant_count_ = 0;
+};
+
+// Identical churn for both engines, mixed the way a vehicular run mixes it:
+// three quarters of the events are fire-and-forget (frame deliveries, beacon
+// ticks — post_at), one quarter are cancellable timers, and half of those
+// get cancelled before firing. Captures (a reference plus two 64-bit values,
+// 24 bytes) overflow std::function's inline buffer but fit SmallFn's.
+// Returns scheduled events per second.
+template <typename Sim>
+double churn_events_per_sec(int waves, int per_wave,
+                            std::uint64_t* sink_out) {
+  Sim sim;
+  std::uint64_t sink = 0;
+  std::vector<decltype(sim.schedule_at(sim::Time::zero(),
+                                       std::function<void()>()))>
+      handles;
+  handles.reserve(static_cast<std::size_t>(per_wave));
+  const auto start = std::chrono::steady_clock::now();
+  for (int wave = 0; wave < waves; ++wave) {
+    handles.clear();
+    const sim::Time base = sim.now() + sim::Time::micros(1);
+    for (int i = 0; i < per_wave; ++i) {
+      const sim::Time at = base + sim::Time::micros(i % 97);
+      const std::uint64_t a = static_cast<std::uint64_t>(i) * 0x9E3779B9u;
+      const std::uint64_t b = static_cast<std::uint64_t>(wave);
+      auto fn = [&sink, a, b] { sink += a ^ b; };
+      if (i % 4 == 0) {
+        handles.push_back(sim.schedule_at(at, fn));
+      } else {
+        sim.post_at(at, fn);
+      }
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) handles[i].cancel();
+    sim.run_all();
+  }
+  const double elapsed = seconds_since(start);
+  *sink_out = sink + sim.digest();
+  const double scheduled =
+      static_cast<double>(waves) * static_cast<double>(per_wave);
+  return scheduled / elapsed;
+}
+
+core::ExperimentConfig sweep_config(std::uint64_t seed) {
+  auto cfg = bench::amherst_drive(seed, sim::Time::seconds(120));
+  cfg.spider = core::single_channel_multi_ap(1);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  bench::print_header("perf_smoke",
+                      "perf trajectory: event-queue hot path + parallel sweep");
+
+  // ---- event-queue microbenchmark -----------------------------------------
+  // Wave size mirrors the depth the vehicular experiments actually keep the
+  // queue at (hundreds of pending events, not tens of thousands), so the
+  // per-event constant costs — allocation, token management — dominate the
+  // measurement the way they dominate production runs.
+  constexpr int kWaves = 8'000;
+  constexpr int kPerWave = 256;
+  std::uint64_t sink = 0;
+  // Warm both allocators, then measure.
+  churn_events_per_sec<sim::Simulator>(10, kPerWave, &sink);
+  churn_events_per_sec<LegacySimulator>(10, kPerWave, &sink);
+  const double optimized =
+      churn_events_per_sec<sim::Simulator>(kWaves, kPerWave, &sink);
+  const double baseline =
+      churn_events_per_sec<LegacySimulator>(kWaves, kPerWave, &sink);
+  const double event_speedup = optimized / baseline;
+  std::printf("event queue:  %.3g events/s optimized, %.3g events/s with the\n"
+              "              pre-rework event layout  (speedup %.2fx)\n",
+              optimized, baseline, event_speedup);
+
+  // ---- sweep: serial vs. parallel -----------------------------------------
+  const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47, 57, 67, 77};
+  const auto serial = core::run_seed_sweep(seeds, sweep_config, 1);
+  const auto parallel = core::run_seed_sweep(seeds, sweep_config, 0);
+
+  bool digests_match = serial.runs.size() == parallel.runs.size();
+  for (std::size_t i = 0; digests_match && i < serial.runs.size(); ++i) {
+    digests_match = serial.runs[i].digest == parallel.runs[i].digest;
+  }
+  SPIDER_CHECK(digests_match)
+      << "parallel sweep diverged from serial execution";
+  const double sweep_speedup = serial.wall_seconds / parallel.wall_seconds;
+  std::uint64_t total_events = 0;
+  for (const auto& run : serial.runs) total_events += run.events_executed;
+  std::printf("sweep:        %zu runs x 120 sim-s, %.2fs serial -> %.2fs on\n"
+              "              %u threads  (speedup %.2fx, digests %s)\n",
+              seeds.size(), serial.wall_seconds, parallel.wall_seconds,
+              parallel.threads, sweep_speedup,
+              digests_match ? "identical" : "DIVERGED");
+
+  // ---- artifact -----------------------------------------------------------
+  bench::JsonWriter event_queue;
+  event_queue.add("events", static_cast<std::uint64_t>(kWaves) * kPerWave)
+      .add("events_per_sec", optimized)
+      .add("baseline_events_per_sec", baseline)
+      .add("speedup_vs_baseline", event_speedup);
+
+  bench::JsonWriter sweep;
+  sweep.add("replications", static_cast<std::uint64_t>(seeds.size()))
+      .add("sim_seconds_each", 120)
+      .add("events_total", total_events)
+      .add("serial_seconds", serial.wall_seconds)
+      .add("parallel_seconds", parallel.wall_seconds)
+      .add("parallel_threads", parallel.threads)
+      .add("speedup", sweep_speedup)
+      .add("digests_match", digests_match)
+      .add_hex("combined_digest", parallel.combined_digest());
+
+  bench::JsonWriter doc;
+  doc.add("schema", "spider-bench-perf-v1")
+      .add("hardware_threads", sim::ThreadPool::default_thread_count())
+      .add_object("event_queue", event_queue)
+      .add_object("sweep", sweep);
+  if (!doc.write_file(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path);
+  return sink == 0xdead ? 2 : 0;  // keep `sink` observable
+}

@@ -17,11 +17,13 @@ struct Row {
 
 template <typename MakeWorld>
 Row average_runs(MakeWorld make_world, int seeds = 3) {
-  Row row;
+  std::vector<std::uint64_t> seed_list;
   for (int s = 0; s < seeds; ++s) {
-    core::ExperimentConfig cfg = make_world(static_cast<std::uint64_t>(
-        7 + 10 * s));
-    const auto r = core::Experiment(std::move(cfg)).run();
+    seed_list.push_back(static_cast<std::uint64_t>(7 + 10 * s));
+  }
+  const auto runs = bench::run_seed_replications(seed_list, make_world);
+  Row row;
+  for (const auto& r : runs) {
     row.throughput_kBps += r.avg_throughput_kBps() / seeds;
     row.connectivity_pct += r.connectivity_percent() / seeds;
   }

@@ -13,14 +13,19 @@ namespace {
 
 void run_row(const char* label, bool three_channels,
              dhcpd::DhcpClientConfig timers) {
+  const std::vector<std::uint64_t> seeds = {7, 17, 27, 37};
+  const auto runs = bench::run_seed_replications(
+      seeds, [three_channels, &timers](std::uint64_t seed) {
+        auto cfg = spider::bench::amherst_drive(seed);
+        core::SpiderConfig sc = three_channels
+                                    ? core::multi_channel_multi_ap()
+                                    : core::single_channel_multi_ap(1);
+        sc.dhcp = timers;
+        cfg.spider = sc;
+        return cfg;
+      });
   trace::OnlineStats failure_pct;
-  for (std::uint64_t seed : {7ULL, 17ULL, 27ULL, 37ULL}) {
-    auto cfg = spider::bench::amherst_drive(seed);
-    core::SpiderConfig sc = three_channels ? core::multi_channel_multi_ap()
-                                           : core::single_channel_multi_ap(1);
-    sc.dhcp = timers;
-    cfg.spider = sc;
-    const auto r = core::Experiment(std::move(cfg)).run();
+  for (const auto& r : runs) {
     if (r.joins.dhcp_failed_joins + r.joins.joins > 0) {
       failure_pct.add(100.0 * r.joins.dhcp_join_failure_rate());
     }

@@ -21,18 +21,22 @@ int main() {
       {"2 channels (equal schedule)", {1, 6}},
       {"3 channels (equal schedule)", {1, 6, 11}},
   };
+  const std::vector<std::uint64_t> seeds = {7, 17, 27};
   for (const auto& row : rows) {
+    const auto runs =
+        bench::run_seed_replications(seeds, [&row](std::uint64_t seed) {
+          auto cfg = bench::amherst_drive(seed);
+          if (row.channels.size() == 1) {
+            cfg.spider = core::single_channel_multi_ap(row.channels[0]);
+          } else {
+            cfg.spider = core::multi_channel_multi_ap(
+                sim::Time::millis(200) * static_cast<int>(row.channels.size()),
+                row.channels);
+          }
+          return cfg;
+        });
     trace::OnlineStats thr, conn;
-    for (std::uint64_t seed : {7ULL, 17ULL, 27ULL}) {
-      auto cfg = bench::amherst_drive(seed);
-      if (row.channels.size() == 1) {
-        cfg.spider = core::single_channel_multi_ap(row.channels[0]);
-      } else {
-        cfg.spider = core::multi_channel_multi_ap(
-            sim::Time::millis(200) * static_cast<int>(row.channels.size()),
-            row.channels);
-      }
-      const auto r = core::Experiment(std::move(cfg)).run();
+    for (const auto& r : runs) {
       thr.add(r.avg_throughput_kBps());
       conn.add(r.connectivity_percent());
     }

@@ -26,7 +26,7 @@ void WiredLink::send(net::TcpSegment segment) {
     busy_until_ = start + sim::transmission_time(size, config_.rate_bps);
     ready = busy_until_;
   }
-  sim_.schedule_at(ready + config_.latency, [this, segment] {
+  sim_.post_at(ready + config_.latency, [this, segment] {
     ++delivered_;
     if (deliver_) deliver_(segment);
   });

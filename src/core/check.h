@@ -14,6 +14,18 @@
 // long fleet runs survive a non-critical invariant while still reporting it.
 // Counters and the last failure message are queryable so tests can assert on
 // them and million-user runs can export them as health metrics.
+//
+// Checks vs. exceptions — the one policy, repo-wide: exceptions are reserved
+// for *construction-time* configuration errors (bad ExperimentConfig values,
+// malformed deployments), where the caller genuinely can recover by fixing
+// its input. API misuse on an already-running system — scheduling an event
+// in the past, releasing a token twice, violating a state machine — is an
+// invariant violation and goes through SPIDER_CHECK, never `throw`: checks
+// are streamable, centrally counted, policy-switchable (kLogAndCount lets a
+// long fleet run degrade gracefully where an exception would unwind through
+// the event loop), and they cost one predictable branch on hot paths. When a
+// check site can keep going under kLogAndCount, it must follow the failed
+// check with an explicit clamp/fallback (see Simulator::schedule_at).
 #pragma once
 
 #include <cstdint>

@@ -119,7 +119,7 @@ sim::Time ClientDevice::switch_channel(net::ChannelId channel,
   if (drain.is_zero() || drain.is_negative()) {
     tune();
   } else {
-    sim_.schedule_after(drain, std::move(tune));
+    sim_.post_after(drain, std::move(tune));
   }
 
   // Modeled switch latency: hardware reset plus the airtime of the PSM and

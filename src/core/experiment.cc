@@ -74,7 +74,7 @@ void Experiment::attach_frame_log(trace::FrameLog& log) {
 
 void Experiment::update_position() {
   device_->set_position(config_.vehicle.position(sim_.now()));
-  sim_.schedule_after(config_.position_update, [this] { update_position(); });
+  sim_.post_after(config_.position_update, [this] { update_position(); });
 }
 
 ExperimentResults Experiment::run() {

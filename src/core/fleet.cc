@@ -92,7 +92,7 @@ void FleetExperiment::update_positions() {
     client->device->set_position(
         config_.vehicle.position(sim_.now() + client->phase));
   }
-  sim_.schedule_after(config_.position_update, [this] { update_positions(); });
+  sim_.post_after(config_.position_update, [this] { update_positions(); });
 }
 
 FleetResults FleetExperiment::run() {

@@ -103,7 +103,7 @@ void SpiderDriver::scan_excursion_step(std::vector<net::ChannelId> remaining) {
     accumulate_airtime();
     dwell_channel_ = target;
   });
-  sim_.schedule_after(config_.scan_excursion,
+  sim_.post_after(config_.scan_excursion,
                       [this, remaining = std::move(remaining)]() mutable {
                         scan_excursion_step(std::move(remaining));
                       });
@@ -387,7 +387,7 @@ void SpiderDriver::on_session_event(VirtualInterface& vif,
     case mac::SessionEvent::kFailed: {
       // Deferred: we are inside the session's own call stack.
       const net::Bssid bssid = vif.bssid;
-      sim_.schedule_after(sim::Time::zero(), [this, bssid] {
+      sim_.post_after(sim::Time::zero(), [this, bssid] {
         destroy_interface(bssid, /*lost=*/false);
       });
       break;

@@ -77,7 +77,7 @@ void StockDriver::begin_join(const ScanEntry& entry) {
       metrics_.association_delay_sec.add(s.association_delay().sec());
       dhcp_->start();
     } else {
-      sim_.schedule_after(sim::Time::zero(), [this] { teardown(false); });
+      sim_.post_after(sim::Time::zero(), [this] { teardown(false); });
     }
   });
   dhcp_->set_event_handler([this](dhcpd::DhcpClient&, dhcpd::DhcpEvent ev) {
@@ -92,7 +92,7 @@ void StockDriver::begin_join(const ScanEntry& entry) {
       ++metrics_.dhcp_attempts;
       ++metrics_.dhcp_attempt_failures;
       if (++dhcp_failures_this_join_ >= config_.dhcp_windows_before_rescan) {
-        sim_.schedule_after(sim::Time::zero(), [this] { teardown(false); });
+        sim_.post_after(sim::Time::zero(), [this] { teardown(false); });
       }
     }
   });

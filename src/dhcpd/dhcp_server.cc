@@ -50,7 +50,7 @@ net::Ipv4Address DhcpServer::allocate(net::MacAddress client) {
 
 void DhcpServer::send_later(net::MacAddress client, net::DhcpMessage msg,
                             sim::Time lo, sim::Time hi) {
-  sim_.schedule_after(
+  sim_.post_after(
       sample(lo, hi),
       [this, alive = std::weak_ptr<char>(alive_), client, msg] {
         if (alive.expired()) return;

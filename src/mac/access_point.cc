@@ -72,7 +72,7 @@ void AccessPoint::start() {
   // Desynchronize beacons across APs.
   const sim::Time offset =
       sim::Time::micros(rng_.uniform_int(0, config_.beacon_interval.us() - 1));
-  medium_.simulator().schedule_after(
+  medium_.simulator().post_after(
       offset, [this, alive = std::weak_ptr<char>(alive_)] {
         if (!alive.expired()) beacon_tick();
       });
@@ -84,7 +84,7 @@ net::BeaconInfo AccessPoint::beacon_info() const {
 
 void AccessPoint::beacon_tick() {
   radio_.send(net::make_beacon(address(), beacon_info()));
-  medium_.simulator().schedule_after(
+  medium_.simulator().post_after(
       config_.beacon_interval, [this, alive = std::weak_ptr<char>(alive_)] {
         if (!alive.expired()) beacon_tick();
       });
@@ -99,7 +99,7 @@ void AccessPoint::respond_after_delay(net::Frame response) {
       << "management response delay " << delay.to_string()
       << " outside configured [" << lo.to_string() << ", " << hi.to_string()
       << "]";
-  medium_.simulator().schedule_after(
+  medium_.simulator().post_after(
       delay, [this, alive = std::weak_ptr<char>(alive_),
               response = std::move(response)] {
         if (!alive.expired()) radio_.send(response);

@@ -76,7 +76,7 @@ sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   // sub-millisecond drift during airtime is irrelevant.
   const Vec2 pos = sender.position();
   const Radio* sender_ptr = &sender;
-  sim_.schedule_at(done, [this, sender_ptr, pos, channel,
+  sim_.post_at(done, [this, sender_ptr, pos, channel,
                           frame = std::move(frame)] {
     deliver(sender_ptr, pos, channel, frame);
   });

@@ -1,6 +1,5 @@
 #include "sim/simulator.h"
 
-#include <stdexcept>
 #include <utility>
 
 #include "core/check.h"
@@ -8,55 +7,111 @@
 namespace spider::sim {
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-constexpr std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    hash ^= (value >> (i * 8)) & 0xFFu;
-    hash *= kFnvPrime;
-  }
-  return hash;
+// splitmix64 finalizer: full-avalanche 64-bit mix at two multiplies. The
+// digest runs once per executed event, so this replaced a byte-wise FNV-1a
+// (8 multiplies per folded word) as part of the hot-path rework; the digest
+// has no golden values anywhere — only run-to-run equality matters — so the
+// hash function is free to be as cheap as avalanche quality allows.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
 }
 
 // Hash of one executed (time, event-id) pair. Pairs within an instant are
 // combined with wrapping addition (commutative), so the per-instant
 // accumulator identifies the executed set regardless of pop order details.
 constexpr std::uint64_t event_hash(std::int64_t at_us, std::uint64_t seq) {
-  std::uint64_t h = fnv1a_u64(kFnvOffset, static_cast<std::uint64_t>(at_us));
-  return fnv1a_u64(h, seq);
+  return mix64(static_cast<std::uint64_t>(at_us) * 0x9e3779b97f4a7c15ull ^
+               seq);
 }
 
 // Closes an instant: mixes (time, accumulator, count) into the digest.
 constexpr std::uint64_t fold(std::uint64_t digest, std::int64_t instant_us,
                              std::uint64_t acc, std::uint64_t count) {
-  digest = fnv1a_u64(digest, static_cast<std::uint64_t>(instant_us));
-  digest = fnv1a_u64(digest, acc);
-  return fnv1a_u64(digest, count);
+  digest = mix64(digest ^ mix64(static_cast<std::uint64_t>(instant_us)));
+  digest = mix64(digest ^ acc);
+  return mix64(digest ^ count);
 }
 
 }  // namespace
 
+namespace detail {
+
+std::uint32_t TokenSlab::acquire() {
+  if (!free_list.empty()) {
+    const std::uint32_t slot = free_list.back();
+    free_list.pop_back();
+    slots[slot].cancelled = false;
+    slots[slot].active = true;
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots.size());
+  slots.push_back(Slot{0, false, true});
+  return slot;
+}
+
+void TokenSlab::release(std::uint32_t slot) {
+  SPIDER_DCHECK(slot < slots.size() && slots[slot].active)
+      << "token slab release of slot " << slot;
+  ++slots[slot].generation;  // invalidates every outstanding handle
+  slots[slot].active = false;
+  slots[slot].cancelled = false;
+  free_list.push_back(slot);
+}
+
+}  // namespace detail
+
 void TimerHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (slab_ && slab_->matches(slot_, generation_)) {
+    slab_->slots[slot_].cancelled = true;
+  }
 }
 
 bool TimerHandle::pending() const {
-  // use_count > 1 means the event is still in the queue holding its copy.
-  return cancelled_ && !*cancelled_ && cancelled_.use_count() > 1;
+  return slab_ && slab_->matches(slot_, generation_) &&
+         !slab_->cancelled(slot_);
 }
 
-TimerHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
-  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
-  return TimerHandle{std::move(cancelled)};
+Simulator::Simulator() : tokens_(std::make_shared<detail::TokenSlab>()) {}
+
+Simulator::~Simulator() { tokens_->dead = true; }
+
+TimerHandle Simulator::schedule_at(Time at, SmallFn fn) {
+  // Scheduling in the past is an invariant violation, not a recoverable
+  // error: see src/core/check.h for the exceptions-vs-checks policy. Under
+  // kLogAndCount the event is clamped to now() so the run can continue.
+  SPIDER_CHECK(at >= now_) << "schedule_at(" << at.to_string()
+                           << ") behind clock " << now_.to_string();
+  if (at < now_) at = now_;
+  const std::uint32_t slot = tokens_->acquire();
+  const std::uint32_t generation = tokens_->slots[slot].generation;
+  queue_.push(Event{at, next_seq_++, slot, std::move(fn)});
+  return TimerHandle{tokens_, slot, generation};
 }
 
-TimerHandle Simulator::schedule_after(Time delay, std::function<void()> fn) {
-  if (delay.is_negative())
-    throw std::invalid_argument("schedule_after: negative delay");
+TimerHandle Simulator::schedule_after(Time delay, SmallFn fn) {
+  SPIDER_CHECK(!delay.is_negative())
+      << "schedule_after(" << delay.to_string() << ") with negative delay";
+  if (delay.is_negative()) delay = Time::zero();
   return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::post_at(Time at, SmallFn fn) {
+  SPIDER_CHECK(at >= now_) << "post_at(" << at.to_string()
+                           << ") behind clock " << now_.to_string();
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, kNoToken, std::move(fn)});
+}
+
+void Simulator::post_after(Time delay, SmallFn fn) {
+  SPIDER_CHECK(!delay.is_negative())
+      << "post_after(" << delay.to_string() << ") with negative delay";
+  if (delay.is_negative()) delay = Time::zero();
+  post_at(now_ + delay, std::move(fn));
 }
 
 void Simulator::fold_instant() {
@@ -76,10 +131,17 @@ void Simulator::drain(Time limit) {
     const Event& top = queue_.top();
     if (top.at > limit) break;
     // Move the event out before popping; fn may schedule more events.
-    Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn),
-             top.cancelled};
+    Event ev{top.at, top.seq, top.token,
+             std::move(const_cast<Event&>(top).fn)};
     queue_.pop();
-    if (*ev.cancelled) continue;
+    if (ev.token != kNoToken) {
+      const bool cancelled = tokens_->cancelled(ev.token);
+      // Release before running fn: pending() is false for a firing event,
+      // and fn is free to schedule new events that recycle the slot (the
+      // bumped generation keeps old handles inert).
+      tokens_->release(ev.token);
+      if (cancelled) continue;
+    }
     // Event-queue monotonicity: the heap must never surface an event behind
     // the clock — schedule_at() rejects past times, so a violation here means
     // heap corruption or clock tampering, and every digest after it is junk.

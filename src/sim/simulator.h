@@ -5,23 +5,65 @@
 // runs bit-for-bit reproducible for a fixed seed. Timers are cancellable via
 // the handle returned from schedule_at()/schedule_after().
 //
+// Hot-path design: callbacks are stored in SmallFn (48-byte inline buffer, no
+// heap allocation for the common lambda captures), and cancellation state
+// lives in a pooled token slab indexed by slot + generation counter instead
+// of a per-event make_shared<bool>. Scheduling an event therefore performs no
+// per-event heap allocation once the queue and slab have warmed up.
+//
 // Determinism is a *checked* property, not just a design intent: every
-// executed event folds its (time, sequence) pair into a running FNV-1a
+// executed event folds its (time, sequence) pair into a running 64-bit
 // digest (see digest()), and tests/determinism_test.cc gates on identical
-// digests across repeated seeded runs.
+// digests across repeated seeded runs. Threading contract: a Simulator and
+// everything scheduled on it belong to exactly one thread; parallelism comes
+// from running independent simulators on independent threads (see
+// core::SweepRunner), never from sharing one.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "sim/small_fn.h"
 #include "sim/time.h"
 
 namespace spider::sim {
 
 class Simulator;
+
+namespace detail {
+
+// Pooled cancellation tokens, one slab per Simulator. A token is a (slot,
+// generation) pair: slots are recycled through a free list and the slot's
+// generation is bumped on every release, so a stale TimerHandle referring to
+// a recycled slot simply mismatches and becomes inert. This replaces the old
+// per-event shared_ptr<bool> (one heap allocation + refcount per event) with
+// plain vector indexing.
+struct TokenSlab {
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+    bool active = false;
+  };
+
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free_list;
+  // Set by ~Simulator so handles that outlive the simulator report not
+  // pending (mirrors the old shared_ptr behaviour where the queue's copy
+  // vanished with the simulator).
+  bool dead = false;
+
+  std::uint32_t acquire();
+  void release(std::uint32_t slot);
+  bool cancelled(std::uint32_t slot) const { return slots[slot].cancelled; }
+  bool matches(std::uint32_t slot, std::uint32_t generation) const {
+    return !dead && slot < slots.size() && slots[slot].active &&
+           slots[slot].generation == generation;
+  }
+};
+
+}  // namespace detail
 
 // Cancellable reference to a scheduled event. Default-constructed handles are
 // inert; cancel() after the event has fired (or on an inert handle) is a
@@ -36,14 +78,19 @@ class TimerHandle {
 
  private:
   friend class Simulator;
-  explicit TimerHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;  // shared with the queued event
+  TimerHandle(std::shared_ptr<detail::TokenSlab> slab, std::uint32_t slot,
+              std::uint32_t generation)
+      : slab_(std::move(slab)), slot_(slot), generation_(generation) {}
+
+  std::shared_ptr<detail::TokenSlab> slab_;  // shared with the Simulator
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
 
   // Non-copyable: handles and callbacks capture `this`.
   Simulator(const Simulator&) = delete;
@@ -51,10 +98,20 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  // Schedules `fn` at absolute time `at` (must be >= now()).
-  TimerHandle schedule_at(Time at, std::function<void()> fn);
-  // Schedules `fn` at now() + delay (delay must be >= 0).
-  TimerHandle schedule_after(Time delay, std::function<void()> fn);
+  // Schedules `fn` at absolute time `at`. Scheduling in the past is an
+  // invariant violation (SPIDER_CHECK, fatal by default); under
+  // check::Policy::kLogAndCount the event is clamped to now() and survives.
+  TimerHandle schedule_at(Time at, SmallFn fn);
+  // Schedules `fn` at now() + delay; negative delays violate the same check
+  // and clamp to zero under kLogAndCount.
+  TimerHandle schedule_after(Time delay, SmallFn fn);
+
+  // Fire-and-forget variants: no cancellation token is allocated and no
+  // handle is returned, which makes these the cheapest way to schedule.
+  // Most events in a vehicular run — frame deliveries, beacon ticks, DHCP
+  // server responses — are never cancelled; use these for them.
+  void post_at(Time at, SmallFn fn);
+  void post_after(Time delay, SmallFn fn);
 
   // Runs events until the queue drains or the limit is hit. Advances now()
   // to the limit even if the queue drains earlier, so back-to-back run_for()
@@ -71,23 +128,28 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
-  // Running FNV-1a digest over executed (time, event-id) pairs. Two runs of
-  // the same scenario must produce identical digests or the simulator is not
-  // deterministic. Events that share an instant are folded commutatively, so
-  // the digest identifies the *set* of events executed at each time — the
-  // property replays depend on — independent of how a scenario happened to
-  // interleave its same-timestamp insertions.
+  // Running digest (splitmix64-style avalanche mix) over executed
+  // (time, event-id) pairs. Two runs of the same scenario must produce
+  // identical digests or the simulator is not deterministic. Events that
+  // share an instant are folded commutatively, so the digest identifies the
+  // *set* of events executed at each time — the property replays depend on —
+  // independent of how a scenario happened to interleave its same-timestamp
+  // insertions. Digests have no golden values: only run-to-run equality is
+  // meaningful, so the mix function may change between revisions.
   std::uint64_t digest() const;
 
  private:
   void drain(Time limit);
   void fold_instant();
 
+  // Sentinel token for fire-and-forget events (post_at/post_after).
+  static constexpr std::uint32_t kNoToken = 0xFFFFFFFFu;
+
   struct Event {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t token;  // slot in the simulator's TokenSlab, or kNoToken
+    SmallFn fn;
     // min-heap on (at, seq)
     friend bool operator>(const Event& a, const Event& b) {
       if (a.at != b.at) return a.at > b.at;
@@ -96,6 +158,7 @@ class Simulator {
   };
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::shared_ptr<detail::TokenSlab> tokens_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -103,7 +166,7 @@ class Simulator {
 
   // Determinism digest state: digest_ covers all closed instants; the
   // instant_* fields accumulate the (still open) current instant.
-  std::uint64_t digest_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;  // arbitrary nonzero basis
   std::int64_t instant_us_ = 0;
   std::uint64_t instant_acc_ = 0;
   std::uint64_t instant_count_ = 0;

@@ -1,0 +1,137 @@
+// SmallFn: a move-only `void()` callable with a 48-byte inline buffer.
+//
+// The simulator schedules hundreds of thousands of events per simulated
+// minute, and almost every callback is a lambda capturing `this` plus a few
+// value parameters — well under 48 bytes. std::function's inline buffer on
+// mainstream standard libraries is 16 bytes, so those captures heap-allocate
+// on every schedule_at(). SmallFn stores any nothrow-movable callable of at
+// most kInlineSize bytes directly in the event record; larger callables fall
+// back to a single heap allocation, so correctness never depends on size.
+//
+// Move semantics are "relocate": moving a SmallFn transfers the callable and
+// leaves the source empty. Trivially-copyable callables (the overwhelmingly
+// common case — captures of pointers, ints, Time) relocate with a memcpy and
+// destroy with a no-op, which keeps priority-queue sift operations cheap.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spider::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at schedule_at() call sites.
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // True when the wrapped callable lives in the inline buffer (no heap).
+  bool is_inline() const { return ops_ != nullptr && !ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's callable from src's and destroys src's.
+    // Null means "memcpy the whole buffer" (trivially copyable callables
+    // and the heap case, where the buffer holds just a pointer).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;  // null — nothing to destroy
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static const Ops* inline_ops() {
+    static constexpr Ops ops{
+        [](void* s) { (*static_cast<D*>(s))(); },
+        std::is_trivially_copyable_v<D>
+            ? nullptr
+            : +[](void* src, void* dst) noexcept {
+                ::new (dst) D(std::move(*static_cast<D*>(src)));
+                static_cast<D*>(src)->~D();
+              },
+        std::is_trivially_destructible_v<D>
+            ? nullptr
+            : +[](void* s) noexcept { static_cast<D*>(s)->~D(); },
+        /*heap=*/false,
+    };
+    return &ops;
+  }
+
+  template <typename D>
+  static const Ops* heap_ops() {
+    static constexpr Ops ops{
+        [](void* s) { (**static_cast<D**>(s))(); },
+        /*relocate=*/nullptr,  // relocating a pointer is a memcpy
+        [](void* s) noexcept { delete *static_cast<D**>(s); },
+        /*heap=*/true,
+    };
+    return &ops;
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineSize);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(storage_);
+    ops_ = nullptr;
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace spider::sim

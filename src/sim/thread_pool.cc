@@ -1,0 +1,53 @@
+#include "sim/thread_pool.h"
+
+#include "core/check.h"
+
+namespace spider::sim {
+
+unsigned ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(SmallFn task) {
+  SPIDER_CHECK(static_cast<bool>(task)) << "posted an empty task";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SPIDER_CHECK(!stopping_) << "post() on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    SmallFn task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace spider::sim

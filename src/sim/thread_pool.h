@@ -1,0 +1,70 @@
+// Fixed-size thread pool for embarrassingly parallel sweeps.
+//
+// Deliberately minimal: a locked FIFO of SmallFn tasks and N workers. There
+// is no work stealing and no task-local shared state — the intended use is
+// core::SweepRunner, where each task owns an entire Simulator world, so the
+// pool never has to arbitrate access to simulation state. Tasks submitted
+// through submit() report exceptions through the returned future; tasks
+// posted through post() must not throw (a throw escaping a posted task
+// terminates, by design — a silent swallow would hide broken invariants).
+//
+// Destruction drains the queue: every task already posted runs to completion
+// before the workers join.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/small_fn.h"
+
+namespace spider::sim {
+
+class ThreadPool {
+ public:
+  // Threads to use when the caller does not care: hardware concurrency,
+  // never less than 1.
+  static unsigned default_thread_count();
+
+  // threads == 0 means default_thread_count().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Enqueues a fire-and-forget task. FIFO per pool: a single-threaded pool
+  // executes tasks in post order.
+  void post(SmallFn task);
+
+  // Enqueues `fn` and returns a future for its result; exceptions thrown by
+  // `fn` surface from future::get() on the calling thread.
+  template <typename F>
+  auto submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> task(std::move(fn));
+    std::future<R> result = task.get_future();
+    post(SmallFn([t = std::move(task)]() mutable { t(); }));
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SmallFn> queue_;  // guarded by mu_
+  bool stopping_ = false;      // guarded by mu_
+};
+
+}  // namespace spider::sim

@@ -2,8 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include <stdexcept>
 #include <vector>
+
+#include "core/check.h"
 
 namespace spider::sim {
 namespace {
@@ -75,13 +76,22 @@ TEST(Simulator, ScheduleAfterIsRelative) {
   EXPECT_EQ(seen, Time::millis(75));
 }
 
-TEST(Simulator, SchedulingInThePastThrows) {
+TEST(Simulator, SchedulingInThePastFailsCheck) {
+  // Scheduling in the past is an invariant violation (SPIDER_CHECK), not an
+  // exception — see the policy note in src/core/check.h. Under kLogAndCount
+  // the failure is counted and the event is clamped to now().
+  check::ScopedPolicy policy(check::Policy::kLogAndCount);
+  check::reset_counters();
   Simulator sim;
   sim.run_until(Time::millis(100));
-  EXPECT_THROW(sim.schedule_at(Time::millis(50), [] {}),
-               std::invalid_argument);
-  EXPECT_THROW(sim.schedule_after(Time::millis(-1), [] {}),
-               std::invalid_argument);
+  Time fired_at;
+  sim.schedule_at(Time::millis(50), [&] { fired_at = sim.now(); });
+  EXPECT_EQ(check::check_failures(), 1u);
+  sim.schedule_after(Time::millis(-1), [] {});
+  EXPECT_EQ(check::check_failures(), 2u);
+  sim.run_all();
+  EXPECT_EQ(fired_at, Time::millis(100)) << "past event must clamp to now()";
+  check::reset_counters();
 }
 
 TEST(Simulator, EventsCanScheduleMoreEvents) {
@@ -152,6 +162,60 @@ TEST(Simulator, CancelledEventsAreNotCounted) {
   h.cancel();
   sim.run_all();
   EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, StaleHandleDoesNotCancelRecycledSlot) {
+  // The cancellation tokens live in a pooled slab; once an event fires, its
+  // slot is recycled for later events. A handle to the fired event must stay
+  // inert even when its slot is reused (generation counter mismatch).
+  Simulator sim;
+  TimerHandle first = sim.schedule_at(Time::millis(1), [] {});
+  sim.run_all();
+  EXPECT_FALSE(first.pending());
+
+  bool second_fired = false;
+  TimerHandle second =
+      sim.schedule_at(Time::millis(2), [&] { second_fired = true; });
+  EXPECT_TRUE(second.pending());
+  first.cancel();  // stale — must not touch the recycled slot
+  EXPECT_TRUE(second.pending());
+  sim.run_all();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, HandleOutlivingSimulatorIsInert) {
+  TimerHandle h;
+  {
+    Simulator sim;
+    h = sim.schedule_at(Time::millis(1), [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, HeavyCancellationChurnRecyclesTokens) {
+  // Many schedule/cancel/fire cycles force slab slots through repeated
+  // generations; pending() must track each handle exactly.
+  Simulator sim;
+  int fired = 0;
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<TimerHandle> handles;
+    handles.reserve(20);
+    const Time base = sim.now() + Time::millis(1);
+    for (int i = 0; i < 20; ++i) {
+      handles.push_back(sim.schedule_at(base + Time::micros(i), [&] {
+        ++fired;
+      }));
+    }
+    for (int i = 0; i < 20; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(handles[static_cast<std::size_t>(i)].pending(), i % 2 == 1);
+    }
+    sim.run_all();
+    for (const auto& h : handles) EXPECT_FALSE(h.pending());
+  }
+  EXPECT_EQ(fired, 50 * 10);
 }
 
 }  // namespace
