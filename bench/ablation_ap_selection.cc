@@ -9,7 +9,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_ap_selection",
                       "DESIGN.md ablation — AP-selection policy");
   std::printf("(single-AP mode on channel 1, reduced timers, 4 seeds, on a\n"

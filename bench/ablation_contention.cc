@@ -10,7 +10,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_contention",
                       "DESIGN.md ablation — N concurrent Spider clients");
   std::printf("  %-8s %-16s %-16s %-10s\n", "clients", "aggregate KB/s",

@@ -32,7 +32,8 @@ std::vector<double> run_all(const std::vector<std::uint64_t>& seeds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_dynamic_channel",
                       "DESIGN.md ablation — static vs. dynamic channel");
   std::printf("  %-6s %-12s %-12s %-12s %-14s\n", "seed", "static ch1",

@@ -10,7 +10,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_energy",
                       "DESIGN.md ablation — energy per configuration");
   std::printf("(state-based model: idle 0.74 W, rx 0.90 W, tx 1.34 W,\n"

@@ -39,7 +39,8 @@ Outcome run(bool cache) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_lease_cache",
                       "Section 2.1.2 — DHCP lease caching (INIT-REBOOT)");
   std::printf("(20-minute loop drives: laps 2+ revisit already-leased APs)\n\n");

@@ -31,7 +31,8 @@ double mean_goodput_at(double distance_m, bool auto_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_rate_adapt",
                       "substrate ablation — fixed 11 Mb/s vs. auto-rate");
   std::printf("(static client at increasing distance from one 4 Mbps AP;\n"

@@ -9,7 +9,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "ablation_selection_problem",
       "Appendix A — greedy AP selection vs. exact optimum");

@@ -49,7 +49,8 @@ double run(int aps_ch1, int aps_ch11, std::vector<core::ChannelSlice> schedule,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("ablation_slicing",
                       "DESIGN.md ablation — channel-centric vs. AP-centric");
   std::printf("(two APs, 2 Mbps backhaul each, static client, 3 seeds)\n\n");

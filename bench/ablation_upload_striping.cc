@@ -73,7 +73,8 @@ double run_upload(Policy policy, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "ablation_upload_striping",
       "DESIGN.md ablation — equal vs. proportional upload striping");

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <utility>
@@ -17,6 +18,43 @@
 #include "trace/stats.h"
 
 namespace spider::bench {
+
+// Telemetry export options shared by every bench binary:
+//   --telemetry <path>   append one spider-telemetry-v1 JSONL block per sweep
+//                        (inspect with `spider-trace <path>`);
+//   --trace <path>       record the binary's *first* replication with the
+//                        Chrome trace recorder and write the JSON there
+//                        (load in Perfetto / chrome://tracing).
+// Both also accept the --flag=value spelling.
+struct TelemetryOptions {
+  std::string telemetry_path;
+  std::string trace_path;
+};
+
+inline TelemetryOptions& telemetry_options() {
+  static TelemetryOptions options;
+  return options;
+}
+
+// Parses the shared flags above; call first thing in main. Unknown
+// arguments are ignored (benches have no other flags).
+inline void parse_common_flags(int argc, char** argv) {
+  TelemetryOptions& options = telemetry_options();
+  const auto value_of = [&](const char* flag, int& i) -> const char* {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+    if (argv[i][len] == '=') return argv[i] + len + 1;
+    if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of("--telemetry", i)) {
+      options.telemetry_path = v;
+    } else if (const char* v = value_of("--trace", i)) {
+      options.trace_path = v;
+    }
+  }
+}
 
 // Worker threads for bench sweeps: SPIDER_BENCH_THREADS if set (>0), else
 // hardware concurrency. Per-seed results are bit-identical either way — the
@@ -32,12 +70,47 @@ inline unsigned sweep_threads() {
 
 // Replicates one scenario across seeds (one Simulator world per worker) and
 // returns per-seed results in seed order, exactly as the old serial loops
-// produced them.
+// produced them. When --telemetry is set, every sweep appends its JSONL
+// block under `label`; when --trace is set, the binary's first replication
+// runs with the trace recorder on and its Chrome trace JSON lands at the
+// given path.
 inline std::vector<core::ExperimentResults> run_seed_replications(
     const std::vector<std::uint64_t>& seeds,
-    const std::function<core::ExperimentConfig(std::uint64_t)>& make_config) {
-  core::SweepReport report =
-      core::run_seed_sweep(seeds, make_config, sweep_threads());
+    const std::function<core::ExperimentConfig(std::uint64_t)>& make_config,
+    const char* label = "sweep") {
+  const TelemetryOptions& options = telemetry_options();
+  static bool trace_written = false;
+  const bool want_trace = !options.trace_path.empty() && !trace_written;
+  std::size_t invocation = 0;
+  core::SweepReport report = core::run_seed_sweep(
+      seeds,
+      [&](std::uint64_t seed) {
+        core::ExperimentConfig cfg = make_config(seed);
+        // Configs materialize serially in submission order, so invocation 0
+        // is exactly run 0 of this sweep.
+        if (want_trace && invocation == 0) cfg.trace_enabled = true;
+        ++invocation;
+        return cfg;
+      },
+      sweep_threads());
+  if (!options.telemetry_path.empty()) {
+    if (!core::append_telemetry_jsonl(report, options.telemetry_path, label)) {
+      std::fprintf(stderr, "warning: could not append telemetry to %s\n",
+                   options.telemetry_path.c_str());
+    }
+  }
+  if (want_trace && !report.runs.empty() &&
+      !report.runs.front().trace_json.empty()) {
+    if (std::FILE* f = std::fopen(options.trace_path.c_str(), "w")) {
+      std::fwrite(report.runs.front().trace_json.data(), 1,
+                  report.runs.front().trace_json.size(), f);
+      std::fclose(f);
+      trace_written = true;
+    } else {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   options.trace_path.c_str());
+    }
+  }
   std::vector<core::ExperimentResults> results;
   results.reserve(report.runs.size());
   for (core::SweepRunResult& run : report.runs) {

@@ -37,7 +37,8 @@ Curves collect(core::SpiderConfig sc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig10_cdfs",
                       "Fig. 10a/b/c — connection, disruption, bandwidth CDFs");
 

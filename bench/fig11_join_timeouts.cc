@@ -33,7 +33,8 @@ trace::EmpiricalCdf run_config(bool three_channels,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig11_join_timeouts",
                       "Fig. 11 — join-time CDF vs. DHCP timeout");
 

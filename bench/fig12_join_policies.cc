@@ -42,7 +42,8 @@ core::SpiderConfig with_timers(core::SpiderConfig sc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig12_join_policies",
                       "Fig. 12 — join-delay CDF per scheduling policy");
 

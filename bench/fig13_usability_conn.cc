@@ -29,7 +29,8 @@ trace::EmpiricalCdf spider_connections(core::SpiderConfig sc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig13_usability_conn",
                       "Fig. 13 — user connection durations vs. Spider's");
 

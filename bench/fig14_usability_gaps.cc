@@ -28,7 +28,8 @@ trace::EmpiricalCdf spider_disruptions(core::SpiderConfig sc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig14_usability_gaps",
                       "Fig. 14 — user inter-connection gaps vs. disruptions");
 

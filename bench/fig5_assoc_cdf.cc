@@ -10,7 +10,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig5_assoc_cdf",
                       "Fig. 5 — association-time CDF vs. channel fraction");
   std::printf("setup: D=400ms, f6=x, f1=f11=(1-x)/2, link timeout 100ms,\n"

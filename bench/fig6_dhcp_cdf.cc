@@ -11,10 +11,12 @@ using namespace spider;
 
 namespace {
 
-trace::EmpiricalCdf run_config(double f6, dhcpd::DhcpClientConfig timers) {
+trace::EmpiricalCdf run_config(double f6, dhcpd::DhcpClientConfig timers,
+                               const char* label) {
   const std::vector<std::uint64_t> seeds = {11, 22, 33};
-  const auto runs =
-      bench::run_seed_replications(seeds, [f6, &timers](std::uint64_t seed) {
+  const auto runs = bench::run_seed_replications(
+      seeds,
+      [f6, &timers](std::uint64_t seed) {
         auto cfg = spider::bench::amherst_drive(seed);
         core::SpiderConfig sc = core::single_channel_multi_ap(6);
         sc.period = sim::Time::millis(400);
@@ -25,7 +27,8 @@ trace::EmpiricalCdf run_config(double f6, dhcpd::DhcpClientConfig timers) {
         sc.join_give_up = sim::Time::seconds(15);
         cfg.spider = sc;
         return cfg;
-      });
+      },
+      label);
   trace::EmpiricalCdf join;
   for (const auto& r : runs) {
     for (double d : r.joins.join_delay_sec.samples()) join.add(d);
@@ -35,7 +38,8 @@ trace::EmpiricalCdf run_config(double f6, dhcpd::DhcpClientConfig timers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig6_dhcp_cdf",
                       "Fig. 6 — join (assoc+DHCP) CDF vs. fraction & timers");
 
@@ -52,7 +56,8 @@ int main() {
       {1.00, dhcpd::default_dhcp_timers(), "100% - default"},
   };
   for (const auto& row : rows) {
-    bench::print_cdf(row.label, run_config(row.f6, row.timers), 15.0, 16);
+    bench::print_cdf(row.label, run_config(row.f6, row.timers, row.label),
+                     15.0, 16);
   }
   std::printf(
       "expected shape: 100%%+reduced joins fastest (paper: median 1.3 s vs\n"

@@ -8,7 +8,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig7_tcp_fraction",
                       "Fig. 7 — TCP throughput vs. %time on primary channel");
   std::printf("setup: static client, one AP on ch1 (5 Mbps backhaul),\n"

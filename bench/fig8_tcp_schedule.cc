@@ -9,7 +9,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig8_tcp_schedule",
                       "Fig. 8 — TCP throughput vs. per-channel dwell");
   std::printf("setup: static client, one AP on ch1 (5 Mbps backhaul),\n"

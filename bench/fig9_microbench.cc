@@ -47,7 +47,8 @@ double stock_run(std::uint64_t seed, double backhaul) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("fig9_microbench",
                       "Fig. 9 — throughput vs. per-AP backhaul bandwidth");
   std::printf("  %-10s %-12s %-12s %-14s %-14s %-14s\n", "backhaul",

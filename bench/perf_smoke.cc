@@ -176,6 +176,14 @@ double churn_events_per_sec(int waves, int per_wave,
   return scheduled / elapsed;
 }
 
+// Same engine with the trace recorder armed — the dispatch loop never
+// consults the recorder, so this measurement pins down the "tracing on but
+// nothing span-instrumented fires" floor of the telemetry design.
+class TracedSimulator : public sim::Simulator {
+ public:
+  TracedSimulator() { telemetry().trace().set_enabled(true); }
+};
+
 core::ExperimentConfig sweep_config(std::uint64_t seed) {
   auto cfg = bench::amherst_drive(seed, sim::Time::seconds(120));
   cfg.spider = core::single_channel_multi_ap(1);
@@ -185,7 +193,9 @@ core::ExperimentConfig sweep_config(std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+  bench::parse_common_flags(argc, argv);
+  const char* out_path =
+      (argc > 1 && argv[1][0] != '-') ? argv[1] : "BENCH_perf.json";
   bench::print_header("perf_smoke",
                       "perf trajectory: event-queue hot path + parallel sweep");
 
@@ -204,10 +214,15 @@ int main(int argc, char** argv) {
       churn_events_per_sec<sim::Simulator>(kWaves, kPerWave, &sink);
   const double baseline =
       churn_events_per_sec<LegacySimulator>(kWaves, kPerWave, &sink);
+  const double traced =
+      churn_events_per_sec<TracedSimulator>(kWaves, kPerWave, &sink);
   const double event_speedup = optimized / baseline;
   std::printf("event queue:  %.3g events/s optimized, %.3g events/s with the\n"
               "              pre-rework event layout  (speedup %.2fx)\n",
               optimized, baseline, event_speedup);
+  std::printf("telemetry:    compiled %s; %.3g events/s with the trace\n"
+              "              recorder armed (%.2fx of tracing-off)\n",
+              SPIDER_TELEMETRY ? "in" : "out", traced, traced / optimized);
 
   // ---- sweep: serial vs. parallel -----------------------------------------
   const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47, 57, 67, 77};
@@ -234,7 +249,10 @@ int main(int argc, char** argv) {
   event_queue.add("events", static_cast<std::uint64_t>(kWaves) * kPerWave)
       .add("events_per_sec", optimized)
       .add("baseline_events_per_sec", baseline)
-      .add("speedup_vs_baseline", event_speedup);
+      .add("speedup_vs_baseline", event_speedup)
+      .add("telemetry_compiled", SPIDER_TELEMETRY != 0)
+      .add("tracing_on_events_per_sec", traced)
+      .add("tracing_on_ratio", traced / optimized);
 
   bench::JsonWriter sweep;
   sweep.add("replications", static_cast<std::uint64_t>(seeds.size()))

@@ -15,7 +15,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("table1_switch_latency",
                       "Table 1 — channel-switch latency vs. connected ifaces");
 

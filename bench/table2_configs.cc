@@ -37,7 +37,8 @@ void print_row(const char* label, const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header(
       "table2_configs",
       "Table 2 — avg. throughput and connectivity per configuration");

@@ -36,7 +36,8 @@ void run_row(const char* label, bool three_channels,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("table3_dhcp_failures",
                       "Table 3 — DHCP failure probability vs. timers");
   std::printf("(failure = an associated interface abandoned without ever\n"

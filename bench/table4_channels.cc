@@ -7,7 +7,8 @@
 
 using namespace spider;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_common_flags(argc, argv);
   bench::print_header("table4_channels",
                       "Table 4 — throughput/connectivity vs. channel count");
   std::printf("(equal 200 ms slices, multi-AP, mean of 3 seeds)\n\n");

@@ -5,13 +5,21 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "telemetry/metrics.h"
+
 namespace spider::check {
 namespace {
 
+// Failure counts live in the telemetry process registry (the single export
+// path for health metrics: run reports snapshot them in their sweep summary
+// line). The query/reset functions below are shims over that registry, kept
+// so existing call sites and tests never notice the move. Counter names, for
+// dashboards and the JSONL "process" section:
+constexpr const char* kCheckCounter = "check.failures.check";
+constexpr const char* kDcheckCounter = "check.failures.dcheck";
+constexpr const char* kUnreachableCounter = "check.failures.unreachable";
+
 std::atomic<Policy> g_policy{Policy::kFatal};
-std::atomic<std::uint64_t> g_check_failures{0};
-std::atomic<std::uint64_t> g_dcheck_failures{0};
-std::atomic<std::uint64_t> g_unreachable_failures{0};
 
 std::mutex g_last_message_mutex;
 std::string g_last_message;  // guarded by g_last_message_mutex
@@ -25,13 +33,18 @@ const char* kind_name(detail::Kind kind) {
   return "SPIDER_CHECK";
 }
 
-std::atomic<std::uint64_t>& counter_for(detail::Kind kind) {
+const char* counter_name(detail::Kind kind) {
   switch (kind) {
-    case detail::Kind::kDcheck: return g_dcheck_failures;
-    case detail::Kind::kUnreachable: return g_unreachable_failures;
+    case detail::Kind::kDcheck: return kDcheckCounter;
+    case detail::Kind::kUnreachable: return kUnreachableCounter;
     case detail::Kind::kCheck: break;
   }
-  return g_check_failures;
+  return kCheckCounter;
+}
+
+std::uint64_t read_counter(const char* name) {
+  std::lock_guard<std::mutex> lock(telemetry::process_registry_mutex());
+  return telemetry::process_registry().counter(name).value();
 }
 
 }  // namespace
@@ -42,20 +55,20 @@ void set_policy(Policy policy) {
 
 Policy policy() { return g_policy.load(std::memory_order_relaxed); }
 
-std::uint64_t check_failures() {
-  return g_check_failures.load(std::memory_order_relaxed);
-}
+std::uint64_t check_failures() { return read_counter(kCheckCounter); }
 
-std::uint64_t dcheck_failures() {
-  return g_dcheck_failures.load(std::memory_order_relaxed);
-}
+std::uint64_t dcheck_failures() { return read_counter(kDcheckCounter); }
 
 std::uint64_t unreachable_failures() {
-  return g_unreachable_failures.load(std::memory_order_relaxed);
+  return read_counter(kUnreachableCounter);
 }
 
 std::uint64_t failures() {
-  return check_failures() + dcheck_failures() + unreachable_failures();
+  std::lock_guard<std::mutex> lock(telemetry::process_registry_mutex());
+  telemetry::Registry& registry = telemetry::process_registry();
+  return registry.counter(kCheckCounter).value() +
+         registry.counter(kDcheckCounter).value() +
+         registry.counter(kUnreachableCounter).value();
 }
 
 std::string last_failure_message() {
@@ -64,9 +77,13 @@ std::string last_failure_message() {
 }
 
 void reset_counters() {
-  g_check_failures.store(0, std::memory_order_relaxed);
-  g_dcheck_failures.store(0, std::memory_order_relaxed);
-  g_unreachable_failures.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(telemetry::process_registry_mutex());
+    telemetry::Registry& registry = telemetry::process_registry();
+    registry.counter(kCheckCounter).reset();
+    registry.counter(kDcheckCounter).reset();
+    registry.counter(kUnreachableCounter).reset();
+  }
   std::lock_guard<std::mutex> lock(g_last_message_mutex);
   g_last_message.clear();
 }
@@ -89,7 +106,10 @@ Failure::~Failure() {
     std::fflush(stderr);
     std::abort();
   }
-  counter_for(kind_).fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(telemetry::process_registry_mutex());
+    telemetry::process_registry().counter(counter_name(kind_)).inc();
+  }
   std::lock_guard<std::mutex> lock(g_last_message_mutex);
   g_last_message = message;
 }

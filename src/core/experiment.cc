@@ -7,6 +7,10 @@ namespace spider::core {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.trace_enabled) {
+    sim_.telemetry().trace().set_capacity(config_.trace_capacity);
+    sim_.telemetry().trace().set_enabled(true);
+  }
   medium_ = std::make_unique<phy::Medium>(sim_, rng_.fork("medium"),
                                           config_.medium);
   server_ = std::make_unique<tcp::ContentServer>(sim_, config_.tcp);
@@ -65,6 +69,9 @@ Experiment::Experiment(ExperimentConfig config)
 }
 
 void Experiment::attach_frame_log(trace::FrameLog& log) {
+  // Ring overflow streams into the trace recorder (instant events) instead
+  // of vanishing; a no-op while tracing is off.
+  log.stream_evictions_to(sim_.telemetry().trace());
   medium_->set_sniffer(
       [&log](const net::Frame& f, net::ChannelId ch, sim::Time at) {
         log.record(trace::FrameRecord{at, ch, f.kind, f.src, f.dst,

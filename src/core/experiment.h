@@ -48,6 +48,11 @@ struct ExperimentConfig {
   mac::AccessPointConfig ap_mac;  // ssid/channel overridden per descriptor
   // Uplink rate adaptation at the client (mirrors ap_mac.auto_rate).
   bool client_auto_rate = false;
+  // Turns on the world's trace recorder for this run (Chrome trace-event
+  // spans for joins, channel dwells, DHCP). Off by default: recording costs
+  // one ring write per span, and sweeps only want it on a chosen run.
+  bool trace_enabled = false;
+  std::size_t trace_capacity = telemetry::TraceRecorder::kDefaultCapacity;
 };
 
 struct ExperimentResults {

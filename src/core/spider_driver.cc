@@ -9,6 +9,22 @@
 #include "phy/channel.h"
 
 namespace spider::core {
+namespace {
+
+// Track-name literals for the Perfetto lanes the driver uses: per-interface
+// join lanes and 100+channel dwell lanes (TraceRecorder stores const char*).
+constexpr const char* kVifTrackNames[] = {"vif0", "vif1", "vif2", "vif3",
+                                          "vif4", "vif5", "vif6", "vif7"};
+constexpr const char* kChannelTrackNames[] = {
+    "ch0", "ch1", "ch2",  "ch3",  "ch4",  "ch5",  "ch6", "ch7",
+    "ch8", "ch9", "ch10", "ch11", "ch12", "ch13", "ch14"};
+constexpr std::uint32_t kChannelTrackBase = 100;
+
+std::size_t channel_slot(net::ChannelId channel) {
+  return channel >= 1 && channel < 15 ? static_cast<std::size_t>(channel) : 0;
+}
+
+}  // namespace
 
 SpiderDriver::SpiderDriver(sim::Simulator& simulator, ClientDevice& device,
                            SpiderConfig config)
@@ -38,18 +54,62 @@ SpiderDriver::SpiderDriver(sim::Simulator& simulator, ClientDevice& device,
     }
     return out;
   });
+  collector_id_ = sim_.telemetry().add_collector(
+      [this](telemetry::Registry& registry) { publish_metrics(registry); });
 }
 
 SpiderDriver::~SpiderDriver() {
+  sim_.telemetry().remove_collector(collector_id_);
   schedule_timer_.cancel();
   selection_timer_.cancel();
   eval_timer_.cancel();
   for (auto& [bssid, vif] : interfaces_) device_.unregister_bssid(bssid);
 }
 
+void SpiderDriver::publish_metrics(telemetry::Registry& registry) {
+  const auto publish = [&registry](const char* name, std::uint64_t total,
+                                   std::uint64_t& published) {
+    registry.counter(name).inc(total - published);
+    published = total;
+  };
+  publish("driver.join_attempts", metrics_.join_attempts,
+          published_.join_attempts);
+  publish("driver.associations", metrics_.associations,
+          published_.associations);
+  publish("driver.joins", metrics_.joins, published_.joins);
+  publish("driver.dhcp_attempts", metrics_.dhcp_attempts,
+          published_.dhcp_attempts);
+  publish("driver.dhcp_attempt_failures", metrics_.dhcp_attempt_failures,
+          published_.dhcp_attempt_failures);
+  publish("driver.dhcp_failed_joins", metrics_.dhcp_failed_joins,
+          published_.dhcp_failed_joins);
+  publish("driver.recamps", recamps_, published_.recamps);
+  publish("driver.schedule_switches", schedule_switches_,
+          published_.schedule_switches);
+  static constexpr const char* kDwellNames[] = {
+      "driver.dwell_us.ch0",  "driver.dwell_us.ch1",  "driver.dwell_us.ch2",
+      "driver.dwell_us.ch3",  "driver.dwell_us.ch4",  "driver.dwell_us.ch5",
+      "driver.dwell_us.ch6",  "driver.dwell_us.ch7",  "driver.dwell_us.ch8",
+      "driver.dwell_us.ch9",  "driver.dwell_us.ch10", "driver.dwell_us.ch11",
+      "driver.dwell_us.ch12", "driver.dwell_us.ch13", "driver.dwell_us.ch14"};
+  for (const auto& [channel, dwell] : airtime_) {
+    const std::size_t slot = channel_slot(channel);
+    publish(kDwellNames[slot], static_cast<std::uint64_t>(dwell.us()),
+            published_dwell_us_[slot]);
+  }
+}
+
 void SpiderDriver::start() {
   if (started_) return;
   started_ = true;
+  telemetry::TraceRecorder& trace = sim_.telemetry().trace();
+  if (trace.enabled()) {
+    for (const ChannelSlice& slice : config_.schedule) {
+      const std::size_t slot = channel_slot(slice.channel);
+      trace.name_track(kChannelTrackBase + static_cast<std::uint32_t>(slot),
+                       kChannelTrackNames[slot]);
+    }
+  }
   rotate_schedule(0);
   selection_timer_ =
       sim_.schedule_after(config_.selection_interval, [this] { selection_tick(); });
@@ -144,6 +204,13 @@ void SpiderDriver::accumulate_airtime() {
       << " before it started " << dwell_since_.to_string();
   if (dwell_channel_ != 0) {
     airtime_[dwell_channel_] += sim_.now() - dwell_since_;
+    telemetry::TraceRecorder& trace = sim_.telemetry().trace();
+    if (trace.enabled() && sim_.now() > dwell_since_) {
+      const std::size_t slot = channel_slot(dwell_channel_);
+      trace.complete("dwell", "channel", dwell_since_.us(),
+                     (sim_.now() - dwell_since_).us(),
+                     kChannelTrackBase + static_cast<std::uint32_t>(slot));
+    }
   }
   dwell_since_ = sim_.now();
 }
@@ -187,6 +254,7 @@ void SpiderDriver::rotate_schedule(std::size_t slice_index) {
     return;
   }
 
+  ++schedule_switches_;
   last_switch_latency_ =
       device_.switch_channel(slice.channel, [this, slice] {
         accumulate_airtime();
@@ -234,8 +302,20 @@ void SpiderDriver::create_interface(const ScanEntry& entry) {
   auto vif = std::make_unique<VirtualInterface>();
   vif->bssid = bssid;
   vif->channel = entry.channel;
+  vif->trace_track = next_trace_track_++;
   vif->join_started = sim_.now();
   vif->airtime_at_last_heard = channel_airtime(entry.channel);
+
+  telemetry::TraceRecorder& trace = sim_.telemetry().trace();
+  if (trace.enabled()) {
+    if (vif->trace_track < std::size(kVifTrackNames)) {
+      trace.name_track(vif->trace_track, kVifTrackNames[vif->trace_track]);
+    }
+    // Discovery span: last beacon/probe sighting of this AP up to the
+    // decision to join it — the "scan" leg of the join pipeline.
+    trace.complete("scan", "join", entry.last_seen.us(),
+                   (sim_.now() - entry.last_seen).us(), vif->trace_track);
+  }
 
   // Join traffic is sent only when the radio is live on the AP's channel;
   // it is never queued (a deferred DHCP request would arrive stale anyway,
@@ -248,10 +328,14 @@ void SpiderDriver::create_interface(const ScanEntry& entry) {
     return false;
   };
 
+  mac::ClientSessionConfig session_config = config_.session;
+  session_config.trace_track = vif->trace_track;
+  dhcpd::DhcpClientConfig dhcp_config = config_.dhcp;
+  dhcp_config.trace_track = vif->trace_track;
   vif->session = std::make_unique<mac::ClientSession>(
-      sim_, device_.address(), bssid, channel, join_tx, config_.session);
+      sim_, device_.address(), bssid, channel, join_tx, session_config);
   vif->dhcp = std::make_unique<dhcpd::DhcpClient>(
-      sim_, device_.address(), bssid, join_tx, config_.dhcp);
+      sim_, device_.address(), bssid, join_tx, dhcp_config);
 
   VirtualInterface* raw = vif.get();
   vif->session->set_event_handler(
@@ -372,6 +456,10 @@ void SpiderDriver::on_session_event(VirtualInterface& vif,
           << " in driver state " << static_cast<int>(vif.state);
       ++metrics_.associations;
       metrics_.association_delay_sec.add(vif.session->association_delay().sec());
+      sim_.telemetry()
+          .metrics()
+          .histogram("driver.assoc_delay_sec")
+          .add(vif.session->association_delay().sec());
       vif.state = VirtualInterface::State::kDhcp;
       const auto cached = config_.cache_leases
                               ? lease_cache_.find(vif.bssid)
@@ -407,6 +495,13 @@ void SpiderDriver::on_dhcp_event(VirtualInterface& vif, dhcpd::DhcpEvent event) 
       ++metrics_.joins;
       ++metrics_.dhcp_attempts;
       metrics_.join_delay_sec.add(join_delay.sec());
+      telemetry::Hub& telemetry = sim_.telemetry();
+      telemetry.metrics().histogram("driver.join_delay_sec").add(
+          join_delay.sec());
+      // Envelope span over the whole pipeline; the auth/assoc/dhcp sub-spans
+      // nest inside it on the same per-interface lane.
+      telemetry.trace().complete("join", "join", vif.join_started.us(),
+                                 join_delay.us(), vif.trace_track);
       history_.record_success(vif.bssid, join_delay, sim_.now());
       if (config_.cache_leases) lease_cache_[vif.bssid] = vif.dhcp->lease();
       vif.state = VirtualInterface::State::kConnected;

@@ -18,6 +18,7 @@
 //     NP-hard), with RSSI and unseen-AP priors as tie-breakers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -93,6 +94,8 @@ struct VirtualInterface {
   State state = State::kAssociating;
   std::unique_ptr<mac::ClientSession> session;
   std::unique_ptr<dhcpd::DhcpClient> dhcp;
+  // Perfetto lane for this interface's scan/auth/assoc/dhcp/join spans.
+  std::uint32_t trace_track = 0;
   sim::Time join_started = sim::Time::zero();
   sim::Time connected_at = sim::Time::zero();
   // Cumulative on-channel dwell of this iface's channel when the AP was
@@ -140,6 +143,10 @@ class SpiderDriver {
   net::ChannelId home_channel() const;
   std::uint64_t recamps() const { return recamps_; }
 
+  // Physical channel switches the scheduler has requested so far (published
+  // as driver.schedule_switches).
+  std::uint64_t schedule_switches() const { return schedule_switches_; }
+
   // History-weighted AP supply on a channel, from fresh scan results
   // (exposed for tests and the dynamic-channel ablation).
   double channel_utility(net::ChannelId channel) const;
@@ -158,6 +165,7 @@ class SpiderDriver {
   bool scheduled_channel(net::ChannelId channel) const;
   void note_heard(VirtualInterface& vif);
   void accumulate_airtime();
+  void publish_metrics(telemetry::Registry& registry);
 
   sim::Simulator& sim_;
   ClientDevice& device_;
@@ -177,8 +185,26 @@ class SpiderDriver {
   sim::TimerHandle eval_timer_;
   sim::Time last_switch_latency_ = sim::Time::zero();
   std::uint64_t recamps_ = 0;
+  std::uint64_t schedule_switches_ = 0;
   bool excursion_active_ = false;
   bool started_ = false;
+
+  // Telemetry plumbing: deltas already folded into the shared driver.*
+  // metrics (several drivers may share one world), the next Perfetto lane to
+  // hand a new interface, and this driver's collector registration.
+  struct Published {
+    std::uint64_t join_attempts = 0;
+    std::uint64_t associations = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t dhcp_attempts = 0;
+    std::uint64_t dhcp_attempt_failures = 0;
+    std::uint64_t dhcp_failed_joins = 0;
+    std::uint64_t recamps = 0;
+    std::uint64_t schedule_switches = 0;
+  } published_;
+  std::array<std::uint64_t, 15> published_dwell_us_{};
+  std::uint32_t next_trace_track_ = 1;
+  telemetry::Hub::CollectorId collector_id_ = 0;
 };
 
 }  // namespace spider::core

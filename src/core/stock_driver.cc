@@ -11,11 +11,33 @@ StockDriver::StockDriver(sim::Simulator& simulator, ClientDevice& device,
   // Stock drivers don't park associations around a scan; no PSM lookup.
   device_.set_connected_lookup(
       [](net::ChannelId) { return std::vector<net::Bssid>{}; });
+  collector_id_ = sim_.telemetry().add_collector(
+      [this](telemetry::Registry& registry) { publish_metrics(registry); });
 }
 
 StockDriver::~StockDriver() {
+  sim_.telemetry().remove_collector(collector_id_);
   timer_.cancel();
   if (!bssid_.is_null()) device_.unregister_bssid(bssid_);
+}
+
+void StockDriver::publish_metrics(telemetry::Registry& registry) {
+  const auto publish = [&registry](const char* name, std::uint64_t total,
+                                   std::uint64_t& published) {
+    registry.counter(name).inc(total - published);
+    published = total;
+  };
+  publish("driver.join_attempts", metrics_.join_attempts,
+          published_.join_attempts);
+  publish("driver.associations", metrics_.associations,
+          published_.associations);
+  publish("driver.joins", metrics_.joins, published_.joins);
+  publish("driver.dhcp_attempts", metrics_.dhcp_attempts,
+          published_.dhcp_attempts);
+  publish("driver.dhcp_attempt_failures", metrics_.dhcp_attempt_failures,
+          published_.dhcp_attempt_failures);
+  publish("driver.dhcp_failed_joins", metrics_.dhcp_failed_joins,
+          published_.dhcp_failed_joins);
 }
 
 void StockDriver::start() {
@@ -58,6 +80,11 @@ void StockDriver::begin_join(const ScanEntry& entry) {
   last_heard_ = sim_.now();
   dhcp_failures_this_join_ = 0;
   ++metrics_.join_attempts;
+  telemetry::TraceRecorder& trace = sim_.telemetry().trace();
+  if (trace.enabled()) {
+    trace.complete("scan", "join", entry.last_seen.us(),
+                   (sim_.now() - entry.last_seen).us(), /*track=*/0);
+  }
 
   auto tx = [this](const net::Frame& frame) {
     if (device_.channel() == channel_ && !device_.switching()) {
@@ -75,6 +102,10 @@ void StockDriver::begin_join(const ScanEntry& entry) {
     if (ev == mac::SessionEvent::kAssociated) {
       ++metrics_.associations;
       metrics_.association_delay_sec.add(s.association_delay().sec());
+      sim_.telemetry()
+          .metrics()
+          .histogram("driver.assoc_delay_sec")
+          .add(s.association_delay().sec());
       dhcp_->start();
     } else {
       sim_.post_after(sim::Time::zero(), [this] { teardown(false); });
@@ -84,7 +115,13 @@ void StockDriver::begin_join(const ScanEntry& entry) {
     if (ev == dhcpd::DhcpEvent::kBound) {
       ++metrics_.joins;
       ++metrics_.dhcp_attempts;
-      metrics_.join_delay_sec.add((sim_.now() - join_started_).sec());
+      const sim::Time join_delay = sim_.now() - join_started_;
+      metrics_.join_delay_sec.add(join_delay.sec());
+      telemetry::Hub& telemetry = sim_.telemetry();
+      telemetry.metrics().histogram("driver.join_delay_sec").add(
+          join_delay.sec());
+      telemetry.trace().complete("join", "join", join_started_.us(),
+                                 join_delay.us(), /*track=*/0);
       state_ = State::kConnected;
       last_heard_ = sim_.now();
       if (on_connected_) on_connected_(Connection{bssid_, channel_});

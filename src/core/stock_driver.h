@@ -70,6 +70,7 @@ class StockDriver {
   void begin_join(const ScanEntry& entry);
   void teardown(bool lost);
   void watchdog();
+  void publish_metrics(telemetry::Registry& registry);
 
   sim::Simulator& sim_;
   ClientDevice& device_;
@@ -88,6 +89,19 @@ class StockDriver {
   int dhcp_failures_this_join_ = 0;
   sim::TimerHandle timer_;      // scan stepping / watchdog
   bool started_ = false;
+
+  // Deltas already folded into the shared driver.* metrics; the stock
+  // baseline reports under the same names as SpiderDriver so benches
+  // compare the two like-for-like.
+  struct Published {
+    std::uint64_t join_attempts = 0;
+    std::uint64_t associations = 0;
+    std::uint64_t joins = 0;
+    std::uint64_t dhcp_attempts = 0;
+    std::uint64_t dhcp_attempt_failures = 0;
+    std::uint64_t dhcp_failed_joins = 0;
+  } published_;
+  telemetry::Hub::CollectorId collector_id_ = 0;
 };
 
 }  // namespace spider::core

@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "telemetry/metrics.h"
 
 namespace spider::core {
 
@@ -32,6 +34,11 @@ struct SweepRunResult {
   ExperimentResults results;
   std::uint64_t digest = 0;    // Simulator::digest() after the run
   std::uint64_t events_executed = 0;
+  // Collected telemetry of this replication's world (empty when
+  // SPIDER_TELEMETRY is compiled out).
+  telemetry::MetricsSnapshot telemetry;
+  // Chrome trace JSON, filled only when the run's config enabled tracing.
+  std::string trace_json;
 };
 
 struct SweepReport {
@@ -42,7 +49,18 @@ struct SweepReport {
   // Order-sensitive FNV-1a over the per-run digests: one number that pins
   // down the whole sweep. Serial and parallel executions must agree on it.
   std::uint64_t combined_digest() const;
+
+  // Submission-order merge of the per-run snapshots. Worker count cannot
+  // affect the result: merges apply in run index order, not completion
+  // order, so 1-thread and 8-thread sweeps export byte-identically.
+  telemetry::MetricsSnapshot merged_telemetry() const;
 };
+
+// Appends one "kind":"run" JSONL line per replication plus the sweep summary
+// line to `path` (schema "spider-telemetry-v1"). Returns success. The
+// standard bench export behind --telemetry.
+bool append_telemetry_jsonl(const SweepReport& report, const std::string& path,
+                            std::string_view label);
 
 class SweepRunner {
  public:

@@ -94,6 +94,8 @@ void DhcpClient::start_with_cached(const Lease& cached) {
       << "INIT-REBOOT with a null cached lease for " << bssid_.to_string();
   offered_ip_ = cached.ip;
   server_ip_ = cached.server;
+  sim_.telemetry().metrics().counter("dhcp.attempt_windows").inc();
+  sim_.telemetry().metrics().counter("dhcp.init_reboots").inc();
   enter(DhcpState::kRequesting);
   transmit_current();
   arm_message_timer();
@@ -127,6 +129,7 @@ void DhcpClient::begin_attempt() {
       (self_.value() << 8) ^ static_cast<std::uint64_t>(sim_.now().us()));
   offered_ip_ = net::Ipv4Address{};
   server_ip_ = net::Ipv4Address{};
+  sim_.telemetry().metrics().counter("dhcp.attempt_windows").inc();
   enter(DhcpState::kDiscovering);
   transmit_current();
   arm_message_timer();
@@ -142,11 +145,13 @@ void DhcpClient::transmit_current() {
   switch (state_) {
     case DhcpState::kDiscovering:
       msg.kind = net::DhcpMessage::Kind::kDiscover;
+      sim_.telemetry().metrics().counter("dhcp.discover_sent").inc();
       break;
     case DhcpState::kRequesting:
       msg.kind = net::DhcpMessage::Kind::kRequest;
       msg.offered_ip = offered_ip_;
       msg.server_ip = server_ip_;
+      sim_.telemetry().metrics().counter("dhcp.request_sent").inc();
       break;
     default:
       return;
@@ -164,6 +169,7 @@ void DhcpClient::arm_message_timer() {
 void DhcpClient::on_message_timeout() {
   if (state_ != DhcpState::kDiscovering && state_ != DhcpState::kRequesting)
     return;
+  sim_.telemetry().metrics().counter("dhcp.message_timeouts").inc();
   transmit_current();
   arm_message_timer();
 }
@@ -172,6 +178,7 @@ void DhcpClient::on_attempt_expired() {
   if (state_ == DhcpState::kBound || state_ == DhcpState::kIdle) return;
   message_timer_.cancel();
   ++failed_attempts_;
+  sim_.telemetry().metrics().counter("dhcp.attempt_failures").inc();
   enter(DhcpState::kBackoff);
   if (event_handler_) event_handler_(*this, DhcpEvent::kAttemptFailed);
   if (state_ != DhcpState::kBackoff) return;  // handler may have abandoned us
@@ -230,6 +237,14 @@ void DhcpClient::handle_frame(const net::Frame& frame) {
         lease_ = Lease{msg->offered_ip, msg->server_ip, msg->lease_duration,
                        sim_.now()};
         acquisition_delay_ = sim_.now() - started_;
+        telemetry::Hub& telemetry = sim_.telemetry();
+        telemetry.metrics().counter("dhcp.bound").inc();
+        telemetry.metrics()
+            .histogram("dhcp.acquisition_delay_sec")
+            .add(acquisition_delay_.sec());
+        telemetry.trace().complete("dhcp", "join", started_.us(),
+                                   acquisition_delay_.us(),
+                                   config_.trace_track);
         enter(DhcpState::kBound);
         if (event_handler_) event_handler_(*this, DhcpEvent::kBound);
       }
@@ -238,6 +253,7 @@ void DhcpClient::handle_frame(const net::Frame& frame) {
     case net::DhcpMessage::Kind::kNak:
       if (state_ == DhcpState::kRequesting) {
         // Stale offer; restart discovery within the same attempt window.
+        sim_.telemetry().metrics().counter("dhcp.naks").inc();
         enter(DhcpState::kDiscovering);
         offered_ip_ = net::Ipv4Address{};
         transmit_current();

@@ -43,6 +43,10 @@ struct DhcpClientConfig {
   sim::Time idle_after_failure = sim::Time::seconds(60);
   // 0 = keep attempting while alive.
   int max_attempt_windows = 0;
+  // Telemetry track for the "dhcp" span emitted when a lease binds while the
+  // world's trace recorder is enabled (same lane as the owning interface's
+  // auth/assoc spans).
+  std::uint32_t trace_track = 0;
 };
 
 // Stock timers (the "default" rows of Table 3 / Fig. 11).

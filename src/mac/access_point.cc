@@ -45,10 +45,13 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
     }
     ++buffered_total_;
     it->second.buffer.push_back(f);
+    note_buffered();
     SPIDER_DCHECK(it->second.buffer.size() <= config_.max_buffered_frames)
         << "power-save buffer overran its cap for "
         << f.dst.to_string();
   });
+  collector_id_ = medium_.simulator().telemetry().add_collector(
+      [this](telemetry::Registry& registry) { publish_metrics(registry); });
   if (config_.auto_rate) {
     radio_.set_tx_result_handler([this](const net::Frame& f, bool ok) {
       if (f.kind != net::FrameKind::kData) return;
@@ -59,6 +62,38 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
       }
     });
   }
+}
+
+AccessPoint::~AccessPoint() {
+  medium_.simulator().telemetry().remove_collector(collector_id_);
+}
+
+void AccessPoint::note_buffered() {
+  ++buffered_now_;
+  if (buffered_now_ > buffered_high_water_) {
+    buffered_high_water_ = buffered_now_;
+  }
+}
+
+void AccessPoint::publish_metrics(telemetry::Registry& registry) {
+  // Deltas since the last collect: several APs share one world registry, so
+  // each folds only its unpublished growth into the common mac.ap.* names.
+  const auto publish = [&registry](const char* name, std::uint64_t total,
+                                   std::uint64_t& published) {
+    registry.counter(name).inc(total - published);
+    published = total;
+  };
+  publish("mac.ap.auth_grants", auth_grants_, published_.auth);
+  publish("mac.ap.assoc_grants", assoc_grants_, published_.assoc);
+  publish("mac.ap.frames_buffered", buffered_total_, published_.buffered);
+  publish("mac.ap.buffer_drops", buffer_drops_, published_.drops);
+  publish("mac.ap.psm_enters", psm_enters_, published_.psm_enters);
+  publish("mac.ap.psm_exits", psm_exits_, published_.psm_exits);
+  telemetry::Gauge& occupancy = registry.gauge("mac.ap.psm_buffered");
+  occupancy.add(static_cast<std::int64_t>(buffered_now_) -
+                static_cast<std::int64_t>(published_.occupancy));
+  occupancy.record_peak(static_cast<std::int64_t>(buffered_high_water_));
+  published_.occupancy = buffered_now_;
 }
 
 double AccessPoint::downlink_rate_bps(net::MacAddress client) const {
@@ -117,7 +152,9 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
       break;
 
     case net::FrameKind::kAuthRequest: {
-      clients_[frame.src].authenticated = true;
+      ClientState& state = clients_[frame.src];
+      if (!state.authenticated) ++auth_grants_;
+      state.authenticated = true;
       respond_after_delay(net::make_auth_response(address(), frame.src));
       break;
     }
@@ -140,16 +177,23 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
       break;
     }
 
-    case net::FrameKind::kDisassoc:
-      clients_.erase(frame.src);
+    case net::FrameKind::kDisassoc: {
+      auto it = clients_.find(frame.src);
+      if (it != clients_.end()) {
+        buffered_now_ -= it->second.buffer.size();
+        clients_.erase(it);
+      }
       break;
+    }
 
     case net::FrameKind::kNullData: {
       auto it = clients_.find(frame.src);
       if (it == clients_.end() || !it->second.associated) break;
       if (frame.power_mgmt) {
+        if (!it->second.power_save) ++psm_enters_;
         it->second.power_save = true;
       } else {
+        if (it->second.power_save) ++psm_exits_;
         it->second.power_save = false;
         flush_buffer(frame.src, it->second);
       }
@@ -162,6 +206,7 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
       // PM=1 announcement.
       auto it = clients_.find(frame.src);
       if (it == clients_.end() || !it->second.associated) break;
+      if (it->second.power_save) ++psm_exits_;
       it->second.power_save = false;
       flush_buffer(frame.src, it->second);
       break;
@@ -198,6 +243,7 @@ void AccessPoint::flush_buffer(net::MacAddress client, ClientState& state) {
   while (!state.buffer.empty()) {
     net::Frame f = std::move(state.buffer.front());
     state.buffer.pop_front();
+    --buffered_now_;
     if (config_.auto_rate) f.tx_rate_bps = rate_.rate_for(client);
     radio_.send(std::move(f));
   }
@@ -213,6 +259,7 @@ bool AccessPoint::send_to_client(net::MacAddress dst, net::Frame frame) {
     }
     ++buffered_total_;
     it->second.buffer.push_back(std::move(frame));
+    note_buffered();
     return true;
   }
   if (config_.auto_rate) frame.tx_rate_bps = rate_.rate_for(dst);

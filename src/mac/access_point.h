@@ -51,6 +51,7 @@ class AccessPoint {
 
   AccessPoint(phy::Medium& medium, net::MacAddress address, phy::Vec2 position,
               sim::Rng rng, AccessPointConfig config = {});
+  ~AccessPoint();
 
   AccessPoint(const AccessPoint&) = delete;
   AccessPoint& operator=(const AccessPoint&) = delete;
@@ -78,10 +79,15 @@ class AccessPoint {
   std::size_t buffered_frames(net::MacAddress client) const;
   std::size_t association_count() const { return clients_.size(); }
 
-  // Counters.
+  // Counters. Published as mac.ap.* metrics (aggregated across the world's
+  // APs) by the telemetry collector each AP registers.
+  std::uint64_t auth_grants() const { return auth_grants_; }
   std::uint64_t assoc_grants() const { return assoc_grants_; }
   std::uint64_t buffered_total() const { return buffered_total_; }
   std::uint64_t buffer_drops() const { return buffer_drops_; }
+  std::uint64_t psm_enters() const { return psm_enters_; }
+  std::uint64_t psm_exits() const { return psm_exits_; }
+  std::size_t buffered_high_water() const { return buffered_high_water_; }
   // Current downlink rate for a client (medium default if auto_rate off).
   double downlink_rate_bps(net::MacAddress client) const;
 
@@ -98,6 +104,8 @@ class AccessPoint {
   void respond_after_delay(net::Frame response);
   void flush_buffer(net::MacAddress client, ClientState& state);
   net::BeaconInfo beacon_info() const;
+  void note_buffered();
+  void publish_metrics(telemetry::Registry& registry);
 
   phy::Medium& medium_;
   phy::Radio radio_;
@@ -110,9 +118,28 @@ class AccessPoint {
   phy::AutoRate rate_;
   std::unordered_map<net::MacAddress, ClientState> clients_;
   bool started_ = false;
+  std::uint64_t auth_grants_ = 0;
   std::uint64_t assoc_grants_ = 0;
   std::uint64_t buffered_total_ = 0;
   std::uint64_t buffer_drops_ = 0;
+  std::uint64_t psm_enters_ = 0;
+  std::uint64_t psm_exits_ = 0;
+  // PSM occupancy across all clients of this AP, tracked at event
+  // granularity so the published gauge's high-water is exact.
+  std::size_t buffered_now_ = 0;
+  std::size_t buffered_high_water_ = 0;
+  // Values already folded into the shared mac.ap.* metrics — several APs in
+  // one world publish deltas into the same registry entries.
+  struct Published {
+    std::uint64_t auth = 0;
+    std::uint64_t assoc = 0;
+    std::uint64_t buffered = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t psm_enters = 0;
+    std::uint64_t psm_exits = 0;
+    std::size_t occupancy = 0;
+  } published_;
+  telemetry::Hub::CollectorId collector_id_ = 0;
 };
 
 }  // namespace spider::mac

@@ -57,6 +57,25 @@ void ClientSession::enter(SessionState next) {
   SPIDER_CHECK(transition_legal(state_, next))
       << "illegal session transition " << to_string(state_) << " -> "
       << to_string(next) << " (bssid " << bssid_.to_string() << ")";
+  // Transition counters go straight to the registry: sessions transition a
+  // handful of times per join, so the name lookup is off the hot path.
+  telemetry::Registry& metrics = sim_.telemetry().metrics();
+  switch (next) {
+    case SessionState::kAuthenticating:
+      metrics.counter("mac.session.auth_starts").inc();
+      break;
+    case SessionState::kAssociating:
+      metrics.counter("mac.session.assoc_starts").inc();
+      break;
+    case SessionState::kAssociated:
+      metrics.counter("mac.session.associations").inc();
+      break;
+    case SessionState::kFailed:
+      metrics.counter("mac.session.failures").inc();
+      break;
+    case SessionState::kIdle:
+      break;
+  }
   state_ = next;
   stage_retries_ = 0;
 }
@@ -108,6 +127,7 @@ void ClientSession::on_retry_timeout() {
     return;
   }
   ++stage_retries_;
+  sim_.telemetry().metrics().counter("mac.session.retries").inc();
   if (state_ == SessionState::kAssociating &&
       stage_retries_ > config_.assoc_retries_before_reauth) {
     // The AP may have dropped our auth state; start over.
@@ -128,6 +148,7 @@ void ClientSession::handle_frame(const net::Frame& frame) {
     case net::FrameKind::kAuthResponse:
       if (state_ == SessionState::kAuthenticating &&
           (frame.dst == self_ || frame.dst.is_broadcast())) {
+        auth_done_ = sim_.now();
         enter(SessionState::kAssociating);
         transmit_current();
         arm_retry_timer();
@@ -139,6 +160,17 @@ void ClientSession::handle_frame(const net::Frame& frame) {
         retry_timer_.cancel();
         association_delay_ = sim_.now() - join_started_;
         enter(SessionState::kAssociated);
+        telemetry::TraceRecorder& trace = sim_.telemetry().trace();
+        if (trace.enabled()) {
+          // Two back-to-back spans per completed join: [start, auth done)
+          // and [auth done, assoc done). Re-auth restarts fold into the
+          // auth span (auth_done_ tracks the *last* auth completion).
+          trace.complete("auth", "join", join_started_.us(),
+                         (auth_done_ - join_started_).us(),
+                         config_.trace_track);
+          trace.complete("assoc", "join", auth_done_.us(),
+                         (sim_.now() - auth_done_).us(), config_.trace_track);
+        }
         if (event_handler_) event_handler_(*this, SessionEvent::kAssociated);
       }
       break;

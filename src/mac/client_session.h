@@ -43,6 +43,10 @@ struct ClientSessionConfig {
   // Consecutive association-stage retries before restarting from auth (the
   // AP may have evicted our auth state).
   int assoc_retries_before_reauth = 3;
+  // Telemetry track (Chrome tid) for the auth/assoc spans this session emits
+  // when the world's trace recorder is enabled. Drivers assign one track per
+  // virtual interface so joins render as parallel lanes in Perfetto.
+  std::uint32_t trace_track = 0;
 };
 
 class ClientSession {
@@ -102,6 +106,7 @@ class ClientSession {
   SessionState state_ = SessionState::kIdle;
   sim::TimerHandle retry_timer_;
   sim::Time join_started_ = sim::Time::zero();
+  sim::Time auth_done_ = sim::Time::zero();
   sim::Time association_delay_ = sim::Time::zero();
   sim::Time last_heard_ = sim::Time::zero();
   int attempts_ = 0;

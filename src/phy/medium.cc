@@ -22,6 +22,50 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
       << " must be a fraction of range";
   SPIDER_CHECK(config_.data_retry_limit >= 0)
       << "data_retry_limit " << config_.data_retry_limit;
+  collector_id_ = sim_.telemetry().add_collector(
+      [this](telemetry::Registry& registry) { publish_metrics(registry); });
+}
+
+Medium::~Medium() { sim_.telemetry().remove_collector(collector_id_); }
+
+void Medium::publish_metrics(telemetry::Registry& registry) const {
+  const auto publish = [&registry](const char* name, std::uint64_t value) {
+    telemetry::Counter& c = registry.counter(name);
+    c.inc(value - c.value());
+  };
+  publish("phy.frames_sent", frames_sent_);
+  publish("phy.frames_delivered", frames_delivered_);
+  publish("phy.frames_lost", frames_lost_);
+  // Static names so the collector never allocates: slot N ↔ "…chN".
+  static constexpr const char* kSent[kChannelSlots] = {
+      "phy.frames_sent.ch0",  "phy.frames_sent.ch1",  "phy.frames_sent.ch2",
+      "phy.frames_sent.ch3",  "phy.frames_sent.ch4",  "phy.frames_sent.ch5",
+      "phy.frames_sent.ch6",  "phy.frames_sent.ch7",  "phy.frames_sent.ch8",
+      "phy.frames_sent.ch9",  "phy.frames_sent.ch10", "phy.frames_sent.ch11",
+      "phy.frames_sent.ch12", "phy.frames_sent.ch13", "phy.frames_sent.ch14"};
+  static constexpr const char* kDelivered[kChannelSlots] = {
+      "phy.frames_delivered.ch0",  "phy.frames_delivered.ch1",
+      "phy.frames_delivered.ch2",  "phy.frames_delivered.ch3",
+      "phy.frames_delivered.ch4",  "phy.frames_delivered.ch5",
+      "phy.frames_delivered.ch6",  "phy.frames_delivered.ch7",
+      "phy.frames_delivered.ch8",  "phy.frames_delivered.ch9",
+      "phy.frames_delivered.ch10", "phy.frames_delivered.ch11",
+      "phy.frames_delivered.ch12", "phy.frames_delivered.ch13",
+      "phy.frames_delivered.ch14"};
+  static constexpr const char* kLost[kChannelSlots] = {
+      "phy.frames_lost.ch0",  "phy.frames_lost.ch1",  "phy.frames_lost.ch2",
+      "phy.frames_lost.ch3",  "phy.frames_lost.ch4",  "phy.frames_lost.ch5",
+      "phy.frames_lost.ch6",  "phy.frames_lost.ch7",  "phy.frames_lost.ch8",
+      "phy.frames_lost.ch9",  "phy.frames_lost.ch10", "phy.frames_lost.ch11",
+      "phy.frames_lost.ch12", "phy.frames_lost.ch13", "phy.frames_lost.ch14"};
+  for (std::size_t slot = 0; slot < kChannelSlots; ++slot) {
+    const ChannelCounters& c = per_channel_[slot];
+    // Quiet channels stay out of the registry so exports only list slices
+    // that actually carried traffic.
+    if (c.sent != 0) publish(kSent[slot], c.sent);
+    if (c.delivered != 0) publish(kDelivered[slot], c.delivered);
+    if (c.lost != 0) publish(kLost[slot], c.lost);
+  }
 }
 
 void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
@@ -55,6 +99,7 @@ sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
 sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   ++frames_sent_;
   const net::ChannelId channel = sender.channel();
+  ++per_channel_[channel_slot(channel)].sent;
   if (sniffer_) sniffer_(frame, channel, sim_.now());
   const double rate =
       frame.tx_rate_bps > 0.0 ? frame.tx_rate_bps : config_.bitrate_bps;
@@ -118,9 +163,11 @@ void Medium::deliver(const Radio* sender_snapshot, Vec2 sender_pos,
     }
     if (lost) {
       ++frames_lost_;
+      ++per_channel_[channel_slot(channel)].lost;
       continue;
     }
     ++frames_delivered_;
+    ++per_channel_[channel_slot(channel)].delivered;
     if (is_addressee) addressed_delivery = true;
     // Log-distance RSSI proxy: -40 dBm at 1 m, path-loss exponent 3.
     const double rssi = -40.0 - 30.0 * std::log10(std::max(d, 1.0));

@@ -9,6 +9,7 @@
 // optional quadratic degradation near the edge of the range disc.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -57,6 +58,7 @@ class Medium {
       std::function<void(const net::Frame&, net::ChannelId, sim::Time)>;
 
   Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config = {});
+  ~Medium();
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
@@ -87,9 +89,36 @@ class Medium {
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_lost() const { return frames_lost_; }
 
+  // Per-channel slices of the same counters (channels 1..14; anything else
+  // is folded into slot 0). Published as phy.frames_*.ch<N> metrics by the
+  // telemetry collector registered with this medium's simulator.
+  std::uint64_t frames_sent_on(net::ChannelId channel) const {
+    return per_channel_[channel_slot(channel)].sent;
+  }
+  std::uint64_t frames_delivered_on(net::ChannelId channel) const {
+    return per_channel_[channel_slot(channel)].delivered;
+  }
+  std::uint64_t frames_lost_on(net::ChannelId channel) const {
+    return per_channel_[channel_slot(channel)].lost;
+  }
+
  private:
+  static constexpr std::size_t kChannelSlots = 15;  // 0 = out-of-plan
+  static std::size_t channel_slot(net::ChannelId channel) {
+    return channel >= 1 && channel < static_cast<int>(kChannelSlots)
+               ? static_cast<std::size_t>(channel)
+               : 0;
+  }
+
+  struct ChannelCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+  };
+
   void deliver(const Radio* sender_snapshot, Vec2 sender_pos,
                net::ChannelId channel, const net::Frame& frame);
+  void publish_metrics(telemetry::Registry& registry) const;
 
   sim::Simulator& sim_;
   sim::Rng rng_;
@@ -100,6 +129,8 @@ class Medium {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_lost_ = 0;
+  std::array<ChannelCounters, kChannelSlots> per_channel_{};
+  telemetry::Hub::CollectorId collector_id_ = 0;
 };
 
 }  // namespace spider::phy

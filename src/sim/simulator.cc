@@ -76,7 +76,19 @@ bool TimerHandle::pending() const {
          !slab_->cancelled(slot_);
 }
 
-Simulator::Simulator() : tokens_(std::make_shared<detail::TokenSlab>()) {}
+Simulator::Simulator() : tokens_(std::make_shared<detail::TokenSlab>()) {
+  telemetry_.add_collector([this](telemetry::Registry& registry) {
+    registry.counter("sim.events_posted").inc(
+        posted_ - registry.counter("sim.events_posted").value());
+    registry.counter("sim.events_fired").inc(
+        executed_ - registry.counter("sim.events_fired").value());
+    registry.counter("sim.events_cancelled").inc(
+        cancelled_ - registry.counter("sim.events_cancelled").value());
+    auto& depth = registry.gauge("sim.queue_depth");
+    depth.set(static_cast<std::int64_t>(depth_high_water_));
+    depth.set(static_cast<std::int64_t>(queue_.size()));
+  });
+}
 
 Simulator::~Simulator() { tokens_->dead = true; }
 
@@ -90,6 +102,7 @@ TimerHandle Simulator::schedule_at(Time at, SmallFn fn) {
   const std::uint32_t slot = tokens_->acquire();
   const std::uint32_t generation = tokens_->slots[slot].generation;
   queue_.push(Event{at, next_seq_++, slot, std::move(fn)});
+  note_push();
   return TimerHandle{tokens_, slot, generation};
 }
 
@@ -105,6 +118,7 @@ void Simulator::post_at(Time at, SmallFn fn) {
                            << ") behind clock " << now_.to_string();
   if (at < now_) at = now_;
   queue_.push(Event{at, next_seq_++, kNoToken, std::move(fn)});
+  note_push();
 }
 
 void Simulator::post_after(Time delay, SmallFn fn) {
@@ -140,7 +154,10 @@ void Simulator::drain(Time limit) {
       // and fn is free to schedule new events that recycle the slot (the
       // bumped generation keeps old handles inert).
       tokens_->release(ev.token);
-      if (cancelled) continue;
+      if (cancelled) {
+        ++cancelled_;
+        continue;
+      }
     }
     // Event-queue monotonicity: the heap must never surface an event behind
     // the clock — schedule_at() rejects past times, so a violation here means

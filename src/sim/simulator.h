@@ -27,6 +27,7 @@
 
 #include "sim/small_fn.h"
 #include "sim/time.h"
+#include "telemetry/hub.h"
 
 namespace spider::sim {
 
@@ -127,6 +128,15 @@ class Simulator {
 
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
+  std::uint64_t events_posted() const { return posted_; }
+  std::uint64_t events_cancelled() const { return cancelled_; }
+  std::size_t queue_depth_high_water() const { return depth_high_water_; }
+
+  // Per-world telemetry (metrics registry + trace recorder). The event-queue
+  // counters above are plain members published through a Hub collector at
+  // snapshot time, so the dispatch loop pays nothing for the registry.
+  telemetry::Hub& telemetry() { return telemetry_; }
+  const telemetry::Hub& telemetry() const { return telemetry_; }
 
   // Running digest (splitmix64-style avalanche mix) over executed
   // (time, event-id) pairs. Two runs of the same scenario must produce
@@ -157,12 +167,24 @@ class Simulator {
     }
   };
 
+  // Event-queue accounting: hot members, kept adjacent to the queue state
+  // they travel with; published as sim.* metrics by the collector the
+  // constructor registers.
+  void note_push() {
+    ++posted_;
+    if (queue_.size() > depth_high_water_) depth_high_water_ = queue_.size();
+  }
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::shared_ptr<detail::TokenSlab> tokens_;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t posted_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t depth_high_water_ = 0;
   bool stopped_ = false;
+  telemetry::Hub telemetry_;
 
   // Determinism digest state: digest_ covers all closed instants; the
   // instant_* fields accumulate the (still open) current instant.

@@ -1,0 +1,65 @@
+// Per-world telemetry hub: one Registry + one TraceRecorder, owned by each
+// Simulator (sim::Simulator::telemetry()). Components reach it through the
+// simulator reference they already hold, register their hot counters once,
+// and optionally add a *collector* — a callback that publishes plain member
+// counters into the registry at snapshot time, so genuinely hot paths (the
+// event queue, per-frame PHY accounting) pay zero telemetry cost between
+// snapshots.
+//
+// Threading: a Hub belongs to its Simulator's thread, like everything else
+// in a world. Cross-world aggregation happens on MetricsSnapshots only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_recorder.h"
+
+namespace spider::telemetry {
+
+class Hub {
+ public:
+  using Collector = std::function<void(Registry&)>;
+  using CollectorId = std::uint64_t;
+
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  // Registers a publish-on-snapshot callback. Components that can be
+  // destroyed before the simulator must remove_collector() in their
+  // destructor (everything in an Experiment is, by member order).
+  CollectorId add_collector(Collector fn) {
+    const CollectorId id = next_collector_id_++;
+    collectors_.emplace_back(id, std::move(fn));
+    return id;
+  }
+
+  void remove_collector(CollectorId id) {
+    std::erase_if(collectors_,
+                  [id](const auto& entry) { return entry.first == id; });
+  }
+
+  // Runs every collector, then snapshots the registry. The standard export
+  // path (SweepRunner calls this once per finished replication).
+  MetricsSnapshot collect() {
+#if SPIDER_TELEMETRY
+    for (auto& [id, fn] : collectors_) fn(metrics_);
+    return metrics_.snapshot();
+#else
+    return MetricsSnapshot{};
+#endif
+  }
+
+ private:
+  Registry metrics_;
+  TraceRecorder trace_;
+  std::vector<std::pair<CollectorId, Collector>> collectors_;
+  CollectorId next_collector_id_ = 1;
+};
+
+}  // namespace spider::telemetry

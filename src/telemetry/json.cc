@@ -1,0 +1,218 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace spider::telemetry {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      fail("malformed value");
+    } else {
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing garbage");
+    }
+    if (failed_ && error != nullptr) {
+      *error = message_ + " at byte " + std::to_string(pos_);
+    }
+    return !failed_;
+  }
+
+ private:
+  void fail(const char* message) {
+    if (!failed_) {
+      failed_ = true;
+      message_ = message;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          default: return false;  // \uXXXX unsupported (never emitted)
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (failed_ || depth_ > 64) return false;
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.string);
+    }
+    if (literal("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++depth_;
+    if (!consume('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) {
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++depth_;
+    if (!consume('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) {
+        --depth_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool failed_ = false;
+  std::string message_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;  // duplicates: last one wins
+  }
+  return found;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->string : fallback;
+}
+
+bool parse_json(std::string_view text, JsonValue& out, std::string* error) {
+  Parser parser(text);
+  return parser.parse(out, error);
+}
+
+}  // namespace spider::telemetry

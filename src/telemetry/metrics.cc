@@ -1,0 +1,225 @@
+#include "telemetry/metrics.h"
+
+namespace spider::telemetry {
+namespace {
+
+// bounds[i] = upper bound of bucket i (i in [0, kSpan]): 1e-6 * 2^i. Exact
+// doublings, computed once.
+const std::array<double, Histogram::kSpan + 1>& bucket_bounds() {
+  static const std::array<double, Histogram::kSpan + 1> bounds = [] {
+    std::array<double, Histogram::kSpan + 1> b{};
+    double v = Histogram::kFirstBound;
+    for (std::size_t i = 0; i <= Histogram::kSpan; ++i) {
+      b[i] = v;
+      v *= 2.0;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+template <typename Sample, typename Merge>
+void merge_sorted(std::vector<Sample>& into, const std::vector<Sample>& from,
+                  const Merge& merge) {
+  std::vector<Sample> out;
+  out.reserve(into.size() + from.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (into[i].name < from[j].name) {
+      out.push_back(std::move(into[i++]));
+    } else if (from[j].name < into[i].name) {
+      out.push_back(from[j++]);
+    } else {
+      Sample merged = std::move(into[i++]);
+      merge(merged, from[j++]);
+      out.push_back(std::move(merged));
+    }
+  }
+  while (i < into.size()) out.push_back(std::move(into[i++]));
+  while (j < from.size()) out.push_back(from[j++]);
+  into = std::move(out);
+}
+
+}  // namespace
+
+double Histogram::bucket_lower_bound(std::size_t i) {
+  if (i == 0) return -std::numeric_limits<double>::infinity();
+  return bucket_bounds()[i - 1];
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return bucket_bounds()[i];
+}
+
+std::size_t Histogram::bucket_index(double v) {
+  const auto& bounds = bucket_bounds();
+  // NaN and sub-minimum values (incl. negatives) land in the underflow
+  // bucket; the comparison is written so NaN fails it.
+  if (!(v >= bounds[0])) return 0;
+  if (v >= bounds[kSpan]) return kBuckets - 1;
+  // First bound strictly greater than v; v >= bounds[0] and v < bounds[kSpan]
+  // guarantee the result is in [1, kSpan].
+  const auto it = std::upper_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      if (i == 0) return min();
+      if (i == kBuckets - 1) return max();
+      return bucket_upper_bound(i);
+    }
+  }
+  return max();
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  merge_sorted(counters, other.counters,
+               [](CounterSample& a, const CounterSample& b) {
+                 a.value += b.value;
+               });
+  merge_sorted(gauges, other.gauges, [](GaugeSample& a, const GaugeSample& b) {
+    a.value += b.value;
+    a.high_water = std::max(a.high_water, b.high_water);
+  });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramSample& a, const HistogramSample& b) {
+                 if (b.count == 0) return;
+                 if (a.count == 0) {
+                   a.min = b.min;
+                   a.max = b.max;
+                 } else {
+                   a.min = std::min(a.min, b.min);
+                   a.max = std::max(a.max, b.max);
+                 }
+                 a.count += b.count;
+                 a.sum += b.sum;
+                 // Sorted-by-index sparse union.
+                 std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+                 merged.reserve(a.buckets.size() + b.buckets.size());
+                 std::size_t i = 0;
+                 std::size_t j = 0;
+                 while (i < a.buckets.size() && j < b.buckets.size()) {
+                   if (a.buckets[i].first < b.buckets[j].first) {
+                     merged.push_back(a.buckets[i++]);
+                   } else if (b.buckets[j].first < a.buckets[i].first) {
+                     merged.push_back(b.buckets[j++]);
+                   } else {
+                     merged.emplace_back(a.buckets[i].first,
+                                         a.buckets[i].second +
+                                             b.buckets[j].second);
+                     ++i;
+                     ++j;
+                   }
+                 }
+                 while (i < a.buckets.size()) merged.push_back(a.buckets[i++]);
+                 while (j < b.buckets.size()) merged.push_back(b.buckets[j++]);
+                 a.buckets = std::move(merged);
+               });
+}
+
+namespace {
+
+template <typename Sample>
+const Sample* find_by_name(const std::vector<Sample>& v,
+                           std::string_view name) {
+  for (const Sample& s : v) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  return find_by_name(counters, name);
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back(CounterSample{name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back(GaugeSample{name, g.value(), g.high_water()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) > 0) {
+        s.buckets.emplace_back(static_cast<std::uint32_t>(i), h.bucket(i));
+      }
+    }
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h = Histogram{};
+}
+
+Registry& process_registry() {
+  static Registry* registry = new Registry;  // leaked: outlives all users
+  return *registry;
+}
+
+std::mutex& process_registry_mutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+}  // namespace spider::telemetry

@@ -24,11 +24,23 @@ void FrameLog::record(const FrameRecord& r) {
   }
   if (filter_ && !filter_(r)) return;
   entries_.push_back(r);
-  while (entries_.size() > capacity_) entries_.pop_front();
+  while (entries_.size() > capacity_) {
+    if (evict_handler_) evict_handler_(entries_.front());
+    ++dropped_;
+    entries_.pop_front();
+  }
+}
+
+void FrameLog::stream_evictions_to(telemetry::TraceRecorder& recorder) {
+  set_evict_handler([&recorder](const FrameRecord& r) {
+    recorder.instant("frame_evicted", "framelog", r.at.us(), /*track=*/0,
+                     "bytes", r.size_bytes);
+  });
 }
 
 void FrameLog::clear() {
   entries_.clear();
+  dropped_ = 0;
   total_frames_ = total_bytes_ = 0;
   management_frames_ = management_bytes_ = data_frames_ = 0;
 }

@@ -13,6 +13,7 @@
 
 #include "net/frame.h"
 #include "sim/time.h"
+#include "telemetry/trace_recorder.h"
 
 namespace spider::trace {
 
@@ -35,9 +36,22 @@ class FrameLog {
   // Only records matching the filter are kept (counters still see all).
   void set_filter(Filter f) { filter_ = std::move(f); }
 
+  using EvictHandler = std::function<void(const FrameRecord&)>;
+  // Invoked for each entry the ring pushes out, before it is destroyed —
+  // the hook that lets a bounded log hand its overflow to a second sink
+  // instead of silently losing it.
+  void set_evict_handler(EvictHandler fn) { evict_handler_ = std::move(fn); }
+
+  // Streams evicted entries into `recorder` as instant events (category
+  // "framelog"); no-ops while the recorder is disabled. The recorder must
+  // outlive this log.
+  void stream_evictions_to(telemetry::TraceRecorder& recorder);
+
   void record(const FrameRecord& r);
 
   const std::deque<FrameRecord>& entries() const { return entries_; }
+  // Entries pushed out of the ring by capacity pressure.
+  std::uint64_t dropped() const { return dropped_; }
   std::uint64_t total_frames() const { return total_frames_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t management_frames() const { return management_frames_; }
@@ -55,7 +69,9 @@ class FrameLog {
  private:
   std::size_t capacity_;
   Filter filter_;
+  EvictHandler evict_handler_;
   std::deque<FrameRecord> entries_;
+  std::uint64_t dropped_ = 0;
   std::uint64_t total_frames_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t management_frames_ = 0;

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""CI perf gate over BENCH_perf.json.
+
+Usage: check_perf.py <baseline.json> <measurement.json> [more measurements...]
+
+Compares the event-queue speedup_vs_baseline of each measurement against the
+checked-in floor (bench/BENCH_perf_baseline.json) minus a 5% tolerance. The
+metric is a ratio of two throughputs measured in the same binary on the same
+machine, so it is hardware-normalized; several measurement files may be
+passed and the gate takes the best one, since CI runners are noisy.
+
+Exits 0 when any measurement clears the bar, 1 otherwise.
+"""
+import json
+import sys
+
+TOLERANCE = 0.05
+
+
+def speedup(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return float(doc["event_queue"]["speedup_vs_baseline"])
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    floor = speedup(argv[1]) * (1.0 - TOLERANCE)
+    best = max(speedup(path) for path in argv[2:])
+    verdict = "PASS" if best >= floor else "FAIL"
+    print(
+        f"{verdict}: best event-queue speedup {best:.3f} vs floor "
+        f"{floor:.3f} (baseline {speedup(argv[1]):.3f} - {TOLERANCE:.0%})"
+    )
+    return 0 if best >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

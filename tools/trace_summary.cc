@@ -1,0 +1,372 @@
+// spider-trace — terminal summaries of the repo's telemetry artifacts.
+//
+// Accepts either artifact the benches emit:
+//   * a spider-telemetry-v1 JSONL file (from --telemetry): prints each
+//     sweep's top counters, gauge levels/peaks, histogram summaries with
+//     log-bucket quantiles, and a per-channel dwell/traffic table;
+//   * a Chrome trace JSON file (from --trace): prints per-(category, name)
+//     span statistics, instant-event counts, and the named tracks.
+//
+// Usage: spider-trace <file> [--top N]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/run_report.h"
+
+namespace {
+
+using spider::telemetry::Histogram;
+using spider::telemetry::JsonValue;
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+std::string read_file(const char* path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = true;
+  return buf.str();
+}
+
+// Nearest-bucket quantile over the sparse (index, count) pairs a JSONL
+// histogram carries; mirrors Histogram::quantile but works on the export.
+double bucket_quantile(const JsonValue& buckets, double q, double min_v,
+                       double max_v) {
+  std::uint64_t total = 0;
+  for (const JsonValue& pair : buckets.array) {
+    if (pair.array.size() == 2) {
+      total += static_cast<std::uint64_t>(pair.array[1].number);
+    }
+  }
+  if (total == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t cum = 0;
+  for (const JsonValue& pair : buckets.array) {
+    if (pair.array.size() != 2) continue;
+    const auto index = static_cast<std::size_t>(pair.array[0].number);
+    cum += static_cast<std::uint64_t>(pair.array[1].number);
+    if (cum > target) {
+      if (index == 0) return min_v;
+      if (index >= Histogram::kBuckets - 1) return max_v;
+      return Histogram::bucket_upper_bound(index);
+    }
+  }
+  return max_v;
+}
+
+// ---------------------------------------------------------------------------
+// spider-telemetry-v1 JSONL mode
+
+void print_counters(const JsonValue& counters, int top) {
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  for (const auto& [name, value] : counters.object) {
+    rows.emplace_back(name, static_cast<std::uint64_t>(value.number));
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  const std::size_t shown =
+      std::min<std::size_t>(rows.size(), static_cast<std::size_t>(top));
+  std::printf("  counters (top %zu of %zu):\n", shown, rows.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::printf("    %-40s %12llu\n", rows[i].first.c_str(),
+                static_cast<unsigned long long>(rows[i].second));
+  }
+}
+
+void print_gauges(const JsonValue& gauges) {
+  if (gauges.object.empty()) return;
+  std::printf("  gauges (level / high-water):\n");
+  for (const auto& [name, g] : gauges.object) {
+    std::printf("    %-40s %10.0f / %.0f\n", name.c_str(),
+                g.number_or("value", 0.0), g.number_or("high_water", 0.0));
+  }
+}
+
+void print_histograms(const JsonValue& histograms) {
+  if (histograms.object.empty()) return;
+  std::printf("  histograms:\n");
+  for (const auto& [name, h] : histograms.object) {
+    const double count = h.number_or("count", 0.0);
+    const double sum = h.number_or("sum", 0.0);
+    const double min_v = h.number_or("min", 0.0);
+    const double max_v = h.number_or("max", 0.0);
+    double p50 = 0.0;
+    double p90 = 0.0;
+    if (const JsonValue* buckets = h.find("buckets")) {
+      p50 = bucket_quantile(*buckets, 0.5, min_v, max_v);
+      p90 = bucket_quantile(*buckets, 0.9, min_v, max_v);
+    }
+    std::printf(
+        "    %-32s n=%-7.0f mean=%-9.4g p50~%-9.4g p90~%-9.4g max=%.4g\n",
+        name.c_str(), count, count > 0 ? sum / count : 0.0, p50, p90, max_v);
+  }
+}
+
+// The per-channel table: dwell time (driver.dwell_us.chN) against the frames
+// the medium carried there — the figure-level "where did airtime go" view.
+void print_channel_table(const JsonValue& counters) {
+  struct Row {
+    double dwell_us = 0.0;
+    double sent = 0.0;
+    double delivered = 0.0;
+    bool any = false;
+  };
+  std::map<int, Row> rows;
+  const auto channel_of = [](const std::string& name,
+                             const char* prefix) -> int {
+    const std::size_t len = std::strlen(prefix);
+    if (name.compare(0, len, prefix) != 0) return -1;
+    return std::atoi(name.c_str() + len);
+  };
+  for (const auto& [name, value] : counters.object) {
+    if (int ch = channel_of(name, "driver.dwell_us.ch"); ch >= 0) {
+      rows[ch].dwell_us = value.number;
+      rows[ch].any = true;
+    } else if (ch = channel_of(name, "phy.frames_sent.ch"); ch >= 0) {
+      rows[ch].sent = value.number;
+      rows[ch].any = true;
+    } else if (ch = channel_of(name, "phy.frames_delivered.ch"); ch >= 0) {
+      rows[ch].delivered = value.number;
+      rows[ch].any = true;
+    }
+  }
+  if (rows.empty()) return;
+  double total_dwell = 0.0;
+  for (const auto& [ch, row] : rows) total_dwell += row.dwell_us;
+  std::printf("  per-channel (dwell from driver, frames from medium):\n");
+  std::printf("    %3s %12s %7s %12s %12s\n", "ch", "dwell_s", "share",
+              "sent", "delivered");
+  for (const auto& [ch, row] : rows) {
+    if (!row.any) continue;
+    std::printf("    %3d %12.3f %6.1f%% %12.0f %12.0f\n", ch,
+                row.dwell_us / 1e6,
+                total_dwell > 0.0 ? 100.0 * row.dwell_us / total_dwell : 0.0,
+                row.sent, row.delivered);
+  }
+}
+
+int summarize_jsonl(const std::string& text, int top) {
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t runs_seen = 0;
+  std::size_t sweeps_seen = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    if (!spider::telemetry::parse_json(line, doc, &error)) {
+      std::fprintf(stderr, "line %zu: parse error: %s\n", line_no,
+                   error.c_str());
+      return 1;
+    }
+    const std::string schema = doc.string_or("schema", "");
+    if (schema != spider::telemetry::kRunReportSchema) {
+      std::fprintf(stderr, "line %zu: unexpected schema \"%s\"\n", line_no,
+                   schema.c_str());
+      return 1;
+    }
+    const std::string kind = doc.string_or("kind", "");
+    if (kind == "run") {
+      ++runs_seen;
+      std::uint64_t samples = 0;
+      if (const JsonValue* counters = doc.find("counters")) {
+        samples = static_cast<std::uint64_t>(
+            counters->number_or("driver.joins", 0.0));
+      }
+      std::printf("run   %-20s #%-3.0f seed=%-6.0f events=%-9.0f "
+                  "joins=%llu digest=%s\n",
+                  doc.string_or("label", "?").c_str(),
+                  doc.number_or("run", 0.0), doc.number_or("seed", 0.0),
+                  doc.number_or("events", 0.0),
+                  static_cast<unsigned long long>(samples),
+                  doc.string_or("digest", "?").c_str());
+    } else if (kind == "sweep") {
+      ++sweeps_seen;
+      std::printf("sweep %-20s runs=%-3.0f combined_digest=%s\n",
+                  doc.string_or("label", "?").c_str(),
+                  doc.number_or("runs", 0.0),
+                  doc.string_or("combined_digest", "?").c_str());
+      if (const JsonValue* merged = doc.find("merged")) {
+        if (const JsonValue* counters = merged->find("counters")) {
+          print_counters(*counters, top);
+          print_channel_table(*counters);
+        }
+        if (const JsonValue* gauges = merged->find("gauges")) {
+          print_gauges(*gauges);
+        }
+        if (const JsonValue* histograms = merged->find("histograms")) {
+          print_histograms(*histograms);
+        }
+      }
+      if (const JsonValue* process = doc.find("process")) {
+        if (const JsonValue* counters = process->find("counters")) {
+          for (const auto& [name, value] : counters->object) {
+            if (value.number != 0.0) {
+              std::printf("  process %-30s %12.0f\n", name.c_str(),
+                          value.number);
+            }
+          }
+        }
+      }
+    } else {
+      std::fprintf(stderr, "line %zu: unknown kind \"%s\"\n", line_no,
+                   kind.c_str());
+      return 1;
+    }
+  }
+  if (runs_seen == 0 && sweeps_seen == 0) {
+    std::fprintf(stderr, "no telemetry lines found\n");
+    return 1;
+  }
+  std::printf("%zu run line(s), %zu sweep block(s)\n", runs_seen, sweeps_seen);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace mode
+
+int summarize_trace(const JsonValue& doc, int top) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "no traceEvents array\n");
+    return 1;
+  }
+  struct SpanStats {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+  };
+  std::map<std::string, SpanStats> spans;    // "category/name"
+  std::map<std::string, std::uint64_t> instants;
+  std::map<std::uint32_t, std::string> tracks;
+  std::int64_t first_ts = 0;
+  std::int64_t last_ts = 0;
+  bool any_ts = false;
+  for (const JsonValue& ev : events->array) {
+    const std::string ph = ev.string_or("ph", "");
+    if (ph == "M") {
+      if (const JsonValue* args = ev.find("args")) {
+        tracks[static_cast<std::uint32_t>(ev.number_or("tid", 0.0))] =
+            args->string_or("name", "?");
+      }
+      continue;
+    }
+    const double ts = ev.number_or("ts", 0.0);
+    const double dur = ev.number_or("dur", 0.0);
+    if (!any_ts || static_cast<std::int64_t>(ts) < first_ts) {
+      first_ts = static_cast<std::int64_t>(ts);
+    }
+    if (!any_ts || static_cast<std::int64_t>(ts + dur) > last_ts) {
+      last_ts = static_cast<std::int64_t>(ts + dur);
+    }
+    any_ts = true;
+    const std::string key =
+        ev.string_or("cat", "?") + "/" + ev.string_or("name", "?");
+    if (ph == "X") {
+      SpanStats& s = spans[key];
+      if (s.count == 0 || dur < s.min_us) s.min_us = dur;
+      if (s.count == 0 || dur > s.max_us) s.max_us = dur;
+      ++s.count;
+      s.total_us += dur;
+    } else if (ph == "i") {
+      ++instants[key];
+    }
+  }
+  if (any_ts) {
+    std::printf("trace window: %.3f s .. %.3f s (%.3f s)\n",
+                static_cast<double>(first_ts) / 1e6,
+                static_cast<double>(last_ts) / 1e6,
+                static_cast<double>(last_ts - first_ts) / 1e6);
+  }
+  if (!tracks.empty()) {
+    std::printf("tracks:");
+    for (const auto& [tid, name] : tracks) {
+      std::printf(" %u=%s", static_cast<unsigned>(tid), name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (!spans.empty()) {
+    std::printf("spans (cat/name, durations in ms):\n");
+    std::printf("  %-28s %8s %10s %10s %10s %10s\n", "span", "count", "total",
+                "mean", "min", "max");
+    std::vector<std::pair<std::string, SpanStats>> rows(spans.begin(),
+                                                        spans.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.total_us > b.second.total_us;
+                     });
+    const std::size_t shown =
+        std::min<std::size_t>(rows.size(), static_cast<std::size_t>(top));
+    for (std::size_t i = 0; i < shown; ++i) {
+      const SpanStats& s = rows[i].second;
+      std::printf("  %-28s %8llu %10.2f %10.2f %10.2f %10.2f\n",
+                  rows[i].first.c_str(),
+                  static_cast<unsigned long long>(s.count), s.total_us / 1e3,
+                  s.total_us / 1e3 / static_cast<double>(s.count),
+                  s.min_us / 1e3, s.max_us / 1e3);
+    }
+  }
+  if (!instants.empty()) {
+    std::printf("instants:\n");
+    for (const auto& [name, count] : instants) {
+      std::printf("  %-28s %8llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  int top = 12;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      top = std::atoi(argv[i] + 6);
+    } else if (path == nullptr) {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr || top <= 0) {
+    std::fprintf(stderr,
+                 "usage: spider-trace <telemetry.jsonl | trace.json> "
+                 "[--top N]\n");
+    return 2;
+  }
+  bool ok = false;
+  const std::string text = read_file(path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  // A Chrome trace is one JSON object with "traceEvents"; everything else
+  // that parses line-by-line is treated as run-report JSONL.
+  JsonValue doc;
+  if (spider::telemetry::parse_json(text, doc, nullptr) &&
+      doc.find("traceEvents") != nullptr) {
+    return summarize_trace(doc, top);
+  }
+  return summarize_jsonl(text, top);
+}
