@@ -4,11 +4,16 @@
 // simulator against an in-binary replica of the pre-optimization hot path
 // (std::function callback storage + per-event make_shared<bool> cancellation
 // token — the exact layout simulator.cc shipped before the SmallFn/token-slab
-// rework), and (2) wall-clock time of an 8-replication vehicular sweep run
-// serially vs. on all hardware threads, verifying per-run digests match.
+// rework), (2) fleet-scale PHY frame delivery through the medium's
+// partition+grid index against the original world scan (both paths live in
+// the shipped Medium behind MediumConfig::indexed_delivery, so the
+// comparison is same-binary and the digests must agree), and (3) wall-clock
+// time of an 8-replication vehicular sweep run serially vs. on all hardware
+// threads, verifying per-run digests match.
 //
 // Emits BENCH_perf.json (schema "spider-bench-perf-v1"; see README) so CI can
 // upload the numbers and successive PRs have a comparable perf record.
+#include <cmath>
 #include <cstdio>
 #include <chrono>
 #include <functional>
@@ -20,6 +25,8 @@
 #include "bench/common.h"
 #include "core/check.h"
 #include "core/sweep.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
 #include "sim/simulator.h"
 #include "sim/thread_pool.h"
 
@@ -190,6 +197,61 @@ core::ExperimentConfig sweep_config(std::uint64_t seed) {
   return cfg;
 }
 
+// ---------------------------------------------------------------------------
+// Fleet-scale PHY delivery: n radios dense on one channel, each broadcasting
+// in round-robin waves while drifting a few meters per wave (so the spatial
+// grid pays its lazy re-bucketing cost honestly). The same scenario runs
+// through the indexed path and through the reference world scan; layouts,
+// drifts and loss draws are seed-identical, so the digests must agree —
+// the measured delta is candidate lookup, nothing else.
+
+struct PhyMeasurement {
+  double frames_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t digest = 0;
+  std::uint64_t deliveries_grid = 0;
+};
+
+PhyMeasurement phy_delivery_run(bool indexed, int n_radios, int frames) {
+  sim::Simulator sim;
+  phy::MediumConfig cfg;
+  cfg.base_loss = 0.1;
+  cfg.indexed_delivery = indexed;
+  phy::Medium medium(sim, sim::Rng(99), cfg);
+  // Constant density (~500 radios/km^2, a downtown fleet) so the expected
+  // neighborhood of any sender is scale-invariant and the scan path's O(n)
+  // per-frame cost is the only thing that grows with the fleet.
+  const double side =
+      std::sqrt(static_cast<double>(n_radios) / 500.0) * 1000.0;
+  sim::Rng layout(7);
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  radios.reserve(static_cast<std::size_t>(n_radios));
+  for (int i = 0; i < n_radios; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        medium, net::MacAddress::from_index(static_cast<std::uint32_t>(i + 1)),
+        phy::RadioConfig{.initial_channel = 1}));
+    radios.back()->set_position(
+        {layout.uniform(0.0, side), layout.uniform(0.0, side)});
+  }
+  const int waves = std::max(1, frames / n_radios);
+  const auto start = std::chrono::steady_clock::now();
+  for (int wave = 0; wave < waves; ++wave) {
+    for (auto& r : radios) {
+      r->set_position(r->position() + phy::Vec2{layout.uniform(-3.0, 3.0),
+                                                layout.uniform(-3.0, 3.0)});
+      r->send(net::make_probe_request(r->address()));
+    }
+    sim.run_all();
+  }
+  const double elapsed = seconds_since(start);
+  const double sent =
+      static_cast<double>(waves) * static_cast<double>(n_radios);
+  SPIDER_CHECK(medium.frames_sent() == static_cast<std::uint64_t>(sent));
+  return {sent / elapsed,
+          static_cast<double>(sim.events_executed()) / elapsed, sim.digest(),
+          medium.deliveries_grid()};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,6 +285,41 @@ int main(int argc, char** argv) {
   std::printf("telemetry:    compiled %s; %.3g events/s with the trace\n"
               "              recorder armed (%.2fx of tracing-off)\n",
               SPIDER_TELEMETRY ? "in" : "out", traced, traced / optimized);
+
+  // ---- PHY delivery: partition+grid index vs. world scan ------------------
+  constexpr int kPhyScales[] = {50, 500, 2000};
+  constexpr int kPhyFrames = 20'000;
+  phy_delivery_run(true, 50, 2'000);  // warm allocators/caches
+  bench::JsonWriter phy_json;
+  double phy_speedup_2000 = 0.0;
+  for (const int n : kPhyScales) {
+    const PhyMeasurement fast = phy_delivery_run(true, n, kPhyFrames);
+    const PhyMeasurement scan = phy_delivery_run(false, n, kPhyFrames);
+    SPIDER_CHECK(fast.digest == scan.digest)
+        << "indexed delivery diverged from the reference scan at " << n
+        << " radios";
+    SPIDER_CHECK(fast.deliveries_grid > 0)
+        << "indexed run never used the grid";
+    const double speedup = fast.frames_per_sec / scan.frames_per_sec;
+    std::printf("phy delivery: %5d radios co-channel: %.3g frames/s indexed,\n"
+                "              %.3g frames/s world scan  (speedup %.2fx,\n"
+                "              %.3g events/s, digests identical)\n",
+                n, fast.frames_per_sec, scan.frames_per_sec, speedup,
+                fast.events_per_sec);
+    bench::JsonWriter scale_json;
+    scale_json.add("radios", n)
+        .add("frames_per_sec_indexed", fast.frames_per_sec)
+        .add("frames_per_sec_scan", scan.frames_per_sec)
+        .add("events_per_sec_indexed", fast.events_per_sec)
+        .add("events_per_sec_scan", scan.events_per_sec)
+        .add("speedup", speedup)
+        .add("digests_match", true);
+    char key[32];
+    std::snprintf(key, sizeof(key), "radios_%d", n);
+    phy_json.add_object(key, scale_json);
+    if (n == 2000) phy_speedup_2000 = speedup;
+  }
+  phy_json.add("speedup_at_2000", phy_speedup_2000);
 
   // ---- sweep: serial vs. parallel -----------------------------------------
   const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47, 57, 67, 77};
@@ -269,6 +366,7 @@ int main(int argc, char** argv) {
   doc.add("schema", "spider-bench-perf-v1")
       .add("hardware_threads", sim::ThreadPool::default_thread_count())
       .add_object("event_queue", event_queue)
+      .add_object("phy", phy_json)
       .add_object("sweep", sweep);
   if (!doc.write_file(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path);

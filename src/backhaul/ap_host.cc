@@ -31,11 +31,11 @@ void ApHost::set_backhaul_rate(double bps) {
 }
 
 void ApHost::on_client_data(const net::Frame& frame) {
-  if (std::holds_alternative<net::DhcpMessage>(frame.payload)) {
+  if (frame.payload.holds<net::DhcpMessage>()) {
     dhcp_.handle_frame(frame);
     return;
   }
-  if (const auto* seg = std::get_if<net::TcpSegment>(&frame.payload)) {
+  if (const auto* seg = frame.payload.get_if<net::TcpSegment>()) {
     flow_client_[seg->flow_id] = frame.src;
     ++uplink_segments_;
     uplink_.send(*seg);

@@ -44,7 +44,7 @@ void ClientDevice::unregister_bssid(net::Bssid bssid) {
 void ClientDevice::on_receive(const net::Frame& frame,
                               const phy::RxInfo& info) {
   // Keep the scan table warm from anything that names an AP.
-  if (const auto* beacon = std::get_if<net::BeaconInfo>(&frame.payload)) {
+  if (const auto* beacon = frame.payload.get_if<net::BeaconInfo>()) {
     if (beacon->open) {
       ScanEntry& e = scan_table_[frame.bssid];
       e.bssid = frame.bssid;

@@ -126,7 +126,7 @@ double FlowManager::download_rate_bps(net::Bssid bssid) const {
 
 void FlowManager::handle_frame(const net::Frame& frame) {
   if (frame.dst != device_.address()) return;
-  const auto* seg = std::get_if<net::TcpSegment>(&frame.payload);
+  const auto* seg = frame.payload.get_if<net::TcpSegment>();
   if (seg == nullptr) return;
   if (seg->from_sender) {
     auto it = flows_.find(seg->flow_id);

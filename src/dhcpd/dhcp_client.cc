@@ -194,7 +194,7 @@ void DhcpClient::on_attempt_expired() {
 
 void DhcpClient::handle_frame(const net::Frame& frame) {
   if (frame.src != bssid_ || frame.dst != self_) return;
-  const auto* msg = std::get_if<net::DhcpMessage>(&frame.payload);
+  const auto* msg = frame.payload.get_if<net::DhcpMessage>();
   if (msg == nullptr || msg->transaction_id != transaction_id_) return;
   // Past the filter above, everything we act on carries our current xid —
   // the consistency the stale-OFFER logic in begin_attempt() relies on.

@@ -61,7 +61,7 @@ void DhcpServer::send_later(net::MacAddress client, net::DhcpMessage msg,
 
 void DhcpServer::handle_frame(const net::Frame& frame) {
   if (!config_.responsive) return;
-  const auto* msg = std::get_if<net::DhcpMessage>(&frame.payload);
+  const auto* msg = frame.payload.get_if<net::DhcpMessage>();
   if (msg == nullptr) return;
 
   switch (msg->kind) {

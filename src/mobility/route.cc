@@ -1,5 +1,6 @@
 #include "mobility/route.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace spider::mobility {
@@ -10,9 +11,14 @@ Route::Route(std::vector<phy::Vec2> waypoints, RouteWrap wrap)
     throw std::invalid_argument("Route: need at least two waypoints");
   cumulative_.reserve(waypoints_.size());
   cumulative_.push_back(0.0);
+  bounds_min_ = bounds_max_ = waypoints_.front();
   for (std::size_t i = 1; i < waypoints_.size(); ++i) {
     total_length_ += distance(waypoints_[i - 1], waypoints_[i]);
     cumulative_.push_back(total_length_);
+    bounds_min_ = {std::min(bounds_min_.x, waypoints_[i].x),
+                   std::min(bounds_min_.y, waypoints_[i].y)};
+    bounds_max_ = {std::max(bounds_max_.x, waypoints_[i].x),
+                   std::max(bounds_max_.y, waypoints_[i].y)};
   }
   if (total_length_ <= 0.0)
     throw std::invalid_argument("Route: zero total length");
@@ -51,8 +57,9 @@ phy::Vec2 Route::position_at_distance(double distance_m) const {
       break;
   }
   // Find the segment containing d (cumulative_ is sorted).
-  std::size_t hi = 1;
-  while (hi + 1 < cumulative_.size() && cumulative_[hi] < d) ++hi;
+  const auto it =
+      std::lower_bound(cumulative_.begin() + 1, cumulative_.end() - 1, d);
+  const std::size_t hi = static_cast<std::size_t>(it - cumulative_.begin());
   const double seg_start = cumulative_[hi - 1];
   const double seg_len = cumulative_[hi] - seg_start;
   const double frac = seg_len > 0.0 ? (d - seg_start) / seg_len : 0.0;

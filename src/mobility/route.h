@@ -31,12 +31,21 @@ class Route {
   const std::vector<phy::Vec2>& waypoints() const { return waypoints_; }
 
   // Position after travelling `distance_m` from the start, applying wrap.
+  // O(log waypoints): fleet runs call this once per client per position
+  // tick, so the segment lookup binary-searches the cumulative lengths.
   phy::Vec2 position_at_distance(double distance_m) const;
+
+  // Axis-aligned bounding box of the polyline — lets callers size worlds
+  // (deployment areas, spatial grids, benchmark layouts) from the route.
+  phy::Vec2 bounds_min() const { return bounds_min_; }
+  phy::Vec2 bounds_max() const { return bounds_max_; }
 
  private:
   std::vector<phy::Vec2> waypoints_;
   std::vector<double> cumulative_;  // cumulative length at each waypoint
   double total_length_ = 0.0;
+  phy::Vec2 bounds_min_{};
+  phy::Vec2 bounds_max_{};
   RouteWrap wrap_;
 };
 

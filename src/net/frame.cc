@@ -2,6 +2,11 @@
 
 namespace spider::net {
 
+const FramePayload& SharedPayload::empty() {
+  static const FramePayload kMonostate{};
+  return kMonostate;
+}
+
 const char* to_string(FrameKind kind) {
   switch (kind) {
     case FrameKind::kBeacon: return "Beacon";

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 
@@ -94,6 +95,37 @@ struct TcpSegment {
 using FramePayload =
     std::variant<std::monostate, BeaconInfo, DhcpMessage, TcpSegment>;
 
+// Immutable, refcounted payload storage. Frames are copied freely — into the
+// medium's delivery closure, AP power-save buffers, retransmit paths — and
+// before this wrapper every copy deep-copied the variant (including the
+// beacon SSID string). Payloads are write-once at construction, so copies
+// now just bump a refcount; payload-less frames never allocate at all.
+class SharedPayload {
+ public:
+  SharedPayload() = default;  // monostate, no allocation
+  SharedPayload(BeaconInfo info)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const FramePayload>(std::move(info))) {}
+  SharedPayload(DhcpMessage msg)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const FramePayload>(msg)) {}
+  SharedPayload(TcpSegment segment)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const FramePayload>(segment)) {}
+
+  const FramePayload& get() const { return data_ ? *data_ : empty(); }
+  template <typename T>
+  const T* get_if() const {
+    return std::get_if<T>(&get());
+  }
+  template <typename T>
+  bool holds() const {
+    return std::holds_alternative<T>(get());
+  }
+
+ private:
+  static const FramePayload& empty();  // shared monostate singleton
+
+  std::shared_ptr<const FramePayload> data_;
+};
+
 // --- Frame -------------------------------------------------------------------
 
 struct Frame {
@@ -106,7 +138,7 @@ struct Frame {
   // PHY rate this frame is modulated at; 0 = the medium's default. Lower
   // rates are slower but more robust at range (see phy rate adaptation).
   double tx_rate_bps = 0.0;
-  FramePayload payload;
+  SharedPayload payload;
 
   bool is_management() const {
     return kind != FrameKind::kData && kind != FrameKind::kNullData &&

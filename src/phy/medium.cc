@@ -10,6 +10,34 @@
 
 namespace spider::phy {
 
+namespace {
+
+// Compile-time "<stem><N>" metric-name tables, one entry per channel slot.
+// Replaces three hand-maintained 15-literal arrays; the fixed buffer keeps
+// the names static so the telemetry collector never allocates.
+struct SlotName {
+  char text[32] = {};
+};
+
+template <std::size_t N>
+constexpr std::array<SlotName, N> make_slot_names(const char* stem) {
+  std::array<SlotName, N> names{};
+  for (std::size_t slot = 0; slot < N; ++slot) {
+    std::size_t pos = 0;
+    for (const char* c = stem; *c != '\0'; ++c) {
+      names[slot].text[pos++] = *c;
+    }
+    if (slot >= 10) names[slot].text[pos++] = static_cast<char>('0' + slot / 10);
+    names[slot].text[pos++] = static_cast<char>('0' + slot % 10);
+    if (pos >= sizeof(names[slot].text)) {
+      throw "metric name overflows SlotName";  // compile error when constexpr
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
 Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
     : sim_(simulator), rng_(std::move(rng)), config_(config) {
   SPIDER_CHECK(config_.range_m > 0.0) << "range " << config_.range_m << " m";
@@ -22,6 +50,17 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
       << " must be a fraction of range";
   SPIDER_CHECK(config_.data_retry_limit >= 0)
       << "data_retry_limit " << config_.data_retry_limit;
+  // Grid cell = maximum effective range of any standard-rate frame, so one
+  // delivery disc never overlaps more than the 3x3 cell neighborhood. Frames
+  // modulated below the slowest 802.11b rate can still outgrow the cell;
+  // gather() then widens the neighborhood or deliver() degrades to a
+  // partition scan (counted in deliveries_scan_).
+  const double cell_m =
+      config_.range_m *
+      rate_range_scale(k80211bRates.front(), config_.bitrate_bps);
+  for (ChannelPartition& partition : partitions_) {
+    partition.grid.reset_cell_size(cell_m);
+  }
   collector_id_ = sim_.telemetry().add_collector(
       [this](telemetry::Registry& registry) { publish_metrics(registry); });
 }
@@ -36,42 +75,67 @@ void Medium::publish_metrics(telemetry::Registry& registry) const {
   publish("phy.frames_sent", frames_sent_);
   publish("phy.frames_delivered", frames_delivered_);
   publish("phy.frames_lost", frames_lost_);
-  // Static names so the collector never allocates: slot N ↔ "…chN".
-  static constexpr const char* kSent[kChannelSlots] = {
-      "phy.frames_sent.ch0",  "phy.frames_sent.ch1",  "phy.frames_sent.ch2",
-      "phy.frames_sent.ch3",  "phy.frames_sent.ch4",  "phy.frames_sent.ch5",
-      "phy.frames_sent.ch6",  "phy.frames_sent.ch7",  "phy.frames_sent.ch8",
-      "phy.frames_sent.ch9",  "phy.frames_sent.ch10", "phy.frames_sent.ch11",
-      "phy.frames_sent.ch12", "phy.frames_sent.ch13", "phy.frames_sent.ch14"};
-  static constexpr const char* kDelivered[kChannelSlots] = {
-      "phy.frames_delivered.ch0",  "phy.frames_delivered.ch1",
-      "phy.frames_delivered.ch2",  "phy.frames_delivered.ch3",
-      "phy.frames_delivered.ch4",  "phy.frames_delivered.ch5",
-      "phy.frames_delivered.ch6",  "phy.frames_delivered.ch7",
-      "phy.frames_delivered.ch8",  "phy.frames_delivered.ch9",
-      "phy.frames_delivered.ch10", "phy.frames_delivered.ch11",
-      "phy.frames_delivered.ch12", "phy.frames_delivered.ch13",
-      "phy.frames_delivered.ch14"};
-  static constexpr const char* kLost[kChannelSlots] = {
-      "phy.frames_lost.ch0",  "phy.frames_lost.ch1",  "phy.frames_lost.ch2",
-      "phy.frames_lost.ch3",  "phy.frames_lost.ch4",  "phy.frames_lost.ch5",
-      "phy.frames_lost.ch6",  "phy.frames_lost.ch7",  "phy.frames_lost.ch8",
-      "phy.frames_lost.ch9",  "phy.frames_lost.ch10", "phy.frames_lost.ch11",
-      "phy.frames_lost.ch12", "phy.frames_lost.ch13", "phy.frames_lost.ch14"};
+  publish("phy.deliveries.grid", deliveries_grid_);
+  publish("phy.deliveries.scan", deliveries_scan_);
+  static constexpr auto kSent =
+      make_slot_names<kChannelSlots>("phy.frames_sent.ch");
+  static constexpr auto kDelivered =
+      make_slot_names<kChannelSlots>("phy.frames_delivered.ch");
+  static constexpr auto kLost =
+      make_slot_names<kChannelSlots>("phy.frames_lost.ch");
   for (std::size_t slot = 0; slot < kChannelSlots; ++slot) {
     const ChannelCounters& c = per_channel_[slot];
     // Quiet channels stay out of the registry so exports only list slices
     // that actually carried traffic.
-    if (c.sent != 0) publish(kSent[slot], c.sent);
-    if (c.delivered != 0) publish(kDelivered[slot], c.delivered);
-    if (c.lost != 0) publish(kLost[slot], c.lost);
+    if (c.sent != 0) publish(kSent[slot].text, c.sent);
+    if (c.delivered != 0) publish(kDelivered[slot].text, c.delivered);
+    if (c.lost != 0) publish(kLost[slot].text, c.lost);
   }
 }
 
-void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+void Medium::attach(Radio& radio) {
+  MediumLink& link = radio.medium_link_;
+  link.attach_id = next_attach_id_++;
+  all_.push_back(&radio);
+  by_id_.emplace(link.attach_id, &radio);
+  insert_into_partition(radio);
+}
 
 void Medium::detach(Radio& radio) {
-  std::erase(radios_, &radio);
+  remove_from_partition(radio, radio.channel());
+  by_id_.erase(radio.medium_link_.attach_id);
+  std::erase(all_, &radio);
+}
+
+void Medium::on_channel_changed(Radio& radio, net::ChannelId previous) {
+  remove_from_partition(radio, previous);
+  insert_into_partition(radio);
+}
+
+void Medium::on_position_changed(Radio& radio) {
+  partitions_[channel_slot(radio.channel())].grid.update(radio,
+                                                         radio.position());
+}
+
+void Medium::insert_into_partition(Radio& radio) {
+  ChannelPartition& partition = partitions_[channel_slot(radio.channel())];
+  radio.medium_link_.member_index =
+      static_cast<std::uint32_t>(partition.members.size());
+  partition.members.push_back(&radio);
+  partition.grid.insert(radio, radio.position());
+}
+
+void Medium::remove_from_partition(Radio& radio, net::ChannelId channel) {
+  ChannelPartition& partition = partitions_[channel_slot(channel)];
+  const std::uint32_t index = radio.medium_link_.member_index;
+  SPIDER_CHECK(index < partition.members.size() &&
+               partition.members[index] == &radio)
+      << "radio not filed under channel " << channel;
+  Radio* moved = partition.members.back();
+  partition.members[index] = moved;
+  moved->medium_link_.member_index = index;
+  partition.members.pop_back();
+  partition.grid.remove(radio);
 }
 
 double Medium::loss_probability(double distance_m) const {
@@ -91,9 +155,7 @@ double Medium::loss_probability(double distance_m) const {
 }
 
 sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
-  auto it = busy_until_.find(channel);
-  if (it == busy_until_.end()) return sim_.now();
-  return std::max(it->second, sim_.now());
+  return std::max(busy_until_[channel_slot(channel)], sim_.now());
 }
 
 sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
@@ -106,7 +168,7 @@ sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   const sim::Time airtime =
       config_.preamble + sim::transmission_time(frame.size_bytes, rate);
 
-  sim::Time& busy = busy_until_[channel];
+  sim::Time& busy = busy_until_[channel_slot(channel)];
   const sim::Time start = std::max(sim_.now(), busy);
   const sim::Time done = start + airtime;
   // Channel-occupancy monotonicity: serialization can only extend the busy
@@ -118,17 +180,19 @@ sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   busy = done;
 
   // Snapshot the sender's position at transmit time; at vehicular speeds the
-  // sub-millisecond drift during airtime is irrelevant.
+  // sub-millisecond drift during airtime is irrelevant. The sender itself is
+  // carried as its attach id, not a pointer: it may detach (or even be
+  // destroyed and its address recycled) before delivery fires.
   const Vec2 pos = sender.position();
-  const Radio* sender_ptr = &sender;
-  sim_.post_at(done, [this, sender_ptr, pos, channel,
+  const std::uint64_t sender_id = sender.medium_link_.attach_id;
+  sim_.post_at(done, [this, sender_id, pos, channel,
                           frame = std::move(frame)] {
-    deliver(sender_ptr, pos, channel, frame);
+    deliver(sender_id, pos, channel, frame);
   });
   return done;
 }
 
-void Medium::deliver(const Radio* sender_snapshot, Vec2 sender_pos,
+void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
                      net::ChannelId channel, const net::Frame& frame) {
   // Unicast data-plane frames get link-layer ARQ at the addressed receiver
   // and a tx-failure indication back to the sender; everything else is
@@ -147,8 +211,39 @@ void Medium::deliver(const Radio* sender_snapshot, Vec2 sender_pos,
       << "rate " << frame.tx_rate_bps << " bps scaled range by "
       << range_scale;
 
-  for (Radio* rx : radios_) {
-    if (rx == sender_snapshot) continue;
+  // Sender liveness, resolved once through the attach-id index (the second
+  // O(world) scan this replaced only existed to find this pointer).
+  Radio* sender = nullptr;
+  if (auto it = by_id_.find(sender_id); it != by_id_.end()) {
+    sender = it->second;
+  }
+
+  // Candidate set. Fast path: co-channel radios in the cell neighborhood of
+  // the sender, re-sorted into attach order so the per-receiver RNG draws
+  // below are consumed in exactly the order the reference scan consumes
+  // them — grid and bucket internals must never influence the stream.
+  const std::vector<Radio*>* candidates = &all_;
+  if (config_.indexed_delivery) {
+    ChannelPartition& partition = partitions_[channel_slot(channel)];
+    const double effective_range = config_.range_m * range_scale;
+    candidates_.clear();
+    if (partition.grid.gather(sender_pos, effective_range, candidates_)) {
+      ++deliveries_grid_;
+    } else {
+      candidates_.assign(partition.members.begin(), partition.members.end());
+      ++deliveries_scan_;
+    }
+    std::sort(candidates_.begin(), candidates_.end(),
+              [](const Radio* a, const Radio* b) {
+                return a->medium_link_.attach_id < b->medium_link_.attach_id;
+              });
+    candidates = &candidates_;
+  } else {
+    ++deliveries_scan_;
+  }
+
+  for (Radio* rx : *candidates) {
+    if (rx == sender) continue;
     const bool is_addressee = arq_eligible && rx->address() == frame.dst;
     if (rx->channel() != channel || rx->switching()) continue;
     const double d = distance(sender_pos, rx->position()) / range_scale;
@@ -174,15 +269,10 @@ void Medium::deliver(const Radio* sender_snapshot, Vec2 sender_pos,
     rx->handle_delivery(frame, RxInfo{channel, d, rssi});
   }
 
-  if (arq_eligible) {
+  if (arq_eligible && sender != nullptr) {
     // Tell the sender how its unicast data fared (still attached only):
     // failure drives AP re-buffering, both outcomes drive rate adaptation.
-    for (Radio* r : radios_) {
-      if (r == sender_snapshot) {
-        r->handle_tx_result(frame, addressed_delivery);
-        break;
-      }
-    }
+    sender->handle_tx_result(frame, addressed_delivery);
   }
 }
 

@@ -7,6 +7,17 @@
 // within range, and not mid-reset. Loss is an independent Bernoulli draw per
 // receiver: a configurable uniform rate `base_loss` (the model's `h`) plus an
 // optional quadratic degradation near the edge of the range disc.
+//
+// Delivery fast path: radios are partitioned by current channel (kept in
+// sync through attach/detach/retune notifications from the Radio) and each
+// partition is bucketed by a uniform spatial grid whose cell is the maximum
+// effective frame range, so one delivery touches only the O(candidates)
+// radios in the 3x3 cell neighborhood of the sender instead of every radio
+// in the world. Candidates are re-sorted by attach id before the per-receiver
+// loss draws, so the RNG stream — and therefore the run digest — is
+// provably independent of grid/bucket internals (the reference scan path,
+// MediumConfig::indexed_delivery = false, exists to cross-check exactly
+// that, and to serve as the benchmark's "old path").
 #pragma once
 
 #include <array>
@@ -17,6 +28,7 @@
 
 #include "net/frame.h"
 #include "phy/geom.h"
+#include "phy/spatial_grid.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -41,6 +53,12 @@ struct MediumConfig {
   // single-shot loss. Retry airtime is not charged (a deliberate
   // simplification; retries are rare at h=10%).
   int data_retry_limit = 4;
+  // Delivery-path selection. true (default): per-channel partition + spatial
+  // grid, O(candidates) per frame. false: the original attach-order scan
+  // over every attached radio — kept as the benchmark's "old path" and as
+  // the reference for the determinism cross-check (both paths consume
+  // identical RNG draws, so digests must match bit for bit).
+  bool indexed_delivery = true;
 };
 
 // Delivery metadata handed to receivers alongside the frame.
@@ -69,6 +87,11 @@ class Medium {
   // Called by Radio's constructor/destructor.
   void attach(Radio& radio);
   void detach(Radio& radio);
+  // Called by the Radio when a retune completes (its channel changed) or its
+  // position moved, so the channel partitions and the spatial grid track the
+  // radio's current state.
+  void on_channel_changed(Radio& radio, net::ChannelId previous);
+  void on_position_changed(Radio& radio);
 
   void set_sniffer(SnifferFn sniffer) { sniffer_ = std::move(sniffer); }
 
@@ -81,13 +104,23 @@ class Medium {
 
   // Time at which the channel's current transmission (queue) completes;
   // never in the past. Drivers use this to finish in-flight frames before
-  // retuning, as real MACs do.
+  // retuning, as real MACs do. (Channels outside the 1..14 plan share one
+  // busy slot; radios can only ever be tuned to valid channels.)
   sim::Time channel_idle_at(net::ChannelId channel) const;
 
   // Cumulative counters, for tests and micro-benchmarks.
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_lost() const { return frames_lost_; }
+  // Fast-path observability: deliveries served from the 3x3 grid
+  // neighborhood vs. a partition/world scan (reference path, or a frame
+  // whose effective range outgrew the grid cell).
+  std::uint64_t deliveries_grid() const { return deliveries_grid_; }
+  std::uint64_t deliveries_scan() const { return deliveries_scan_; }
+  // Radios currently attached on `channel` (tests; O(1)).
+  std::size_t radios_on(net::ChannelId channel) const {
+    return partitions_[channel_slot(channel)].members.size();
+  }
 
   // Per-channel slices of the same counters (channels 1..14; anything else
   // is folded into slot 0). Published as phy.frames_*.ch<N> metrics by the
@@ -116,7 +149,16 @@ class Medium {
     std::uint64_t lost = 0;
   };
 
-  void deliver(const Radio* sender_snapshot, Vec2 sender_pos,
+  // Radios tuned to one channel slot: an unordered member list (swap-and-pop
+  // via MediumLink::member_index) plus the spatial grid over their positions.
+  struct ChannelPartition {
+    std::vector<Radio*> members;
+    RadioGrid grid;
+  };
+
+  void insert_into_partition(Radio& radio);
+  void remove_from_partition(Radio& radio, net::ChannelId channel);
+  void deliver(std::uint64_t sender_id, Vec2 sender_pos,
                net::ChannelId channel, const net::Frame& frame);
   void publish_metrics(telemetry::Registry& registry) const;
 
@@ -124,11 +166,26 @@ class Medium {
   sim::Rng rng_;
   MediumConfig config_;
   SnifferFn sniffer_;
-  std::vector<Radio*> radios_;
-  std::unordered_map<net::ChannelId, sim::Time> busy_until_;
+  // All attached radios in attach order — the reference delivery path's scan
+  // list (and the shape the whole medium used to have).
+  std::vector<Radio*> all_;
+  // Sender liveness across airtime: attach id -> radio, so the tx-result
+  // notification is one hash lookup instead of a second world scan (and a
+  // recycled heap address can never impersonate a detached sender).
+  std::unordered_map<std::uint64_t, Radio*> by_id_;
+  std::array<ChannelPartition, kChannelSlots> partitions_;
+  std::uint64_t next_attach_id_ = 1;  // 0 = never attached
+  // Busy horizon per channel slot: flat array indexed by channel_slot — the
+  // per-transmit hash lookup this replaced showed up in delivery profiles.
+  std::array<sim::Time, kChannelSlots> busy_until_{};
+  // Scratch for deliver()'s candidate gather; member so steady-state
+  // deliveries do not allocate.
+  std::vector<Radio*> candidates_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_lost_ = 0;
+  std::uint64_t deliveries_grid_ = 0;
+  std::uint64_t deliveries_scan_ = 0;
   std::array<ChannelCounters, kChannelSlots> per_channel_{};
   telemetry::Hub::CollectorId collector_id_ = 0;
 };

@@ -36,11 +36,22 @@ void Radio::tune(net::ChannelId channel, std::function<void()> done) {
   switch_timer_ = medium_.simulator().schedule_after(
       config_.hardware_reset,
       [this, channel, done = std::move(done)] {
+        const net::ChannelId previous = channel_;
         channel_ = channel;
         switching_ = false;
+        // Until the reset completes the radio stays filed under its old
+        // channel (deaf there via switching()); the partition move happens
+        // exactly when the retune takes effect.
+        if (channel != previous) medium_.on_channel_changed(*this, previous);
         if (energy_) energy_->set_state(RadioState::kIdle);
         if (done) done();
       });
+}
+
+void Radio::set_position(Vec2 p) {
+  if (p == position_) return;
+  position_ = p;
+  medium_.on_position_changed(*this);
 }
 
 bool Radio::send(net::Frame frame) {

@@ -45,7 +45,10 @@ class Radio {
   net::MacAddress address() const { return address_; }
   net::ChannelId channel() const { return channel_; }
   Vec2 position() const { return position_; }
-  void set_position(Vec2 p) { position_ = p; }
+  // Moves the radio and re-buckets it in the medium's spatial grid if it
+  // crossed a cell boundary; a no-move update is free (parked vehicles get
+  // position ticks too).
+  void set_position(Vec2 p);
   void set_receive_handler(ReceiveHandler handler) {
     receive_handler_ = std::move(handler);
   }
@@ -79,6 +82,7 @@ class Radio {
 
  private:
   friend class Medium;
+  friend class RadioGrid;
   // Medium-side delivery entry point.
   void handle_delivery(const net::Frame& frame, const RxInfo& info);
   void handle_tx_result(const net::Frame& frame, bool ok);
@@ -88,6 +92,8 @@ class Radio {
   RadioConfig config_;
   net::ChannelId channel_;
   Vec2 position_{};
+  // Partition/grid bookkeeping owned by the medium (see spatial_grid.h).
+  MediumLink medium_link_;
   bool switching_ = false;
   sim::TimerHandle switch_timer_;
   ReceiveHandler receive_handler_;

@@ -1,0 +1,76 @@
+#include "phy/spatial_grid.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "phy/radio.h"
+
+namespace spider::phy {
+
+void RadioGrid::reset_cell_size(double cell_m) {
+  SPIDER_CHECK(cell_m > 0.0) << "grid cell " << cell_m << " m";
+  SPIDER_CHECK(size_ == 0) << "grid resized while holding " << size_
+                           << " radios";
+  cell_m_ = cell_m;
+  inv_cell_m_ = 1.0 / cell_m;
+}
+
+RadioGrid::Cell RadioGrid::cell_of(Vec2 pos) const {
+  return Cell{static_cast<std::int32_t>(std::floor(pos.x * inv_cell_m_)),
+              static_cast<std::int32_t>(std::floor(pos.y * inv_cell_m_))};
+}
+
+void RadioGrid::insert(Radio& radio, Vec2 pos) {
+  MediumLink& link = radio.medium_link_;
+  const Cell c = cell_of(pos);
+  link.cell_x = c.x;
+  link.cell_y = c.y;
+  std::vector<Radio*>& bucket = cells_[key(c.x, c.y)];
+  link.cell_index = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(&radio);
+  ++size_;
+}
+
+void RadioGrid::remove(Radio& radio) {
+  MediumLink& link = radio.medium_link_;
+  auto it = cells_.find(key(link.cell_x, link.cell_y));
+  SPIDER_CHECK(it != cells_.end() && link.cell_index < it->second.size())
+      << "grid remove for a radio not in its recorded cell";
+  std::vector<Radio*>& bucket = it->second;
+  Radio* moved = bucket.back();
+  bucket[link.cell_index] = moved;
+  moved->medium_link_.cell_index = link.cell_index;
+  bucket.pop_back();
+  // Drop emptied buckets so a long drive doesn't strew dead cells along the
+  // whole route; occupied_cells() stays proportional to the live deployment.
+  if (bucket.empty()) cells_.erase(it);
+  --size_;
+}
+
+bool RadioGrid::update(Radio& radio, Vec2 pos) {
+  MediumLink& link = radio.medium_link_;
+  const Cell c = cell_of(pos);
+  if (c.x == link.cell_x && c.y == link.cell_y) return false;
+  remove(radio);
+  insert(radio, pos);
+  return true;
+}
+
+bool RadioGrid::gather(Vec2 center, double radius_m,
+                       std::vector<Radio*>& out) const {
+  const Cell lo = cell_of({center.x - radius_m, center.y - radius_m});
+  const Cell hi = cell_of({center.x + radius_m, center.y + radius_m});
+  const std::int64_t span_x = static_cast<std::int64_t>(hi.x) - lo.x + 1;
+  const std::int64_t span_y = static_cast<std::int64_t>(hi.y) - lo.y + 1;
+  if (span_x * span_y > kMaxGatherCells) return false;
+  for (std::int32_t cy = lo.y; cy <= hi.y; ++cy) {
+    for (std::int32_t cx = lo.x; cx <= hi.x; ++cx) {
+      auto it = cells_.find(key(cx, cy));
+      if (it == cells_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return true;
+}
+
+}  // namespace spider::phy

@@ -1,0 +1,88 @@
+// Uniform spatial hash-grid over attached radios.
+//
+// The medium's delivery fast path needs "all radios within distance r of a
+// point" without scanning the world. Radios are bucketed into square cells of
+// side cell_m (chosen by the Medium as the maximum effective frame range, so
+// a delivery disc never overlaps more than a 3x3 neighborhood at standard
+// rates); buckets are updated lazily — only when a mobile radio actually
+// crosses a cell boundary, which at vehicular speeds is a few times per
+// minute, not per position tick.
+//
+// Determinism contract: bucket iteration order depends on movement history
+// (swap-and-pop removal), so the grid NEVER defines delivery order. Callers
+// must re-sort gathered candidates by attach id before consuming RNG draws;
+// see Medium::deliver.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/geom.h"
+
+namespace spider::phy {
+
+class Radio;
+
+// Per-radio bookkeeping owned by the Medium that the radio is attached to.
+// attach_id is the monotone attach-sequence number that defines the
+// deterministic candidate order (and survives pointer reuse, unlike the raw
+// Radio*); the remaining fields are O(1) handles into the partition's member
+// list and the grid bucket the radio currently occupies.
+struct MediumLink {
+  std::uint64_t attach_id = 0;
+  std::int32_t cell_x = 0;
+  std::int32_t cell_y = 0;
+  std::uint32_t cell_index = 0;    // index within the grid bucket
+  std::uint32_t member_index = 0;  // index within the channel partition
+};
+
+class RadioGrid {
+ public:
+  // A delivery disc may span at most this many cells before gather() refuses
+  // and the caller degrades to a partition scan (5x5 covers frames modulated
+  // below the slowest 802.11b rate; anything wider means the cell size was
+  // configured far smaller than the effective range).
+  static constexpr std::int64_t kMaxGatherCells = 25;
+
+  RadioGrid() = default;
+
+  double cell_m() const { return cell_m_; }
+  std::size_t size() const { return size_; }
+  std::size_t occupied_cells() const { return cells_.size(); }
+
+  // Must be called before the first insert (the Medium sizes the grid from
+  // its config after construction).
+  void reset_cell_size(double cell_m);
+
+  void insert(Radio& radio, Vec2 pos);
+  void remove(Radio& radio);
+  // Re-buckets the radio if `pos` crossed a cell boundary; returns whether
+  // it did (exposed so tests can count lazy updates).
+  bool update(Radio& radio, Vec2 pos);
+
+  // Appends every radio whose cell overlaps the disc (center, radius) to
+  // `out` — a superset of the radios within `radius`; the caller applies the
+  // exact distance filter. Returns false (leaving `out` untouched) when the
+  // disc spans more than kMaxGatherCells cells.
+  bool gather(Vec2 center, double radius_m, std::vector<Radio*>& out) const;
+
+ private:
+  struct Cell {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+  };
+
+  static std::uint64_t key(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  Cell cell_of(Vec2 pos) const;
+
+  double cell_m_ = 1.0;
+  double inv_cell_m_ = 1.0;
+  std::size_t size_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Radio*>> cells_;
+};
+
+}  // namespace spider::phy

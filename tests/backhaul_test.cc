@@ -160,7 +160,7 @@ TEST_F(ApHostTest, SynThroughHostOpensServerFlowAndStreamsData) {
   associate();
   std::int64_t downlink_bytes = 0;
   on_frame_ = [&](const net::Frame& f) {
-    if (const auto* seg = std::get_if<net::TcpSegment>(&f.payload)) {
+    if (const auto* seg = f.payload.get_if<net::TcpSegment>()) {
       if (seg->from_sender) downlink_bytes += seg->payload_bytes;
     }
   };
@@ -183,7 +183,7 @@ TEST_F(ApHostTest, DownlinkForUnknownFlowDropped) {
   // segment for it must be dropped (no flow->client binding).
   int delivered = 0;
   on_frame_ = [&](const net::Frame& f) {
-    if (std::holds_alternative<net::TcpSegment>(f.payload)) ++delivered;
+    if (f.payload.holds<net::TcpSegment>()) ++delivered;
   };
   // Inject directly through the host's downlink path by opening flow 5 and
   // then removing it server-side: remaining retransmissions are for a flow
@@ -203,7 +203,7 @@ TEST_F(ApHostTest, BackhaulRateCapsGoodput) {
   });
   rx.set_delivery_handler([&](std::int64_t b) { downlink_bytes += b; });
   on_frame_ = [&](const net::Frame& f) {
-    if (const auto* seg = std::get_if<net::TcpSegment>(&f.payload)) {
+    if (const auto* seg = f.payload.get_if<net::TcpSegment>()) {
       if (seg->from_sender) rx.on_segment(*seg);
     }
   };
@@ -230,7 +230,7 @@ TEST_F(ApHostTest, SetBackhaulRateTakesEffect) {
   });
   rx.set_delivery_handler([&](std::int64_t b) { downlink_bytes += b; });
   on_frame_ = [&](const net::Frame& f) {
-    if (const auto* seg = std::get_if<net::TcpSegment>(&f.payload)) {
+    if (const auto* seg = f.payload.get_if<net::TcpSegment>()) {
       if (seg->from_sender) rx.on_segment(*seg);
     }
   };

@@ -82,7 +82,7 @@ TEST_F(MacTest, ApAnswersProbe) {
   int probe_responses = 0;
   client->set_receive_handler([&](const net::Frame& f, const phy::RxInfo&) {
     if (f.kind == net::FrameKind::kProbeResponse && f.dst == client->address()) {
-      const auto& info = std::get<net::BeaconInfo>(f.payload);
+      const auto& info = std::get<net::BeaconInfo>(f.payload.get());
       EXPECT_EQ(info.channel, 6);
       ++probe_responses;
     }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 namespace spider::mobility {
 namespace {
@@ -43,6 +44,55 @@ TEST(Route, PingPongReflects) {
   EXPECT_EQ(r.position_at_distance(110.0), (phy::Vec2{90, 0}));
   EXPECT_EQ(r.position_at_distance(200.0), (phy::Vec2{0, 0}));
   EXPECT_EQ(r.position_at_distance(210.0), (phy::Vec2{10, 0}));
+}
+
+TEST(Route, SegmentLookupMatchesLinearReference) {
+  // Irregular many-segment polyline, sampled densely (including exactly at
+  // the cumulative-length knots): the binary-search segment lookup must give
+  // the same point as a straightforward linear walk over the segments.
+  sim::Rng rng(3);
+  std::vector<phy::Vec2> pts{{0, 0}};
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(pts.back() +
+                  phy::Vec2{rng.uniform(0.5, 30.0), rng.uniform(-20.0, 20.0)});
+  }
+  const Route route(pts, RouteWrap::kStop);
+
+  std::vector<double> cumulative{0.0};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    cumulative.push_back(cumulative.back() + phy::distance(pts[i - 1], pts[i]));
+  }
+  auto reference = [&](double d) {
+    std::size_t hi = 1;
+    while (hi + 1 < cumulative.size() && cumulative[hi] < d) ++hi;
+    const double seg_start = cumulative[hi - 1];
+    const double seg_len = cumulative[hi] - seg_start;
+    const double frac = seg_len > 0.0 ? (d - seg_start) / seg_len : 0.0;
+    return pts[hi - 1] + frac * (pts[hi] - pts[hi - 1]);
+  };
+
+  for (int i = 0; i < 2000; ++i) {
+    const double d = rng.uniform(0.0, route.length());
+    const phy::Vec2 got = route.position_at_distance(d);
+    const phy::Vec2 want = reference(d);
+    ASSERT_NEAR(got.x, want.x, 1e-9) << "at distance " << d;
+    ASSERT_NEAR(got.y, want.y, 1e-9) << "at distance " << d;
+  }
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    const phy::Vec2 got = route.position_at_distance(cumulative[i]);
+    EXPECT_NEAR(got.x, pts[i].x, 1e-9) << "knot " << i;
+    EXPECT_NEAR(got.y, pts[i].y, 1e-9) << "knot " << i;
+  }
+}
+
+TEST(Route, BoundingBoxCoversPolyline) {
+  const Route rect = Route::rectangle(100, 50);
+  EXPECT_EQ(rect.bounds_min(), (phy::Vec2{0, 0}));
+  EXPECT_EQ(rect.bounds_max(), (phy::Vec2{100, 50}));
+
+  const Route zig({{-30, 5}, {10, -40}, {25, 60}});
+  EXPECT_EQ(zig.bounds_min(), (phy::Vec2{-30, -40}));
+  EXPECT_EQ(zig.bounds_max(), (phy::Vec2{25, 60}));
 }
 
 TEST(Vehicle, PositionIsSpeedTimesTime) {

@@ -57,7 +57,7 @@ TEST(Frame, BeaconIsBroadcastWithInfo) {
   EXPECT_TRUE(f.dst.is_broadcast());
   EXPECT_EQ(f.bssid, ap);
   EXPECT_EQ(f.size_bytes, kBeaconBytes);
-  const auto* info = std::get_if<BeaconInfo>(&f.payload);
+  const auto* info = f.payload.get_if<BeaconInfo>();
   ASSERT_NE(info, nullptr);
   EXPECT_EQ(info->ssid, "coffee");
   EXPECT_EQ(info->channel, 6);
@@ -88,7 +88,7 @@ TEST(Frame, DhcpFrameSizeIncludesOverhead) {
   const Frame f = make_dhcp_frame(a, b, b, msg);
   EXPECT_EQ(f.kind, FrameKind::kData);
   EXPECT_EQ(f.size_bytes, kMacDataOverheadBytes + kDhcpMessageBytes);
-  EXPECT_TRUE(std::holds_alternative<DhcpMessage>(f.payload));
+  EXPECT_TRUE(f.payload.holds<DhcpMessage>());
 }
 
 TEST(Frame, TcpFrameSizeTracksPayload) {

@@ -1,0 +1,383 @@
+// PHY delivery fast path: per-channel partitions + spatial grid.
+//
+// The contract under test is twofold: (1) the grid/partition index changes
+// *work*, never *outcomes* — the indexed path must deliver to exactly the
+// radios the brute-force world scan delivers to, and must consume the loss
+// RNG stream in exactly the same order (digests bit-identical); (2) the
+// lifecycle notifications (attach/detach/retune/move) keep the index in sync
+// even when radios churn while frames are in flight.
+#include "phy/auto_rate.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/configs.h"
+#include "core/experiment.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace spider::phy {
+namespace {
+
+MediumConfig lossless() {
+  MediumConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.edge_degradation = false;
+  return cfg;
+}
+
+// --- grid vs. brute force over mobile trajectories ---------------------------
+
+TEST(FastPath, GridMatchesBruteForceAcrossMobileTrajectories) {
+  // Random walk across cell boundaries (and through negative coordinates,
+  // which exercise the floor-based cell math), with radios split across two
+  // channels and occasionally retuned. After every round the receive set of a
+  // broadcast must equal the brute-force set computed from raw positions.
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  sim::Rng walk(0xF00D);
+
+  constexpr int kRadios = 40;
+  constexpr int kRounds = 30;
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<int> received(kRadios, 0);
+  std::vector<int> expected(kRadios, 0);
+  for (int i = 0; i < kRadios; ++i) {
+    radios.push_back(std::make_unique<Radio>(
+        medium, net::MacAddress::from_index(i + 1),
+        RadioConfig{.initial_channel = i % 2 == 0 ? 6 : 11}));
+    radios.back()->set_position(
+        {walk.uniform(-500.0, 500.0), walk.uniform(-500.0, 500.0)});
+    const int idx = i;
+    radios.back()->set_receive_handler(
+        [&received, idx](const net::Frame&, const RxInfo&) {
+          ++received[idx];
+        });
+  }
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Move everyone; steps are large relative to the ~141 m cell so most
+    // rounds re-bucket most radios.
+    for (auto& r : radios) {
+      r->set_position(r->position() + Vec2{walk.uniform(-200.0, 200.0),
+                                           walk.uniform(-200.0, 200.0)});
+    }
+    // Occasionally flip a radio to the other channel (partition move).
+    if (round % 3 == 0) {
+      Radio& flip = *radios[static_cast<std::size_t>(
+          walk.uniform_int(0, kRadios - 1))];
+      flip.tune(flip.channel() == 6 ? 11 : 6);
+      sim.run_all();  // complete the reset so nobody is mid-switch below
+    }
+
+    Radio& sender = *radios[static_cast<std::size_t>(round % kRadios)];
+    for (int i = 0; i < kRadios; ++i) {
+      const Radio& rx = *radios[static_cast<std::size_t>(i)];
+      if (&rx == &sender || rx.channel() != sender.channel()) continue;
+      if (distance(sender.position(), rx.position()) >
+          medium.config().range_m) {
+        continue;
+      }
+      ++expected[static_cast<std::size_t>(i)];
+    }
+    sender.send(net::make_probe_request(sender.address()));
+    sim.run_all();
+    ASSERT_EQ(received, expected) << "round " << round << " diverged";
+  }
+  EXPECT_GT(medium.deliveries_grid(), 0u);
+  // Every delivery disc fits the 3x3 neighborhood at the default rate.
+  EXPECT_EQ(medium.deliveries_scan(), 0u);
+}
+
+// --- indexed path vs. reference scan: identical RNG streams ------------------
+
+struct PathOutcome {
+  std::uint64_t digest = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t grid = 0;
+  std::uint64_t scan = 0;
+};
+
+PathOutcome run_lossy_scenario(bool indexed) {
+  sim::Simulator sim;
+  MediumConfig cfg;
+  cfg.base_loss = 0.3;  // every in-range receiver consumes Bernoulli draws
+  cfg.indexed_delivery = indexed;
+  Medium medium(sim, sim::Rng(42), cfg);
+  sim::Rng layout(9);
+
+  constexpr int kRadios = 60;
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (int i = 0; i < kRadios; ++i) {
+    const net::ChannelId ch = i % 3 == 0 ? 1 : (i % 3 == 1 ? 6 : 11);
+    radios.push_back(std::make_unique<Radio>(
+        medium, net::MacAddress::from_index(i + 1),
+        RadioConfig{.initial_channel = ch}));
+    radios.back()->set_position(
+        {layout.uniform(-400.0, 400.0), layout.uniform(-400.0, 400.0)});
+  }
+  for (int i = 0; i < kRadios; ++i) {
+    Radio& tx = *radios[static_cast<std::size_t>(i)];
+    tx.send(net::make_probe_request(tx.address()));
+    net::TcpSegment seg;
+    seg.payload_bytes = 200;
+    tx.send(net::make_tcp_frame(
+        tx.address(),
+        radios[static_cast<std::size_t>((i + 1) % kRadios)]->address(),
+        net::Bssid{}, seg));
+  }
+  // Retune a handful mid-run so deliveries race partition moves identically
+  // on both paths.
+  for (int i = 0; i < kRadios; i += 7) {
+    sim.schedule_at(sim::Time::micros(300 + i), [&radios, i] {
+      radios[static_cast<std::size_t>(i)]->tune(6);
+    });
+  }
+  sim.run_all();
+  return {sim.digest(), medium.frames_delivered(), medium.frames_lost(),
+          medium.deliveries_grid(), medium.deliveries_scan()};
+}
+
+TEST(FastPath, IndexedAndScanPathsConsumeIdenticalRngStreams) {
+  const PathOutcome fast = run_lossy_scenario(true);
+  const PathOutcome reference = run_lossy_scenario(false);
+  EXPECT_EQ(fast.digest, reference.digest)
+      << "grid internals leaked into the executed-event record";
+  EXPECT_EQ(fast.delivered, reference.delivered);
+  EXPECT_EQ(fast.lost, reference.lost);
+  // And the paths really were different: the fast run served deliveries from
+  // the grid, the reference run scanned every time.
+  EXPECT_GT(fast.grid, 0u);
+  EXPECT_EQ(reference.grid, 0u);
+  EXPECT_GT(reference.scan, 0u);
+}
+
+TEST(FastPath, FullStackDigestIndependentOfDeliveryPath) {
+  // Same cross-check through the whole stack: a vehicular drive past two APs
+  // (association, DHCP, TCP, mobility ticks) must execute the identical
+  // event sequence whichever delivery path the medium uses.
+  auto digest_with = [](bool indexed) {
+    core::ExperimentConfig cfg;
+    cfg.seed = 7;
+    cfg.duration = sim::Time::seconds(20);
+    cfg.medium.base_loss = 0.1;
+    cfg.medium.indexed_delivery = indexed;
+    cfg.vehicle = mobility::Vehicle(mobility::Route::straight(400.0), 10.0);
+    cfg.spider = core::single_channel_multi_ap(1);
+    mobility::ApDescriptor ap;
+    ap.ssid = "fp-ap";
+    ap.mac = net::MacAddress::from_index(0xE0);
+    ap.subnet = net::Ipv4Address{(10u << 24) | (0xE0u << 8)};
+    ap.position = {120, 15};
+    ap.channel = 1;
+    ap.backhaul_bps = 2e6;
+    mobility::ApDescriptor ap2 = ap;
+    ap2.ssid = "fp-ap2";
+    ap2.mac = net::MacAddress::from_index(0xE1);
+    ap2.subnet = net::Ipv4Address{(10u << 24) | (0xE1u << 8)};
+    ap2.position = {260, -10};
+    cfg.aps = {ap, ap2};
+    core::Experiment exp(cfg);
+    exp.run();
+    return exp.simulator().digest();
+  };
+  EXPECT_EQ(digest_with(true), digest_with(false));
+}
+
+// --- churn while frames are in flight ----------------------------------------
+
+TEST(FastPath, ReceiverDestroyedDuringAirtimeGetsNothing) {
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio tx(medium, net::MacAddress::from_index(1));
+  int received = 0;
+  {
+    Radio rx(medium, net::MacAddress::from_index(2));
+    rx.set_position({10, 0});
+    rx.set_receive_handler(
+        [&](const net::Frame&, const RxInfo&) { ++received; });
+    tx.send(net::make_probe_request(tx.address()));
+    // rx destroyed here: the delivery event is queued but must not touch it.
+  }
+  sim.run_all();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(medium.frames_delivered(), 0u);
+}
+
+TEST(FastPath, SenderDestroyedDuringAirtimeStillDelivers) {
+  // The sender is carried across airtime as an attach id, not a pointer: a
+  // sender that detaches (or whose storage is reused) before delivery fires
+  // loses its tx-result callback but the frame still reaches receivers.
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio rx(medium, net::MacAddress::from_index(2));
+  rx.set_position({10, 0});
+  int received = 0;
+  rx.set_receive_handler([&](const net::Frame&, const RxInfo&) { ++received; });
+  {
+    Radio tx(medium, net::MacAddress::from_index(1));
+    int tx_results = 0;
+    tx.set_tx_result_handler(
+        [&](const net::Frame&, bool) { ++tx_results; });
+    net::TcpSegment seg;
+    seg.payload_bytes = 100;
+    tx.send(net::make_tcp_frame(tx.address(), rx.address(), net::Bssid{}, seg));
+    EXPECT_EQ(tx_results, 0);
+    // tx destroyed with the unicast frame still on the air.
+  }
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(medium.frames_delivered(), 1u);
+}
+
+TEST(FastPath, RetuneCompletingDuringAirtimeMovesPartitions) {
+  // Both directions of a mid-airtime partition move: a receiver that retunes
+  // off the sender's channel before delivery hears nothing; one that retunes
+  // onto it (reset completed, no longer switching) hears the frame.
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio tx(medium, net::MacAddress::from_index(1), {.initial_channel = 6});
+  const RadioConfig quick_away{.initial_channel = 6,
+                               .hardware_reset = sim::Time::micros(10)};
+  const RadioConfig quick_toward{.initial_channel = 11,
+                                 .hardware_reset = sim::Time::micros(10)};
+  Radio leaver(medium, net::MacAddress::from_index(2), quick_away);
+  Radio joiner(medium, net::MacAddress::from_index(3), quick_toward);
+  leaver.set_position({10, 0});
+  joiner.set_position({20, 0});
+  int leaver_rx = 0;
+  int joiner_rx = 0;
+  leaver.set_receive_handler(
+      [&](const net::Frame&, const RxInfo&) { ++leaver_rx; });
+  joiner.set_receive_handler(
+      [&](const net::Frame&, const RxInfo&) { ++joiner_rx; });
+  // Probe airtime at defaults is ~230 us; both 10 us resets finish first.
+  tx.send(net::make_probe_request(tx.address()));
+  leaver.tune(11);
+  joiner.tune(6);
+  sim.run_all();
+  EXPECT_EQ(leaver_rx, 0);
+  EXPECT_EQ(joiner_rx, 1);
+  EXPECT_EQ(medium.radios_on(6), 2u);  // tx + joiner
+  EXPECT_EQ(medium.radios_on(11), 1u);
+}
+
+TEST(FastPath, SenderRetuningDuringAirtimeStillGetsTxResult) {
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio tx(medium, net::MacAddress::from_index(1), {.initial_channel = 6});
+  Radio rx(medium, net::MacAddress::from_index(2), {.initial_channel = 6});
+  rx.set_position({10, 0});
+  int tx_ok = 0;
+  tx.set_tx_result_handler([&](const net::Frame&, bool ok) {
+    if (ok) ++tx_ok;
+  });
+  net::TcpSegment seg;
+  seg.payload_bytes = 100;
+  tx.send(net::make_tcp_frame(tx.address(), rx.address(), net::Bssid{}, seg));
+  tx.tune(11);  // sender leaves the channel while its own frame is in flight
+  sim.run_all();
+  EXPECT_EQ(tx_ok, 1);
+  EXPECT_EQ(medium.frames_delivered(), 1u);
+}
+
+// --- degrade path and observability ------------------------------------------
+
+TEST(FastPath, SubRateFrameDegradesToPartitionScan) {
+  // A frame "modulated" at 1 bps has an effective range of ~381 m — a disc
+  // far wider than the 3x3 grid neighborhood — so gather() refuses and the
+  // delivery falls back to scanning the channel partition. Delivery itself
+  // must be unaffected: a receiver 250 m out is within the scaled range.
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio tx(medium, net::MacAddress::from_index(1));
+  Radio rx(medium, net::MacAddress::from_index(2));
+  rx.set_position({250, 0});
+  int received = 0;
+  rx.set_receive_handler([&](const net::Frame&, const RxInfo&) { ++received; });
+  net::Frame probe = net::make_probe_request(tx.address());
+  probe.tx_rate_bps = 1.0;
+  tx.send(std::move(probe));
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(medium.deliveries_grid(), 0u);
+  EXPECT_EQ(medium.deliveries_scan(), 1u);
+}
+
+TEST(FastPath, StandardLowRateStaysOnGrid) {
+  // The grid cell is sized for the slowest standard 802.11b rate, so a
+  // 1 Mb/s frame (range scale ~1.42) still gathers from the grid and reaches
+  // a receiver beyond the nominal 100 m range.
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio tx(medium, net::MacAddress::from_index(1));
+  Radio rx(medium, net::MacAddress::from_index(2));
+  rx.set_position({130, 0});
+  int received = 0;
+  rx.set_receive_handler([&](const net::Frame&, const RxInfo&) { ++received; });
+  net::Frame probe = net::make_probe_request(tx.address());
+  probe.tx_rate_bps = k80211bRates.front();  // 1 Mb/s
+  tx.send(std::move(probe));
+  sim.run_all();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(medium.deliveries_grid(), 1u);
+  EXPECT_EQ(medium.deliveries_scan(), 0u);
+}
+
+TEST(FastPath, BusyHorizonsAreIndependentPerChannel) {
+  sim::Simulator sim;
+  Medium medium(sim, sim::Rng(1), lossless());
+  Radio a(medium, net::MacAddress::from_index(1), {.initial_channel = 1});
+  Radio b(medium, net::MacAddress::from_index(2), {.initial_channel = 6});
+  a.send(net::make_probe_request(a.address()));
+  EXPECT_GT(medium.channel_idle_at(1), sim.now());
+  EXPECT_EQ(medium.channel_idle_at(6), sim.now());
+  b.send(net::make_probe_request(b.address()));
+  // Two channels serialize independently: both horizons now equal one
+  // probe airtime, not two.
+  EXPECT_EQ(medium.channel_idle_at(1), medium.channel_idle_at(6));
+  sim.run_all();
+  EXPECT_EQ(medium.channel_idle_at(1), sim.now());
+}
+
+TEST(FastPath, GridChurnLeavesOutcomesUntouched) {
+  // Jiggling radios across many cell boundaries (then restoring the exact
+  // positions) shuffles bucket contents via swap-and-pop, but the attach-id
+  // re-sort means the delivery outcomes and the digest cannot move.
+  auto run = [](bool churn) {
+    sim::Simulator sim;
+    MediumConfig cfg;
+    cfg.base_loss = 0.3;
+    Medium medium(sim, sim::Rng(5), cfg);
+    std::vector<std::unique_ptr<Radio>> radios;
+    for (int i = 0; i < 12; ++i) {
+      radios.push_back(std::make_unique<Radio>(
+          medium, net::MacAddress::from_index(i + 1), RadioConfig{}));
+      radios.back()->set_position({i * 15.0, 0.0});
+    }
+    if (churn) {
+      for (int pass = 0; pass < 5; ++pass) {
+        for (int i = 0; i < 12; ++i) {
+          Radio& r = *radios[static_cast<std::size_t>(i)];
+          const Vec2 home = r.position();
+          r.set_position({home.x + 1000.0, home.y - 1000.0});
+          r.set_position(home);
+        }
+      }
+    }
+    for (auto& r : radios) r->send(net::make_probe_request(r->address()));
+    sim.run_all();
+    return std::pair<std::uint64_t, std::uint64_t>{sim.digest(),
+                                                   medium.frames_delivered()};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace spider::phy

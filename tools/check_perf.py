@@ -3,13 +3,15 @@
 
 Usage: check_perf.py <baseline.json> <measurement.json> [more measurements...]
 
-Compares the event-queue speedup_vs_baseline of each measurement against the
-checked-in floor (bench/BENCH_perf_baseline.json) minus a 5% tolerance. The
-metric is a ratio of two throughputs measured in the same binary on the same
-machine, so it is hardware-normalized; several measurement files may be
-passed and the gate takes the best one, since CI runners are noisy.
+Every numeric leaf in the baseline (bench/BENCH_perf_baseline.json), except
+the "schema"/"note" annotations, is a floor: the corresponding metric in the
+measurements must reach floor minus a 5% tolerance. The gated metrics are
+ratios of two throughputs measured in the same binary on the same machine
+(event-queue speedup, PHY indexed-vs-scan speedup), so they are
+hardware-normalized; several measurement files may be passed and the gate
+takes the best value per metric, since CI runners are noisy.
 
-Exits 0 when any measurement clears the bar, 1 otherwise.
+Exits 0 when every metric clears its bar, 1 otherwise.
 """
 import json
 import sys
@@ -17,24 +19,46 @@ import sys
 TOLERANCE = 0.05
 
 
-def speedup(path):
-    with open(path) as f:
-        doc = json.load(f)
-    return float(doc["event_queue"]["speedup_vs_baseline"])
+def numeric_leaves(doc, prefix=""):
+    """Yields (dotted.path, value) for every numeric leaf of the baseline."""
+    for key, value in doc.items():
+        if key in ("schema", "note"):
+            continue
+        if isinstance(value, dict):
+            yield from numeric_leaves(value, prefix + key + ".")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield prefix + key, float(value)
+
+
+def lookup(doc, path):
+    node = doc
+    for part in path.split("."):
+        node = node[part]
+    return float(node)
 
 
 def main(argv):
     if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    floor = speedup(argv[1]) * (1.0 - TOLERANCE)
-    best = max(speedup(path) for path in argv[2:])
-    verdict = "PASS" if best >= floor else "FAIL"
-    print(
-        f"{verdict}: best event-queue speedup {best:.3f} vs floor "
-        f"{floor:.3f} (baseline {speedup(argv[1]):.3f} - {TOLERANCE:.0%})"
-    )
-    return 0 if best >= floor else 1
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    measurements = []
+    for path in argv[2:]:
+        with open(path) as f:
+            measurements.append(json.load(f))
+
+    ok = True
+    for path, base in numeric_leaves(baseline):
+        floor = base * (1.0 - TOLERANCE)
+        best = max(lookup(m, path) for m in measurements)
+        passed = best >= floor
+        ok = ok and passed
+        print(
+            f"{'PASS' if passed else 'FAIL'}: {path} best {best:.3f} vs "
+            f"floor {floor:.3f} (baseline {base:.3f} - {TOLERANCE:.0%})"
+        )
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
