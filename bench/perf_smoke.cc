@@ -7,9 +7,12 @@
 // rework), (2) fleet-scale PHY frame delivery through the medium's
 // partition+grid index against the original world scan (both paths live in
 // the shipped Medium behind MediumConfig::indexed_delivery, so the
-// comparison is same-binary and the digests must agree), and (3) wall-clock
-// time of an 8-replication vehicular sweep run serially vs. on all hardware
-// threads, verifying per-run digests match.
+// comparison is same-binary and the digests must agree), (3) the fleet hot
+// path — 50 mobile clients under 20 beaconing APs moved through batched
+// Medium::move_radios ticks with interned beacon payloads, against the
+// pre-rework scalar set_position loop with per-frame payload minting — and
+// (4) wall-clock time of an 8-replication vehicular sweep run serially vs.
+// on all hardware threads, verifying per-run digests match.
 //
 // Emits BENCH_perf.json (schema "spider-bench-perf-v1"; see README) so CI can
 // upload the numbers and successive PRs have a comparable perf record.
@@ -25,8 +28,11 @@
 #include "bench/common.h"
 #include "core/check.h"
 #include "core/sweep.h"
+#include "mac/access_point.h"
+#include "net/frame.h"
 #include "phy/medium.h"
 #include "phy/radio.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/thread_pool.h"
 
@@ -252,6 +258,145 @@ PhyMeasurement phy_delivery_run(bool indexed, int n_radios, int frames) {
           medium.deliveries_grid()};
 }
 
+// ---------------------------------------------------------------------------
+// Fleet hot path: 50 clients random-walking through a 20-AP downtown block,
+// the ensemble the fleet-scale rework targets. The fast arm is the shipped
+// hot path end to end: partition+grid frame delivery, the whole fleet moved
+// through one Medium::move_radios call per position tick, and every AP
+// handing out its interned beacon payload on beacon ticks and probe
+// responses. The slow arm is the fully scalar pipeline those pieces
+// replaced: the world-scan delivery path, one set_position call per client
+// per tick, and a freshly minted BeaconInfo (SSID string included) per
+// management frame. All three toggles are digest-neutral by contract —
+// both arms see the same seeds, positions, probe schedule and loss draws,
+// and delivery re-sorts candidates by attach order before consuming RNG —
+// so the digests must agree bit for bit and the measured delta is index
+// lookups, re-bucketing hash traffic and payload allocation, nothing else.
+
+struct FleetMeasurement {
+  double events_per_sec = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+};
+
+// Drives the per-tick fleet work (one mobility batch + a rotating slice of
+// probe requests). Out-of-line context so the rescheduling lambda captures
+// one pointer and stays inside SmallFn's inline buffer.
+struct FleetTicker {
+  sim::Simulator& sim;
+  phy::Medium& medium;
+  std::vector<std::unique_ptr<phy::Radio>>& clients;
+  sim::Rng walk;
+  double side;
+  sim::Time tick;
+  sim::Time horizon;
+  bool batched;
+  int probe_cursor = 0;
+  std::vector<phy::RadioMove> moves;
+
+  void step() {
+    moves.clear();
+    for (auto& c : clients) {
+      // Draw the step before choosing a path so both arms consume the walk
+      // stream identically; reflect at the block edges to hold density.
+      phy::Vec2 p = c->position() + phy::Vec2{walk.uniform(-60.0, 60.0),
+                                              walk.uniform(-60.0, 60.0)};
+      p.x = p.x < 0.0 ? -p.x : (p.x > side ? 2.0 * side - p.x : p.x);
+      p.y = p.y < 0.0 ? -p.y : (p.y > side ? 2.0 * side - p.y : p.y);
+      moves.push_back(phy::RadioMove{c.get(), p});
+    }
+    if (batched) {
+      medium.move_radios(moves);
+    } else {
+      for (const phy::RadioMove& m : moves) m.radio->set_position(m.position);
+    }
+    // A tenth of the fleet scans each tick; every AP that hears a probe
+    // mints (or hands out) a probe response.
+    for (std::size_t i = 0; i < clients.size(); i += 10) {
+      phy::Radio& tx =
+          *clients[(static_cast<std::size_t>(probe_cursor) + i) %
+                   clients.size()];
+      tx.send(net::make_probe_request(tx.address()));
+    }
+    ++probe_cursor;
+    if (sim.now() + tick < horizon) {
+      sim.post_after(tick, [this] { step(); });
+    }
+  }
+};
+
+FleetMeasurement fleet_hotpath_run(bool fast, int n_clients, int n_aps,
+                                   sim::Time duration) {
+  sim::Simulator sim;
+  phy::MediumConfig cfg;
+  // Dense co-channel block: high loss keeps delivery fan-out (identical in
+  // both arms) from drowning the per-send costs under test.
+  cfg.base_loss = 0.8;
+  cfg.indexed_delivery = fast;
+  phy::Medium medium(sim, sim::Rng(1234), cfg);
+
+  // ~14x14 cells of the spatial grid: wide enough that a delivery disc
+  // covers a small neighborhood (so indexed gather beats the world scan),
+  // dense enough that cell crossings still cluster for the batch re-bucket.
+  const double kSide = 2000.0;
+  // Two-channel reuse plan (1/11), the aggressive end of dense downtown
+  // deployments. Two channels keep each channel's offered beacon load under
+  // its serialized airtime capacity (~3.5k frames/s at 11 Mb/s with the long
+  // preamble) — a single-channel deployment this dense would saturate, and
+  // deliveries would slide past the horizon unmeasured — while co-channel
+  // membership stays high enough that the scalar arm's world scan has real
+  // work per frame.
+  constexpr net::ChannelId kPlan[2] = {1, 11};
+  mac::AccessPointConfig ap_cfg;
+  ap_cfg.ssid = "spider-fleet-downtown-macro-cell";  // > SSO: heap per mint
+  // Compressed cadence (real APs beacon at ~100 ms): the bench squeezes a
+  // long steady state into a short run, the per-beacon costs are unchanged.
+  ap_cfg.beacon_interval = sim::Time::millis(4);
+  ap_cfg.intern_beacons = fast;
+  std::vector<std::unique_ptr<mac::AccessPoint>> aps;
+  aps.reserve(static_cast<std::size_t>(n_aps));
+  for (int i = 0; i < n_aps; ++i) {
+    const phy::Vec2 pos{(i % 5 + 0.5) * kSide / 5.0,
+                        (i / 5 + 0.5) * kSide / 4.0};
+    ap_cfg.channel = kPlan[i % 2];
+    aps.push_back(std::make_unique<mac::AccessPoint>(
+        medium, net::MacAddress::from_index(0x500u + static_cast<std::uint32_t>(i)),
+        pos, sim::Rng(77 + static_cast<std::uint64_t>(i)), ap_cfg));
+    aps.back()->start();
+  }
+
+  sim::Rng layout(0xF1EE7);
+  std::vector<std::unique_ptr<phy::Radio>> clients;
+  clients.reserve(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) {
+    clients.push_back(std::make_unique<phy::Radio>(
+        medium, net::MacAddress::from_index(static_cast<std::uint32_t>(i + 1)),
+        phy::RadioConfig{.initial_channel =
+                             kPlan[static_cast<std::size_t>(i) % 2]}));
+    clients.back()->set_position(
+        {layout.uniform(0.0, kSide), layout.uniform(0.0, kSide)});
+  }
+
+  FleetTicker ticker{sim,
+                     medium,
+                     clients,
+                     layout.fork("walk"),
+                     kSide,
+                     sim::Time::millis(5),
+                     duration,
+                     fast,
+                     /*probe_cursor=*/0,
+                     /*moves=*/{}};
+  ticker.moves.reserve(clients.size());
+  sim.post_after(ticker.tick, [&ticker] { ticker.step(); });
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.run_until(duration);
+  const double elapsed = seconds_since(start);
+  return {static_cast<double>(sim.events_executed()) / elapsed,
+          sim.events_executed(), sim.digest()};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +466,38 @@ int main(int argc, char** argv) {
   }
   phy_json.add("speedup_at_2000", phy_speedup_2000);
 
+  // ---- fleet hot path: batch+interned vs. scalar+minted -------------------
+  constexpr int kFleetClients = 50;
+  constexpr int kFleetAps = 20;
+  const sim::Time kFleetDuration = sim::Time::seconds(30);
+  fleet_hotpath_run(true, kFleetClients, kFleetAps,
+                    sim::Time::seconds(3));  // warm allocators/caches
+  const FleetMeasurement fleet_fast =
+      fleet_hotpath_run(true, kFleetClients, kFleetAps, kFleetDuration);
+  const FleetMeasurement fleet_slow =
+      fleet_hotpath_run(false, kFleetClients, kFleetAps, kFleetDuration);
+  SPIDER_CHECK(fleet_fast.digest == fleet_slow.digest)
+      << "batched/interned fleet run diverged from the scalar reference";
+  SPIDER_CHECK(fleet_fast.events == fleet_slow.events)
+      << "fleet arms executed different event counts";
+  const double fleet_speedup =
+      fleet_fast.events_per_sec / fleet_slow.events_per_sec;
+  std::printf("fleet:        %d clients x %d APs, %llu events: %.3g events/s\n"
+              "              batched+interned, %.3g events/s scalar+minted\n"
+              "              (speedup %.2fx, digests identical)\n",
+              kFleetClients, kFleetAps,
+              static_cast<unsigned long long>(fleet_fast.events),
+              fleet_fast.events_per_sec, fleet_slow.events_per_sec,
+              fleet_speedup);
+  bench::JsonWriter fleet_json;
+  fleet_json.add("clients", kFleetClients)
+      .add("aps", kFleetAps)
+      .add("events", fleet_fast.events)
+      .add("events_per_sec_batched", fleet_fast.events_per_sec)
+      .add("events_per_sec_scalar", fleet_slow.events_per_sec)
+      .add("speedup", fleet_speedup)
+      .add("digests_match", true);
+
   // ---- sweep: serial vs. parallel -----------------------------------------
   const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47, 57, 67, 77};
   const auto serial = core::run_seed_sweep(seeds, sweep_config, 1);
@@ -367,6 +544,7 @@ int main(int argc, char** argv) {
       .add("hardware_threads", sim::ThreadPool::default_thread_count())
       .add_object("event_queue", event_queue)
       .add_object("phy", phy_json)
+      .add_object("fleet", fleet_json)
       .add_object("sweep", sweep);
   if (!doc.write_file(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path);

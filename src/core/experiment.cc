@@ -80,8 +80,15 @@ void Experiment::attach_frame_log(trace::FrameLog& log) {
 }
 
 void Experiment::update_position() {
-  device_->set_position(config_.vehicle.position(sim_.now()));
-  sim_.post_after(config_.position_update, [this] { update_position(); });
+  // Same batched entry point the fleet uses — a one-element batch is just
+  // set_position — so the two harnesses exercise one mobility code path.
+  const phy::RadioMove move{&device_->radio(),
+                            config_.vehicle.position(sim_.now())};
+  medium_->move_radios({&move, 1});
+  // Stop the recurring tick at the horizon (see FleetExperiment).
+  if (sim_.now() + config_.position_update < config_.duration) {
+    sim_.post_after(config_.position_update, [this] { update_position(); });
+  }
 }
 
 ExperimentResults Experiment::run() {

@@ -44,6 +44,7 @@ FleetExperiment::FleetExperiment(FleetConfig config)
   std::size_t index = 0;
   for (const auto& desc : config_.aps) {
     backhaul::ApHostConfig host_cfg;
+    host_cfg.ap = config_.ap_mac;
     host_cfg.ap.ssid = desc.ssid;
     host_cfg.ap.channel = desc.channel;
     host_cfg.dhcp.offer_delay_min = desc.dhcp_offer_min;
@@ -85,14 +86,31 @@ FleetExperiment::FleetExperiment(FleetConfig config)
         [raw](net::Bssid bssid) { raw->flows->close_flow(bssid); });
     clients_.push_back(std::move(client));
   }
+  moves_.reserve(clients_.size());
 }
 
 void FleetExperiment::update_positions() {
-  for (auto& client : clients_) {
-    client->device->set_position(
-        config_.vehicle.position(sim_.now() + client->phase));
+  const sim::Time now = sim_.now();
+  if (config_.batch_mobility) {
+    moves_.clear();
+    for (auto& client : clients_) {
+      moves_.push_back(phy::RadioMove{
+          &client->device->radio(),
+          config_.vehicle.position(now + client->phase)});
+    }
+    medium_->move_radios(moves_);
+  } else {
+    for (auto& client : clients_) {
+      client->device->set_position(
+          config_.vehicle.position(now + client->phase));
+    }
   }
-  sim_.post_after(config_.position_update, [this] { update_positions(); });
+  // Stop the recurring tick at the horizon: a position applied at or past
+  // config_.duration can never influence results, so rescheduling there
+  // would only park a dead event chain in the queue.
+  if (now + config_.position_update < config_.duration) {
+    sim_.post_after(config_.position_update, [this] { update_positions(); });
+  }
 }
 
 FleetResults FleetExperiment::run() {

@@ -34,6 +34,13 @@ struct FleetConfig {
   // route is "rewound" per client), like vehicles in traffic.
   sim::Time headway = sim::Time::seconds(20);
   phy::MediumConfig medium;
+  // MAC-layer knobs applied to every AP (ssid/channel still come from each
+  // ApDescriptor) — lets benches toggle e.g. beacon interning fleet-wide.
+  mac::AccessPointConfig ap_mac;
+  // Move the whole fleet through one Medium::move_radios call per position
+  // tick instead of N scalar set_position calls. Same positions, same
+  // digests; false keeps the scalar path for cross-checks and benches.
+  bool batch_mobility = true;
   std::vector<mobility::ApDescriptor> aps;
   mobility::Vehicle vehicle{mobility::Route::rectangle(600, 400), 10.0};
   sim::Time position_update = sim::Time::millis(100);
@@ -67,6 +74,10 @@ class FleetExperiment {
 
   sim::Simulator& simulator() { return sim_; }
 
+  // Test access to the fleet's devices (e.g. position assertions).
+  std::size_t client_count() const { return clients_.size(); }
+  ClientDevice& client_device(std::size_t i) { return *clients_[i]->device; }
+
  private:
   struct Client {
     std::unique_ptr<ClientDevice> device;
@@ -85,6 +96,8 @@ class FleetExperiment {
   std::unique_ptr<tcp::ContentServer> server_;
   std::vector<std::unique_ptr<backhaul::ApHost>> ap_hosts_;
   std::vector<std::unique_ptr<Client>> clients_;
+  // Scratch for the batched position tick; member so it allocates once.
+  std::vector<phy::RadioMove> moves_;
   bool ran_ = false;
 };
 

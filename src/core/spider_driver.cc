@@ -137,15 +137,15 @@ void SpiderDriver::channel_eval_tick() {
   if (excursion_active_) return;
   excursion_active_ = true;
   // Visit every orthogonal channel except home, probing briefly on each.
-  std::vector<net::ChannelId> remaining;
+  excursion_remaining_.clear();
   for (net::ChannelId ch : phy::kOrthogonalChannels) {
-    if (ch != home_channel()) remaining.push_back(ch);
+    if (ch != home_channel()) excursion_remaining_.push_back(ch);
   }
-  scan_excursion_step(std::move(remaining));
+  scan_excursion_step();
 }
 
-void SpiderDriver::scan_excursion_step(std::vector<net::ChannelId> remaining) {
-  if (remaining.empty()) {
+void SpiderDriver::scan_excursion_step() {
+  if (excursion_remaining_.empty()) {
     // Head home, then decide.
     device_.switch_channel(home_channel(), [this] {
       accumulate_airtime();
@@ -155,18 +155,15 @@ void SpiderDriver::scan_excursion_step(std::vector<net::ChannelId> remaining) {
     });
     return;
   }
-  const net::ChannelId target = remaining.back();
-  remaining.pop_back();
+  const net::ChannelId target = excursion_remaining_.back();
+  excursion_remaining_.pop_back();
   accumulate_airtime();
   dwell_channel_ = 0;
   device_.switch_channel(target, [this, target] {
     accumulate_airtime();
     dwell_channel_ = target;
   });
-  sim_.post_after(config_.scan_excursion,
-                      [this, remaining = std::move(remaining)]() mutable {
-                        scan_excursion_step(std::move(remaining));
-                      });
+  sim_.post_after(config_.scan_excursion, [this] { scan_excursion_step(); });
 }
 
 void SpiderDriver::finish_channel_eval() {
@@ -188,11 +185,13 @@ void SpiderDriver::finish_channel_eval() {
   ++recamps_;
   config_.schedule.front().channel = best;
   // Drop joining interfaces stranded on the old home channel.
-  std::vector<net::Bssid> stale;
+  stale_scratch_.clear();
   for (const auto& [bssid, vif] : interfaces_) {
-    if (vif->channel != best) stale.push_back(bssid);
+    if (vif->channel != best) stale_scratch_.push_back(bssid);
   }
-  for (net::Bssid bssid : stale) destroy_interface(bssid, /*lost=*/false);
+  for (net::Bssid bssid : stale_scratch_) {
+    destroy_interface(bssid, /*lost=*/false);
+  }
   rotate_schedule(0);
 }
 

@@ -156,7 +156,7 @@ class SpiderDriver {
   void on_arrival(net::ChannelId channel);
   void selection_tick();
   void channel_eval_tick();
-  void scan_excursion_step(std::vector<net::ChannelId> remaining);
+  void scan_excursion_step();
   void finish_channel_eval();
   void create_interface(const ScanEntry& entry);
   void destroy_interface(net::Bssid bssid, bool lost);
@@ -188,6 +188,11 @@ class SpiderDriver {
   std::uint64_t schedule_switches_ = 0;
   bool excursion_active_ = false;
   bool started_ = false;
+  // Scratch buffers reused across eval ticks (excursions never overlap, so
+  // one of each suffices); members so the steady-state schedule loop does
+  // not allocate.
+  std::vector<net::ChannelId> excursion_remaining_;
+  std::vector<net::Bssid> stale_scratch_;
 
   // Telemetry plumbing: deltas already folded into the shared driver.*
   // metrics (several drivers may share one world), the next Perfetto lane to

@@ -24,6 +24,9 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
   SPIDER_CHECK(config_.max_buffered_frames > 0)
       << "AP power-save buffer capacity must be positive";
   radio_.set_position(position);
+  // Built here, not in start(): probe responses reuse the interned payload
+  // and the receive handler below is live before start() is called.
+  if (config_.intern_beacons) beacon_payload_ = beacon_info();
   radio_.set_receive_handler(
       [this](const net::Frame& f, const phy::RxInfo& i) { on_receive(f, i); });
   // Link-layer retry failure: an associated client that went absent (e.g.
@@ -73,6 +76,16 @@ void AccessPoint::note_buffered() {
   if (buffered_now_ > buffered_high_water_) {
     buffered_high_water_ = buffered_now_;
   }
+  trace_psm_occupancy();
+}
+
+void AccessPoint::trace_psm_occupancy() {
+  telemetry::TraceRecorder& trace = medium_.simulator().telemetry().trace();
+  if (!trace.enabled()) return;
+  trace.counter("mac.ap.psm_buffered", "mac",
+                medium_.simulator().now().us(),
+                static_cast<std::int64_t>(buffered_now_),
+                static_cast<std::uint32_t>(radio_.attach_order()));
 }
 
 void AccessPoint::publish_metrics(telemetry::Registry& registry) {
@@ -118,7 +131,9 @@ net::BeaconInfo AccessPoint::beacon_info() const {
 }
 
 void AccessPoint::beacon_tick() {
-  radio_.send(net::make_beacon(address(), beacon_info()));
+  radio_.send(config_.intern_beacons
+                  ? net::make_beacon(address(), beacon_payload_)
+                  : net::make_beacon(address(), beacon_info()));
   medium_.simulator().post_after(
       config_.beacon_interval, [this, alive = std::weak_ptr<char>(alive_)] {
         if (!alive.expired()) beacon_tick();
@@ -148,7 +163,9 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
   switch (frame.kind) {
     case net::FrameKind::kProbeRequest:
       respond_after_delay(
-          net::make_probe_response(address(), frame.src, beacon_info()));
+          config_.intern_beacons
+              ? net::make_probe_response(address(), frame.src, beacon_payload_)
+              : net::make_probe_response(address(), frame.src, beacon_info()));
       break;
 
     case net::FrameKind::kAuthRequest: {
@@ -180,8 +197,10 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
     case net::FrameKind::kDisassoc: {
       auto it = clients_.find(frame.src);
       if (it != clients_.end()) {
-        buffered_now_ -= it->second.buffer.size();
+        const std::size_t dropped = it->second.buffer.size();
+        buffered_now_ -= dropped;
         clients_.erase(it);
+        if (dropped > 0) trace_psm_occupancy();
       }
       break;
     }
@@ -240,6 +259,7 @@ void AccessPoint::flush_buffer(net::MacAddress client, ClientState& state) {
   SPIDER_DCHECK(state.associated && !state.power_save)
       << "flush for " << client.to_string() << " in associated="
       << state.associated << " power_save=" << state.power_save;
+  const bool drained = !state.buffer.empty();
   while (!state.buffer.empty()) {
     net::Frame f = std::move(state.buffer.front());
     state.buffer.pop_front();
@@ -247,6 +267,7 @@ void AccessPoint::flush_buffer(net::MacAddress client, ClientState& state) {
     if (config_.auto_rate) f.tx_rate_bps = rate_.rate_for(client);
     radio_.send(std::move(f));
   }
+  if (drained) trace_psm_occupancy();
 }
 
 bool AccessPoint::send_to_client(net::MacAddress dst, net::Frame frame) {

@@ -39,6 +39,12 @@ struct AccessPointConfig {
   // Power-save buffering.
   std::size_t max_buffered_frames = 1024;
   bool open = true;
+  // Build the beacon payload once and hand the refcounted storage out on
+  // every beacon tick and probe response, instead of minting a fresh
+  // BeaconInfo (SSID string included) per frame. The frames on the air are
+  // identical either way; false keeps the per-frame path for benches and
+  // cross-checks.
+  bool intern_beacons = true;
   // Minstrel-lite per-client rate adaptation on downlink data (opt-in):
   // failures step the client's rate down, sustained success steps it up;
   // low rates trade airtime for reach at the cell edge.
@@ -105,6 +111,10 @@ class AccessPoint {
   void flush_buffer(net::MacAddress client, ClientState& state);
   net::BeaconInfo beacon_info() const;
   void note_buffered();
+  // Samples buffered_now_ onto the per-AP mac.ap.psm_buffered counter track
+  // (keyed by the radio's attach order) whenever occupancy changes; no-op
+  // while tracing is off.
+  void trace_psm_occupancy();
   void publish_metrics(telemetry::Registry& registry);
 
   phy::Medium& medium_;
@@ -114,6 +124,9 @@ class AccessPoint {
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   sim::Rng rng_;
   AccessPointConfig config_;
+  // Interned beacon payload (see AccessPointConfig::intern_beacons); empty
+  // (monostate) when interning is off.
+  net::SharedPayload beacon_payload_;
   DataSink data_sink_;
   phy::AutoRate rate_;
   std::unordered_map<net::MacAddress, ClientState> clients_;

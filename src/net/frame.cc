@@ -1,5 +1,7 @@
 #include "net/frame.h"
 
+#include "core/check.h"
+
 namespace spider::net {
 
 const FramePayload& SharedPayload::empty() {
@@ -48,6 +50,21 @@ Frame make_probe_request(MacAddress client) {
 Frame make_probe_response(MacAddress ap, MacAddress client, BeaconInfo info) {
   return Frame{FrameKind::kProbeResponse, ap, client, ap, false,
                kProbeResponseBytes, 0.0, std::move(info)};
+}
+
+Frame make_beacon(MacAddress ap, SharedPayload beacon) {
+  SPIDER_DCHECK(beacon.holds<BeaconInfo>())
+      << "interned beacon payload does not hold a BeaconInfo";
+  return Frame{FrameKind::kBeacon, ap, MacAddress::broadcast(), ap, false,
+               kBeaconBytes, 0.0, std::move(beacon)};
+}
+
+Frame make_probe_response(MacAddress ap, MacAddress client,
+                          SharedPayload beacon) {
+  SPIDER_DCHECK(beacon.holds<BeaconInfo>())
+      << "interned beacon payload does not hold a BeaconInfo";
+  return Frame{FrameKind::kProbeResponse, ap, client, ap, false,
+               kProbeResponseBytes, 0.0, std::move(beacon)};
 }
 
 Frame make_auth_request(MacAddress client, Bssid ap) {

@@ -120,6 +120,11 @@ class SharedPayload {
     return std::holds_alternative<T>(get());
   }
 
+  // Identity of the shared storage (nullptr for monostate). Tests use this
+  // to assert interning — e.g. that every beacon an AP emits aliases one
+  // allocation instead of minting a fresh payload per tick.
+  const FramePayload* storage() const { return data_.get(); }
+
  private:
   static const FramePayload& empty();  // shared monostate singleton
 
@@ -150,6 +155,14 @@ struct Frame {
 Frame make_beacon(MacAddress ap, BeaconInfo info);
 Frame make_probe_request(MacAddress client);
 Frame make_probe_response(MacAddress ap, MacAddress client, BeaconInfo info);
+// Interned variants: APs beacon every ~100 ms forever, so the steady-state
+// fast path builds the BeaconInfo payload once and hands the refcounted
+// storage back out on every tick / probe response (the frames produced are
+// indistinguishable from the BeaconInfo overloads above). `beacon` must hold
+// a BeaconInfo.
+Frame make_beacon(MacAddress ap, SharedPayload beacon);
+Frame make_probe_response(MacAddress ap, MacAddress client,
+                          SharedPayload beacon);
 Frame make_auth_request(MacAddress client, Bssid ap);
 Frame make_auth_response(Bssid ap, MacAddress client);
 Frame make_assoc_request(MacAddress client, Bssid ap);

@@ -99,6 +99,9 @@ void Medium::attach(Radio& radio) {
   all_.push_back(&radio);
   by_id_.emplace(link.attach_id, &radio);
   insert_into_partition(radio);
+  // The gather superset can never exceed the world, so sizing the delivery
+  // scratch here keeps deliver() allocation-free from the first frame.
+  if (candidates_.capacity() < all_.size()) candidates_.reserve(all_.size());
 }
 
 void Medium::detach(Radio& radio) {
@@ -115,6 +118,32 @@ void Medium::on_channel_changed(Radio& radio, net::ChannelId previous) {
 void Medium::on_position_changed(Radio& radio) {
   partitions_[channel_slot(radio.channel())].grid.update(radio,
                                                          radio.position());
+}
+
+void Medium::move_radios(std::span<const RadioMove> moves) {
+  // Phase 1: write every position and plan the cell crossings, grouped by
+  // channel partition. Non-crossers (the common case at sub-second tick
+  // cadence) cost one cell computation and no hash traffic at all.
+  bool any_crossed = false;
+  for (const RadioMove& m : moves) {
+    Radio& radio = *m.radio;
+    if (m.position == radio.position_) continue;
+    radio.position_ = m.position;
+    const std::size_t slot = channel_slot(radio.channel());
+    GridMove planned;
+    if (partitions_[slot].grid.plan_move(radio, m.position, planned)) {
+      move_scratch_[slot].push_back(planned);
+      any_crossed = true;
+    }
+  }
+  if (!any_crossed) return;
+  // Phase 2: one grouped re-bucket per partition that had crossers.
+  for (std::size_t slot = 0; slot < kChannelSlots; ++slot) {
+    std::vector<GridMove>& pending = move_scratch_[slot];
+    if (pending.empty()) continue;
+    partitions_[slot].grid.rebucket_batch(pending);
+    pending.clear();
+  }
 }
 
 void Medium::insert_into_partition(Radio& radio) {

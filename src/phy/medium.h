@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +62,12 @@ struct MediumConfig {
   bool indexed_delivery = true;
 };
 
+// One radio's new position in a batched mobility tick (Medium::move_radios).
+struct RadioMove {
+  Radio* radio = nullptr;
+  Vec2 position{};
+};
+
 // Delivery metadata handed to receivers alongside the frame.
 struct RxInfo {
   net::ChannelId channel = 0;
@@ -92,6 +99,15 @@ class Medium {
   // radio's current state.
   void on_channel_changed(Radio& radio, net::ChannelId previous);
   void on_position_changed(Radio& radio);
+
+  // Batched mobility tick: applies every move (position write + lazy grid
+  // re-bucket) in one call. Crossers are grouped per channel partition and
+  // re-bucketed en masse (RadioGrid::rebucket_batch), so a fleet tick pays
+  // hash-map traffic per *cell group*, not per radio. Equivalent to calling
+  // radio->set_position(position) once per entry — same positions, same
+  // digests (position updates consume no RNG, and delivery re-sorts
+  // candidates by attach id so bucket order is invisible).
+  void move_radios(std::span<const RadioMove> moves);
 
   void set_sniffer(SnifferFn sniffer) { sniffer_ = std::move(sniffer); }
 
@@ -179,8 +195,12 @@ class Medium {
   // per-transmit hash lookup this replaced showed up in delivery profiles.
   std::array<sim::Time, kChannelSlots> busy_until_{};
   // Scratch for deliver()'s candidate gather; member so steady-state
-  // deliveries do not allocate.
+  // deliveries do not allocate (attach() keeps its capacity at world size,
+  // the gather superset's upper bound).
   std::vector<Radio*> candidates_;
+  // Per-partition scratch for move_radios(); members so steady-state fleet
+  // ticks do not allocate.
+  std::array<std::vector<GridMove>, kChannelSlots> move_scratch_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_lost_ = 0;

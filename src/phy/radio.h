@@ -45,6 +45,9 @@ class Radio {
   net::MacAddress address() const { return address_; }
   net::ChannelId channel() const { return channel_; }
   Vec2 position() const { return position_; }
+  // Monotone attach-sequence number within this radio's medium: a small,
+  // stable integer id (used e.g. as a per-radio telemetry counter track).
+  std::uint64_t attach_order() const { return medium_link_.attach_id; }
   // Moves the radio and re-buckets it in the medium's spatial grid if it
   // crossed a cell boundary; a no-move update is free (parked vehicles get
   // position ticks too).

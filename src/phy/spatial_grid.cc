@@ -56,6 +56,85 @@ bool RadioGrid::update(Radio& radio, Vec2 pos) {
   return true;
 }
 
+bool RadioGrid::plan_move(const Radio& radio, Vec2 pos, GridMove& move) const {
+  const MediumLink& link = radio.medium_link_;
+  const Cell c = cell_of(pos);
+  if (c.x == link.cell_x && c.y == link.cell_y) return false;
+  move = GridMove{const_cast<Radio*>(&radio), c.x, c.y};
+  return true;
+}
+
+std::vector<Radio*>* RadioGrid::batch_bucket(std::uint64_t cell_key,
+                                             bool inserting) {
+  // Newest-first over a bounded tail: a fleet tick's crossers are spatially
+  // clustered, so the hit is almost always within the first few entries.
+  // Duplicate entries past the window are harmless (same pointer); the
+  // bound keeps a pathological all-distinct batch at hash-lookup cost
+  // instead of O(moves x cells).
+  constexpr std::size_t kScanWindow = 16;
+  const std::size_t begin =
+      batch_groups_.size() > kScanWindow ? batch_groups_.size() - kScanWindow
+                                         : 0;
+  for (std::size_t i = batch_groups_.size(); i > begin; --i) {
+    if (batch_groups_[i - 1].first == cell_key) {
+      return batch_groups_[i - 1].second;
+    }
+  }
+  std::vector<Radio*>* bucket = nullptr;
+  if (inserting) {
+    bucket = &cells_[cell_key];
+  } else {
+    auto it = cells_.find(cell_key);
+    SPIDER_CHECK(it != cells_.end())
+        << "batch re-bucket from an unoccupied source cell";
+    bucket = &it->second;
+  }
+  batch_groups_.emplace_back(cell_key, bucket);
+  return bucket;
+}
+
+void RadioGrid::rebucket_batch(std::span<const GridMove> moves) {
+  if (moves.empty()) return;
+  // Pass 1 — removals: swap-and-pop every departing radio, resolving each
+  // source bucket through the per-batch memo.
+  batch_groups_.clear();
+  for (const GridMove& m : moves) {
+    MediumLink& link = m.radio->medium_link_;
+    std::vector<Radio*>& bucket =
+        *batch_bucket(key(link.cell_x, link.cell_y), /*inserting=*/false);
+    SPIDER_CHECK(link.cell_index < bucket.size() &&
+                 bucket[link.cell_index] == m.radio)
+        << "batch re-bucket for a radio not in its recorded cell";
+    Radio* moved = bucket.back();
+    bucket[link.cell_index] = moved;
+    moved->medium_link_.cell_index = link.cell_index;
+    bucket.pop_back();
+    --size_;
+  }
+  // Drop buckets the batch emptied (see remove()) before insertions may
+  // repopulate those cells under fresh buckets. Resolved by key, not via
+  // the memoized pointer: the memo can hold the same cell twice, and the
+  // duplicate would dangle once the first occurrence erases the bucket.
+  for (const auto& [cell_key, bucket] : batch_groups_) {
+    auto it = cells_.find(cell_key);
+    if (it != cells_.end() && it->second.empty()) cells_.erase(it);
+  }
+  // Pass 2 — insertions, one memoized bucket resolution per destination
+  // cell. cells_ references stay valid across operator[] inserts, so memo
+  // entries never dangle within the pass.
+  batch_groups_.clear();
+  for (const GridMove& m : moves) {
+    std::vector<Radio*>& bucket =
+        *batch_bucket(key(m.cell_x, m.cell_y), /*inserting=*/true);
+    MediumLink& link = m.radio->medium_link_;
+    link.cell_x = m.cell_x;
+    link.cell_y = m.cell_y;
+    link.cell_index = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back(m.radio);
+    ++size_;
+  }
+}
+
 bool RadioGrid::gather(Vec2 center, double radius_m,
                        std::vector<Radio*>& out) const {
   const Cell lo = cell_of({center.x - radius_m, center.y - radius_m});

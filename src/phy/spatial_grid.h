@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,15 @@
 namespace spider::phy {
 
 class Radio;
+
+// One pending re-bucket in a batched mobility tick: the radio already holds
+// its new position; (cell_x, cell_y) is the destination cell it must move
+// into. Produced by RadioGrid::plan_move, consumed by rebucket_batch.
+struct GridMove {
+  Radio* radio = nullptr;
+  std::int32_t cell_x = 0;
+  std::int32_t cell_y = 0;
+};
 
 // Per-radio bookkeeping owned by the Medium that the radio is attached to.
 // attach_id is the monotone attach-sequence number that defines the
@@ -61,6 +71,22 @@ class RadioGrid {
   // it did (exposed so tests can count lazy updates).
   bool update(Radio& radio, Vec2 pos);
 
+  // Batched mobility. plan_move() is the read-only half of update(): it
+  // returns true and fills `move` when `pos` crosses a cell boundary, so the
+  // caller can collect a whole fleet tick's crossers and re-bucket them in
+  // one rebucket_batch() call instead of N update() calls. The radio's
+  // position must already be updated by the caller; the grid only reads the
+  // destination cell from `move`.
+  bool plan_move(const Radio& radio, Vec2 pos, GridMove& move) const;
+  // Applies a batch of planned moves. Radios sharing a cell resolve their
+  // bucket through a small per-batch memo instead of the hash map, so a
+  // convoy crossing a boundary together pays a couple of hash lookups per
+  // cell instead of two per radio. Bucket order after the batch differs
+  // from the order N update() calls would leave — which is fine, because
+  // the delivery path re-sorts candidates by attach id (see the determinism
+  // contract above).
+  void rebucket_batch(std::span<const GridMove> moves);
+
   // Appends every radio whose cell overlaps the disc (center, radius) to
   // `out` — a superset of the radios within `radius`; the caller applies the
   // exact distance filter. Returns false (leaving `out` untouched) when the
@@ -79,10 +105,18 @@ class RadioGrid {
   }
   Cell cell_of(Vec2 pos) const;
 
+  // Memoized cell→bucket resolution for one rebucket_batch pass. Entries
+  // point into cells_, whose mapped vectors are address-stable across the
+  // inserts a batch performs (unordered_map nodes never move); the memo is
+  // searched newest-first over a bounded window, so clustered fleets hit it
+  // almost always and pathological scatter degrades to plain hash lookups.
+  std::vector<Radio*>* batch_bucket(std::uint64_t cell_key, bool inserting);
+
   double cell_m_ = 1.0;
   double inv_cell_m_ = 1.0;
   std::size_t size_ = 0;
   std::unordered_map<std::uint64_t, std::vector<Radio*>> cells_;
+  std::vector<std::pair<std::uint64_t, std::vector<Radio*>*>> batch_groups_;
 };
 
 }  // namespace spider::phy

@@ -128,6 +128,15 @@ void Simulator::post_after(Time delay, SmallFn fn) {
   post_at(now_ + delay, std::move(fn));
 }
 
+void Simulator::trace_queue_depth(std::int64_t ts_us) {
+  if (!telemetry_.trace().enabled()) return;
+  const std::size_t depth = queue_.size();
+  if (depth == last_traced_depth_) return;
+  last_traced_depth_ = depth;
+  telemetry_.trace().counter("sim.queue_depth", "sim", ts_us,
+                             static_cast<std::int64_t>(depth));
+}
+
 void Simulator::fold_instant() {
   digest_ = fold(digest_, instant_us_, instant_acc_, instant_count_);
   instant_acc_ = 0;
@@ -165,7 +174,10 @@ void Simulator::drain(Time limit) {
     SPIDER_CHECK(ev.at >= now_)
         << "event seq " << ev.seq << " at " << ev.at.to_string()
         << " behind clock " << now_.to_string();
-    if (instant_count_ > 0 && ev.at.us() != instant_us_) fold_instant();
+    if (instant_count_ > 0 && ev.at.us() != instant_us_) {
+      fold_instant();
+      trace_queue_depth(ev.at.us());
+    }
     instant_us_ = ev.at.us();
     instant_acc_ += event_hash(ev.at.us(), ev.seq);
     ++instant_count_;

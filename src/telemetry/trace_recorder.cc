@@ -36,6 +36,14 @@ void append_event(std::string& out, const TraceEvent& ev) {
   std::snprintf(buf, sizeof(buf), ",\"pid\":0,\"tid\":%u",
                 static_cast<unsigned>(ev.track));
   out += buf;
+  // Counter series are keyed by (pid, name, id), not tid; a nonzero track
+  // becomes the "id" so several same-named series (one per AP, say) render
+  // as separate graphs.
+  if (ev.phase == 'C' && ev.track != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"id\":\"%u\"",
+                  static_cast<unsigned>(ev.track));
+    out += buf;
+  }
   if (ev.arg_name != nullptr) {
     out += ",\"args\":{\"";
     append_escaped(out, ev.arg_name);

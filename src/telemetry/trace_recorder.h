@@ -1,6 +1,7 @@
 // Structured trace recorder — Chrome trace-event JSON out of simulated time.
 //
-// Records complete spans ('X') and instant events ('i') into a bounded ring:
+// Records complete spans ('X'), instant events ('i'), and counter samples
+// ('C', rendered by Perfetto as stepped graphs) into a bounded ring:
 // when the ring is full the *oldest* entry is overwritten and a dropped
 // counter advances, so a million-event run costs a flat, configured amount
 // of memory and the exported file always holds the most recent window.
@@ -28,7 +29,7 @@ namespace spider::telemetry {
 struct TraceEvent {
   const char* name = "";      // string literal
   const char* category = "";  // string literal
-  char phase = 'X';           // 'X' complete, 'i' instant
+  char phase = 'X';           // 'X' complete, 'i' instant, 'C' counter
   std::int64_t ts_us = 0;
   std::int64_t dur_us = 0;    // 'X' only
   std::uint32_t track = 0;    // rendered as Chrome tid
@@ -67,6 +68,17 @@ class TraceRecorder {
     if (!enabled_) return;
     push(TraceEvent{name, category, 'i', ts_us, 0, track, arg_name,
                     arg_value});
+  }
+
+  // Counter sample ('C'): Perfetto renders each counter name as a stepped
+  // graph alongside the span tracks — the export shape for gauges like
+  // queue depth or PSM occupancy. `track` distinguishes multiple series
+  // under one name (serialized as the Chrome "id" field; 0 = the sole
+  // unkeyed series), e.g. one PSM-occupancy line per AP.
+  void counter(const char* name, const char* category, std::int64_t ts_us,
+               std::int64_t value, std::uint32_t track = 0) {
+    if (!enabled_) return;
+    push(TraceEvent{name, category, 'C', ts_us, 0, track, "value", value});
   }
 
   // Attaches a display name to a track (emitted as a thread_name metadata

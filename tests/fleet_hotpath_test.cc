@@ -1,0 +1,272 @@
+// Fleet-scale hot path: batched mobility + interned beacon payloads.
+//
+// The contract mirrors the PHY fast-path one: the batch APIs change *work*,
+// never *outcomes*. Medium::move_radios must leave the world in exactly the
+// state N scalar set_position calls leave it in (same receive sets, same RNG
+// streams, bit-identical digests), beacon interning must put bytes on the
+// air indistinguishable from per-tick payload construction, and the
+// position-update timer chain must stop at the experiment horizon.
+#include "core/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mac/access_point.h"
+#include "mobility/deployment.h"
+#include "net/frame.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace spider::core {
+namespace {
+
+phy::MediumConfig lossless() {
+  phy::MediumConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.edge_degradation = false;
+  return cfg;
+}
+
+// --- batched moves vs. brute force over random trajectories ------------------
+
+TEST(FleetHotPath, BatchedMovesMatchBruteForceReceiveSets) {
+  // Random walk applied through Medium::move_radios (one batch per round,
+  // crossing cell boundaries and negative coordinates), verified against the
+  // brute-force receive set computed from raw positions. Parked radios stay
+  // in every batch so the no-move early-out is exercised too.
+  sim::Simulator sim;
+  phy::Medium medium(sim, sim::Rng(1), lossless());
+  sim::Rng walk(0xBA7C);
+
+  constexpr int kRadios = 40;
+  constexpr int kRounds = 30;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  std::vector<int> received(kRadios, 0);
+  std::vector<int> expected(kRadios, 0);
+  for (int i = 0; i < kRadios; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        medium, net::MacAddress::from_index(i + 1),
+        phy::RadioConfig{.initial_channel = i % 2 == 0 ? 6 : 11}));
+    radios.back()->set_position(
+        {walk.uniform(-500.0, 500.0), walk.uniform(-500.0, 500.0)});
+    const int idx = i;
+    radios.back()->set_receive_handler(
+        [&received, idx](const net::Frame&, const phy::RxInfo&) {
+          ++received[idx];
+        });
+  }
+
+  std::vector<phy::RadioMove> moves;
+  for (int round = 0; round < kRounds; ++round) {
+    moves.clear();
+    for (int i = 0; i < kRadios; ++i) {
+      phy::Radio& r = *radios[static_cast<std::size_t>(i)];
+      // Every fourth radio parks this round (identical position in the
+      // batch); everyone else steps far enough to re-bucket most rounds.
+      const phy::Vec2 next =
+          (i + round) % 4 == 0
+              ? r.position()
+              : r.position() + phy::Vec2{walk.uniform(-200.0, 200.0),
+                                         walk.uniform(-200.0, 200.0)};
+      moves.push_back(phy::RadioMove{&r, next});
+    }
+    medium.move_radios(moves);
+    // Occasionally flip a radio's channel so batches land in a freshly
+    // repartitioned grid.
+    if (round % 3 == 0) {
+      phy::Radio& flip = *radios[static_cast<std::size_t>(
+          walk.uniform_int(0, kRadios - 1))];
+      flip.tune(flip.channel() == 6 ? 11 : 6);
+      sim.run_all();
+    }
+
+    phy::Radio& sender = *radios[static_cast<std::size_t>(round % kRadios)];
+    for (int i = 0; i < kRadios; ++i) {
+      const phy::Radio& rx = *radios[static_cast<std::size_t>(i)];
+      if (&rx == &sender || rx.channel() != sender.channel()) continue;
+      if (phy::distance(sender.position(), rx.position()) >
+          medium.config().range_m) {
+        continue;
+      }
+      ++expected[static_cast<std::size_t>(i)];
+    }
+    sender.send(net::make_probe_request(sender.address()));
+    sim.run_all();
+    ASSERT_EQ(received, expected) << "round " << round << " diverged";
+  }
+  EXPECT_GT(medium.deliveries_grid(), 0u);
+}
+
+// --- batch vs. scalar: identical RNG streams over a lossy run ----------------
+
+struct MobilityOutcome {
+  std::uint64_t digest = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+};
+
+MobilityOutcome run_lossy_mobility(bool batched) {
+  sim::Simulator sim;
+  phy::MediumConfig cfg;
+  cfg.base_loss = 0.3;  // every in-range receiver consumes Bernoulli draws
+  phy::Medium medium(sim, sim::Rng(42), cfg);
+  sim::Rng walk(0x5EED);
+
+  constexpr int kRadios = 50;
+  constexpr int kRounds = 20;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  for (int i = 0; i < kRadios; ++i) {
+    const net::ChannelId ch = i % 3 == 0 ? 1 : (i % 3 == 1 ? 6 : 11);
+    radios.push_back(std::make_unique<phy::Radio>(
+        medium, net::MacAddress::from_index(i + 1),
+        phy::RadioConfig{.initial_channel = ch}));
+    radios.back()->set_position(
+        {walk.uniform(-400.0, 400.0), walk.uniform(-400.0, 400.0)});
+  }
+
+  std::vector<phy::RadioMove> moves;
+  for (int round = 0; round < kRounds; ++round) {
+    moves.clear();
+    for (auto& r : radios) {
+      moves.push_back(phy::RadioMove{
+          r.get(), r->position() + phy::Vec2{walk.uniform(-180.0, 180.0),
+                                             walk.uniform(-180.0, 180.0)}});
+    }
+    if (batched) {
+      medium.move_radios(moves);
+    } else {
+      for (const phy::RadioMove& m : moves) m.radio->set_position(m.position);
+    }
+    for (int i = 0; i < kRadios; i += 5) {
+      phy::Radio& tx = *radios[static_cast<std::size_t>(i)];
+      tx.send(net::make_probe_request(tx.address()));
+    }
+    sim.run_all();
+  }
+  return {sim.digest(), medium.frames_delivered(), medium.frames_lost()};
+}
+
+TEST(FleetHotPath, BatchAndScalarMobilityConsumeIdenticalRngStreams) {
+  const MobilityOutcome batch = run_lossy_mobility(true);
+  const MobilityOutcome scalar = run_lossy_mobility(false);
+  EXPECT_EQ(batch.digest, scalar.digest)
+      << "batched re-bucketing leaked into the RNG stream";
+  EXPECT_EQ(batch.delivered, scalar.delivered);
+  EXPECT_EQ(batch.lost, scalar.lost);
+}
+
+// --- full-stack fleet: batch_mobility flag is digest-neutral -----------------
+
+FleetConfig small_fleet(bool batch_mobility, bool intern_beacons) {
+  FleetConfig cfg;
+  cfg.seed = 7;
+  cfg.clients = 4;
+  cfg.duration = sim::Time::seconds(30);
+  cfg.batch_mobility = batch_mobility;
+  cfg.ap_mac.intern_beacons = intern_beacons;
+  sim::Rng rng(cfg.seed);
+  auto deploy_rng = rng.fork("deploy");
+  cfg.aps = mobility::area_deployment(700, 500, 10, deploy_rng);
+  return cfg;
+}
+
+TEST(FleetHotPath, FleetBatchAndScalarRunsAreBitIdentical) {
+  std::uint64_t digests[2] = {0, 0};
+  double throughput[2] = {0.0, 0.0};
+  for (int batched = 0; batched < 2; ++batched) {
+    FleetExperiment fleet(small_fleet(batched == 1, /*intern_beacons=*/true));
+    const FleetResults r = fleet.run();
+    digests[batched] = fleet.simulator().digest();
+    throughput[batched] = r.aggregate_throughput_kBps();
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(throughput[0], throughput[1]);
+}
+
+TEST(FleetHotPath, BeaconInterningIsDigestNeutralFullStack) {
+  std::uint64_t digests[2] = {0, 0};
+  for (int interned = 0; interned < 2; ++interned) {
+    FleetExperiment fleet(small_fleet(/*batch_mobility=*/true, interned == 1));
+    fleet.run();
+    digests[interned] = fleet.simulator().digest();
+  }
+  EXPECT_EQ(digests[0], digests[1])
+      << "interned beacons changed what went on the air";
+}
+
+// --- horizon: the position-update chain must not outlive the run -------------
+
+TEST(FleetHotPath, PositionUpdatesStopAtTheHorizon) {
+  FleetConfig cfg = small_fleet(/*batch_mobility=*/true, true);
+  cfg.duration = sim::Time::seconds(2);
+  FleetExperiment fleet(std::move(cfg));
+  fleet.run();
+
+  // The last tick fires at 1.9 s (the chain stops once now + interval would
+  // reach the horizon); nothing may move the fleet after the run.
+  std::vector<phy::Vec2> at_horizon;
+  for (std::size_t i = 0; i < fleet.client_count(); ++i) {
+    at_horizon.push_back(fleet.client_device(i).radio().position());
+  }
+  fleet.simulator().run_for(sim::Time::seconds(5));
+  for (std::size_t i = 0; i < fleet.client_count(); ++i) {
+    EXPECT_EQ(fleet.client_device(i).radio().position(), at_horizon[i])
+        << "client " << i << " moved after the experiment horizon";
+  }
+}
+
+// --- beacon interning: payload pointer reuse ---------------------------------
+
+// Collects the payload storage pointers of every beacon/probe-response an AP
+// emits over a second of simulated time. Each observed payload is kept alive
+// for the whole run — otherwise the allocator may hand the non-interned arm
+// the same freed address for every mint and the pointer set would collapse
+// to one entry spuriously (TSan's allocator does exactly that).
+std::set<const net::FramePayload*> observed_payloads(bool intern) {
+  sim::Simulator sim;
+  phy::Medium medium(sim, sim::Rng(1), lossless());
+  mac::AccessPointConfig ap_cfg;
+  ap_cfg.intern_beacons = intern;
+  ap_cfg.response_delay_min = sim::Time::millis(1);
+  ap_cfg.response_delay_max = sim::Time::millis(2);
+  mac::AccessPoint ap(medium, net::MacAddress::from_index(0xA0),
+                      phy::Vec2{0, 0}, sim::Rng(2), ap_cfg);
+  phy::Radio client(medium, net::MacAddress::from_index(0xC0),
+                    phy::RadioConfig{.initial_channel = ap_cfg.channel});
+  client.set_position({20, 0});
+
+  std::set<const net::FramePayload*> payloads;
+  std::vector<net::SharedPayload> keepalive;
+  client.set_receive_handler(
+      [&payloads, &keepalive](const net::Frame& f, const phy::RxInfo&) {
+        if (f.kind == net::FrameKind::kBeacon ||
+            f.kind == net::FrameKind::kProbeResponse) {
+          EXPECT_TRUE(f.payload.holds<net::BeaconInfo>());
+          payloads.insert(f.payload.storage());
+          keepalive.push_back(f.payload);
+        }
+      });
+  ap.start();
+  client.send(net::make_probe_request(client.address()));
+  sim.run_until(sim::Time::seconds(1));
+  return payloads;
+}
+
+TEST(FleetHotPath, InternedApReusesOnePayloadAcrossBeaconsAndProbes) {
+  const auto interned = observed_payloads(true);
+  // ~10 beacons + 1 probe response, all aliasing one allocation.
+  ASSERT_EQ(interned.size(), 1u);
+  EXPECT_NE(*interned.begin(), nullptr);
+
+  const auto fresh = observed_payloads(false);
+  EXPECT_GT(fresh.size(), 1u)
+      << "non-interned AP should mint a payload per frame";
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -10,7 +10,11 @@
 #include <string>
 
 #include "core/check.h"
+#include "mac/access_point.h"
 #include "net/frame.h"
+#include "phy/medium.h"
+#include "phy/radio.h"
+#include "sim/simulator.h"
 #include "telemetry/hub.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
@@ -224,6 +228,111 @@ TEST(TraceRecorder, JsonRoundTripsThroughTheReader) {
   EXPECT_EQ(meta.string_or("name", ""), "thread_name");
   ASSERT_NE(meta.find("args"), nullptr);
   EXPECT_EQ(meta.find("args")->string_or("name", ""), "vif0");
+}
+
+TEST(TraceRecorder, CounterEventsRenderAsPerfettoCounterSeries) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.counter("sim.queue_depth", "sim", 1000, 42);
+  rec.counter("mac.ap.psm_buffered", "mac", 2000, 3, /*track=*/7);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_json(rec.to_json(), doc, &error)) << error;
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+
+  const JsonValue& depth = events->array[0];
+  EXPECT_EQ(depth.string_or("ph", ""), "C");
+  EXPECT_EQ(depth.string_or("name", ""), "sim.queue_depth");
+  EXPECT_DOUBLE_EQ(depth.number_or("ts", 0), 1000.0);
+  EXPECT_EQ(depth.find("dur"), nullptr);
+  // Track 0 is the sole unkeyed series: no "id" field.
+  EXPECT_EQ(depth.find("id"), nullptr);
+  ASSERT_NE(depth.find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(depth.find("args")->number_or("value", 0), 42.0);
+
+  const JsonValue& psm = events->array[1];
+  EXPECT_EQ(psm.string_or("ph", ""), "C");
+  // A nonzero track becomes the series id, so per-AP series stay separate.
+  EXPECT_EQ(psm.string_or("id", ""), "7");
+  ASSERT_NE(psm.find("args"), nullptr);
+  EXPECT_DOUBLE_EQ(psm.find("args")->number_or("value", 0), 3.0);
+}
+
+TEST(TraceRecorder, SimulatorEmitsQueueDepthCounterSamples) {
+  sim::Simulator sim;
+  sim.telemetry().trace().set_enabled(true);
+  for (int i = 1; i <= 4; ++i) {
+    sim.post_at(sim::Time::millis(i), [] {});
+  }
+  sim.run_all();
+
+  std::vector<std::int64_t> samples;
+  for (const TraceEvent& ev : sim.telemetry().trace().events_in_order()) {
+    if (ev.phase != 'C') continue;
+    EXPECT_STREQ(ev.name, "sim.queue_depth");
+    samples.push_back(ev.arg_value);
+  }
+  // One sample per instant boundary where the depth changed: the four
+  // distinct-time events drain 2, 1, 0.
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i], samples[i - 1]);
+  }
+  EXPECT_EQ(samples.back(), 0);
+}
+
+TEST(TraceRecorder, ApEmitsPsmOccupancyCounterSamples) {
+  sim::Simulator sim;
+  phy::MediumConfig medium_cfg;
+  medium_cfg.base_loss = 0.0;
+  medium_cfg.edge_degradation = false;
+  phy::Medium medium(sim, sim::Rng(1), medium_cfg);
+  sim.telemetry().trace().set_enabled(true);
+
+  mac::AccessPointConfig ap_cfg;
+  ap_cfg.response_delay_min = sim::Time::millis(1);
+  ap_cfg.response_delay_max = sim::Time::millis(2);
+  mac::AccessPoint ap(medium, net::MacAddress::from_index(0xA0),
+                      phy::Vec2{0, 0}, sim::Rng(2), ap_cfg);
+  phy::Radio client(medium, net::MacAddress::from_index(0xC0),
+                    phy::RadioConfig{.initial_channel = ap_cfg.channel});
+  client.set_position({20, 0});
+
+  // Join by hand, park in power-save, and buffer two downlink frames.
+  client.send(net::make_auth_request(client.address(), ap.address()));
+  sim.run_for(sim::Time::millis(10));
+  client.send(net::make_assoc_request(client.address(), ap.address()));
+  sim.run_for(sim::Time::millis(10));
+  client.send(net::make_null_data(client.address(), ap.address(), true));
+  sim.run_for(sim::Time::millis(10));
+  ASSERT_TRUE(ap.in_power_save(client.address()));
+  for (int i = 0; i < 2; ++i) {
+    net::Frame f = net::make_tcp_frame(ap.address(), client.address(),
+                                       ap.address(), net::TcpSegment{});
+    ASSERT_TRUE(ap.send_to_client(client.address(), std::move(f)));
+  }
+  // Wake up: the flush must sample the counter back down to zero.
+  client.send(net::make_ps_poll(client.address(), ap.address()));
+  sim.run_for(sim::Time::millis(10));
+
+  std::vector<std::int64_t> samples;
+  for (const TraceEvent& ev : sim.telemetry().trace().events_in_order()) {
+    if (ev.phase != 'C' || std::string(ev.name) != "mac.ap.psm_buffered") {
+      continue;
+    }
+    // Series id = the AP radio's attach order (1: the AP's radio is this
+    // world's first attach), so multi-AP worlds render one occupancy graph
+    // per AP.
+    EXPECT_EQ(ev.track, 1u);
+    samples.push_back(ev.arg_value);
+  }
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0], 1);
+  EXPECT_EQ(samples[1], 2);
+  EXPECT_EQ(samples[2], 0);
 }
 
 #endif  // SPIDER_TELEMETRY

@@ -5,7 +5,9 @@
 //     sweep's top counters, gauge levels/peaks, histogram summaries with
 //     log-bucket quantiles, and a per-channel dwell/traffic table;
 //   * a Chrome trace JSON file (from --trace): prints per-(category, name)
-//     span statistics, instant-event counts, and the named tracks.
+//     span statistics, instant-event counts, counter-track statistics
+//     (samples / value range / final value, per series id), and the named
+//     tracks.
 //
 // Usage: spider-trace <file> [--top N]
 #include <algorithm>
@@ -255,8 +257,15 @@ int summarize_trace(const JsonValue& doc, int top) {
     double min_us = 0.0;
     double max_us = 0.0;
   };
+  struct CounterStats {
+    std::uint64_t samples = 0;
+    double min_v = 0.0;
+    double max_v = 0.0;
+    double last_v = 0.0;
+  };
   std::map<std::string, SpanStats> spans;    // "category/name"
   std::map<std::string, std::uint64_t> instants;
+  std::map<std::string, CounterStats> counters;  // "category/name[id]"
   std::map<std::uint32_t, std::string> tracks;
   std::int64_t first_ts = 0;
   std::int64_t last_ts = 0;
@@ -289,6 +298,21 @@ int summarize_trace(const JsonValue& doc, int top) {
       s.total_us += dur;
     } else if (ph == "i") {
       ++instants[key];
+    } else if (ph == "C") {
+      // Counter series are keyed per "id" (one series per AP, say); the
+      // sampled value is the single integer arg the recorder emits.
+      std::string ckey = key;
+      const std::string id = ev.string_or("id", "");
+      if (!id.empty()) ckey += "[" + id + "]";
+      double value = 0.0;
+      if (const JsonValue* args = ev.find("args")) {
+        value = args->number_or("value", 0.0);
+      }
+      CounterStats& c = counters[ckey];
+      if (c.samples == 0 || value < c.min_v) c.min_v = value;
+      if (c.samples == 0 || value > c.max_v) c.max_v = value;
+      ++c.samples;
+      c.last_v = value;
     }
   }
   if (any_ts) {
@@ -330,6 +354,16 @@ int summarize_trace(const JsonValue& doc, int top) {
     for (const auto& [name, count] : instants) {
       std::printf("  %-28s %8llu\n", name.c_str(),
                   static_cast<unsigned long long>(count));
+    }
+  }
+  if (!counters.empty()) {
+    std::printf("counters (samples, value range, final):\n");
+    std::printf("  %-32s %8s %10s %10s %10s\n", "counter", "samples", "min",
+                "max", "last");
+    for (const auto& [name, c] : counters) {
+      std::printf("  %-32s %8llu %10.0f %10.0f %10.0f\n", name.c_str(),
+                  static_cast<unsigned long long>(c.samples), c.min_v,
+                  c.max_v, c.last_v);
     }
   }
   return 0;
