@@ -27,6 +27,18 @@
 #include "bench/bench_json.h"
 #include "bench/common.h"
 #include "core/check.h"
+
+// Allocation teeth for the measured loops, gated exactly like SPIDER_DCHECK:
+// active in plain debug builds and whenever SPIDER_FORCE_DCHECKS is on (the
+// sanitizer presets), compiled out — and spider_alloc_guard left unlinked,
+// see bench/CMakeLists.txt — in NDEBUG measurement builds, so the Release
+// perf gate never pays for the operator new/delete interception.
+#if !defined(NDEBUG) || defined(SPIDER_FORCE_DCHECKS)
+#define SPIDER_BENCH_ALLOC_TEETH 1
+#include <optional>
+
+#include "core/alloc_guard.h"
+#endif
 #include "core/sweep.h"
 #include "mac/access_point.h"
 #include "net/frame.h"
@@ -242,9 +254,22 @@ PhyMeasurement phy_delivery_run(bool indexed, int n_radios, int frames) {
   const int waves = std::max(1, frames / n_radios);
   const auto start = std::chrono::steady_clock::now();
   for (int wave = 0; wave < waves; ++wave) {
+    // Moves first, sends second. The split leaves the event stream (and so
+    // the digest) identical — set_position posts nothing — but fences the
+    // cell re-buckets, which legitimately allocate, out of the guarded half.
     for (auto& r : radios) {
       r->set_position(r->position() + phy::Vec2{layout.uniform(-3.0, 3.0),
                                                 layout.uniform(-3.0, 3.0)});
+    }
+#ifdef SPIDER_BENCH_ALLOC_TEETH
+    // Wave 0 warms the PendingTx pool and the event queue; from then on a
+    // send+deliver wave owns a zero allocation budget (the SPIDER_HOT
+    // contract), and a reintroduced per-frame allocation fails loudly here
+    // instead of just flattening the speedup curve.
+    std::optional<core::ScopedAllocGuard> teeth;
+    if (wave > 0) teeth.emplace("perf_smoke phy delivery wave");
+#endif
+    for (auto& r : radios) {
       r->send(net::make_probe_request(r->address()));
     }
     sim.run_all();
@@ -393,8 +418,24 @@ FleetMeasurement fleet_hotpath_run(bool fast, int n_clients, int n_aps,
   const auto start = std::chrono::steady_clock::now();
   sim.run_until(duration);
   const double elapsed = seconds_since(start);
-  return {static_cast<double>(sim.events_executed()) / elapsed,
-          sim.events_executed(), sim.digest()};
+  const FleetMeasurement out{static_cast<double>(sim.events_executed()) /
+                                 elapsed,
+                             sim.events_executed(), sim.digest()};
+#ifdef SPIDER_BENCH_ALLOC_TEETH
+  if (fast) {
+    // Runtime teeth past the measured horizon (digest and event count were
+    // captured above): with mobility and probe ticks stopped, let in-flight
+    // management responses drain — respond_after_delay closures heap-spill
+    // by design, management is not a hot path — then assert the remaining
+    // steady state, interned beacon ticks plus their deliveries, allocates
+    // nothing. The scalar arm mints a payload per beacon and is exempt: it
+    // exists precisely as the allocating contrast.
+    sim.run_until(duration + sim::Time::millis(50));
+    core::ScopedAllocGuard teeth("perf_smoke fleet beacon steady state");
+    sim.run_until(duration + sim::Time::millis(150));
+  }
+#endif
+  return out;
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+// Global operator new/delete interception for ScopedAllocGuard.
+//
+// The replacement operators live in the SAME translation unit as the guard
+// class on purpose: any binary that constructs a ScopedAllocGuard pulls this
+// object file in, and with it the strong definitions of the global
+// allocation functions. Binaries that never mention the guard keep the
+// default operators and pay nothing. Under ASan the replacements still
+// forward to malloc/free, which ASan intercepts, so poisoning and
+// leak-checking keep working.
+#include "core/alloc_guard.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "core/check.h"
+
+namespace spider::core {
+namespace {
+
+// Thread-local so concurrent test shards don't see each other's traffic.
+// Plain integers, not atomics: a guard only reads its own thread's counters.
+struct Counters {
+  std::uint64_t active_guards = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t deallocations = 0;
+  std::uint64_t bytes = 0;
+};
+
+thread_local Counters tls_counters;
+
+void note_allocation(std::size_t size) {
+  Counters& c = tls_counters;
+  if (c.active_guards == 0) return;
+  ++c.allocations;
+  c.bytes += size;
+}
+
+void note_deallocation() {
+  Counters& c = tls_counters;
+  if (c.active_guards == 0) return;
+  ++c.deallocations;
+}
+
+void* checked_malloc(std::size_t size) {
+  // malloc(0) may legally return nullptr; operator new must not.
+  if (size == 0) size = 1;
+  for (;;) {
+    if (void* p = std::malloc(size)) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+bool alloc_guard_linked() { return true; }
+
+std::uint64_t thread_allocations() { return tls_counters.allocations; }
+std::uint64_t thread_deallocations() { return tls_counters.deallocations; }
+
+ScopedAllocGuard::ScopedAllocGuard(const char* label)
+    : label_(label),
+      start_allocations_(tls_counters.allocations),
+      start_deallocations_(tls_counters.deallocations),
+      start_bytes_(tls_counters.bytes) {
+  ++tls_counters.active_guards;
+}
+
+ScopedAllocGuard::~ScopedAllocGuard() {
+  // Deactivate before the check: the check itself may allocate (message
+  // formatting), and that traffic must not be charged to an outer guard as
+  // hot-path allocation... it is, however, unavoidable to charge it while an
+  // outer guard is active, so decrement first and snapshot the delta.
+  const std::uint64_t allocs = allocations();
+  const std::uint64_t bytes = allocated_bytes();
+  --tls_counters.active_guards;
+  if (armed_) {
+    SPIDER_CHECK(allocs == 0)
+        << label_ << ": " << allocs << " allocation(s), " << bytes
+        << " byte(s) on a path guarded as allocation-free";
+  }
+}
+
+std::uint64_t ScopedAllocGuard::allocations() const {
+  return tls_counters.allocations - start_allocations_;
+}
+
+std::uint64_t ScopedAllocGuard::deallocations() const {
+  return tls_counters.deallocations - start_deallocations_;
+}
+
+std::uint64_t ScopedAllocGuard::allocated_bytes() const {
+  return tls_counters.bytes - start_bytes_;
+}
+
+}  // namespace spider::core
+
+// ---------------------------------------------------------------------------
+// Global allocation function replacements ([new.delete.single] / [.array]).
+// Sized and aligned variants all funnel through the two note_* hooks above.
+
+void* operator new(std::size_t size) {
+  spider::core::note_allocation(size);
+  return spider::core::checked_malloc(size);
+}
+
+void* operator new[](std::size_t size) {
+  spider::core::note_allocation(size);
+  return spider::core::checked_malloc(size);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  spider::core::note_allocation(size);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  spider::core::note_allocation(size);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  spider::core::note_allocation(size);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (size + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  spider::core::note_deallocation();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ::operator delete(p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p == nullptr) return;
+  spider::core::note_deallocation();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p, std::align_val_t{1});
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t a) noexcept {
+  ::operator delete(p, a);
+}

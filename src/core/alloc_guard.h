@@ -1,0 +1,70 @@
+// Runtime teeth for the SPIDER_HOT allocation contract (see core/check.h).
+//
+// Linking the `spider_alloc_guard` library into a binary replaces the global
+// operator new/delete family with counting forwarders. The counters only
+// advance while at least one ScopedAllocGuard is alive on the current
+// thread, so the interception costs one thread-local load per allocation
+// when idle — and nothing at all in binaries that don't link the library
+// (src/ libraries never do; it is test- and bench-only by construction).
+//
+//   {
+//     spider::core::ScopedAllocGuard guard("medium delivery");
+//     sim.run_until(horizon);          // the warmed-up hot loop under test
+//   }                                  // SPIDER_CHECK(allocations == 0)
+//
+// The destructor check follows the repo-wide check policy: fatal by default,
+// log-and-count under check::Policy::kLogAndCount (which is how the guard's
+// own tests exercise the tripping path). Guards nest; each one observes the
+// allocations made while it was alive, including those seen by inner guards.
+//
+// Thread model: counters are thread-local, matching the Simulator contract
+// (a world and everything scheduled on it belong to one thread). A guard
+// must be created and destroyed on the same thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spider::core {
+
+// True when the interception TU is linked into this binary; guards created
+// without it see no traffic and assert nothing (allocations() stays 0), so
+// tests SPIDER_CHECK this first to avoid vacuous passes.
+bool alloc_guard_linked();
+
+// Allocations/deallocations observed on this thread since thread start,
+// counted only while a guard was active. Exposed for diagnostics; tests
+// normally go through ScopedAllocGuard deltas.
+std::uint64_t thread_allocations();
+std::uint64_t thread_deallocations();
+
+class ScopedAllocGuard {
+ public:
+  // `label` names the guarded region in the failure message; it must outlive
+  // the guard (string literals only — anything else would allocate).
+  explicit ScopedAllocGuard(const char* label = "alloc guard");
+  ~ScopedAllocGuard();
+
+  ScopedAllocGuard(const ScopedAllocGuard&) = delete;
+  ScopedAllocGuard& operator=(const ScopedAllocGuard&) = delete;
+
+  // Allocations (operator new family) observed since construction.
+  std::uint64_t allocations() const;
+  // Deallocations (operator delete family) observed since construction.
+  std::uint64_t deallocations() const;
+  // Total bytes requested by the observed allocations.
+  std::uint64_t allocated_bytes() const;
+
+  // Disarms the destructor's zero-allocation check, for guards used as
+  // passive meters (e.g. asserting that a path DOES allocate).
+  void dismiss() { armed_ = false; }
+
+ private:
+  const char* label_;
+  std::uint64_t start_allocations_;
+  std::uint64_t start_deallocations_;
+  std::uint64_t start_bytes_;
+  bool armed_ = true;
+};
+
+}  // namespace spider::core

@@ -104,6 +104,7 @@ Failure::~Failure() {
   std::fputc('\n', stderr);
   if (policy() == Policy::kFatal) {
     std::fflush(stderr);
+    // spider-lint: allow(check-policy) this IS the policy layer — kFatal failures terminate here by design
     std::abort();
   }
   {

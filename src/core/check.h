@@ -32,6 +32,24 @@
 #include <sstream>
 #include <string>
 
+// SPIDER_HOT — marks a function as a steady-state hot path. The marker
+// expands to nothing for the compiler; it is a contract enforced by tooling:
+//
+//   * `spider-lint` (tools/spider_lint.cc) statically checks the function
+//     body for allocation idioms (rule hot-path-alloc: `new`, make_shared/
+//     make_unique, std::function construction, push_back on non-member
+//     vectors, string building) and for determinism hazards;
+//   * ScopedAllocGuard (src/core/alloc_guard.h) proves the property at
+//     runtime: tests wrap warmed-up hot loops and assert zero allocations.
+//
+// Mark a function SPIDER_HOT when it runs once per event/frame/position-tick
+// at fleet scale and its allocation budget is therefore zero in steady state
+// (scratch must live in reserved members, payloads must be interned or
+// pooled). Do NOT mark setup/teardown or per-join control paths — the point
+// of the marker is that every allocation inside one is a regression, so it
+// must never be diluted with paths where allocation is fine.
+#define SPIDER_HOT
+
 namespace spider::check {
 
 enum class Policy : std::uint8_t {

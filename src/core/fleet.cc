@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
+
 namespace spider::core {
 
 double FleetResults::aggregate_throughput_kBps() const {
@@ -89,7 +91,9 @@ FleetExperiment::FleetExperiment(FleetConfig config)
   moves_.reserve(clients_.size());
 }
 
-void FleetExperiment::update_positions() {
+// Hot per mobility tick: moves_ is reserved at construction, and the
+// batched path re-buckets crossers per cell group inside the medium.
+SPIDER_HOT void FleetExperiment::update_positions() {
   const sim::Time now = sim_.now();
   if (config_.batch_mobility) {
     moves_.clear();

@@ -1,5 +1,6 @@
 #include "core/flow_manager.h"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
@@ -64,12 +65,19 @@ void FlowManager::close_flow(net::Bssid bssid) {
     flows_.erase(id);
     if (on_closed_) on_closed_(id);
   }
-  // Uploads riding the lost AP die with it.
-  std::erase_if(uploads_, [this, bssid](const auto& entry) {
-    if (entry.second.bssid != bssid) return false;
-    if (on_closed_) on_closed_(entry.first);
-    return true;
-  });
+  // Uploads riding the lost AP die with it — closed in flow-id order, not
+  // std::erase_if's hash-map order, so the on_closed_ callbacks (and
+  // anything the owner does in them) replay identically.
+  std::vector<std::uint64_t> closing;
+  // spider-lint: allow(det-unordered-iteration) ids are sorted below
+  for (const auto& [id, up] : uploads_) {
+    if (up.bssid == bssid) closing.push_back(id);
+  }
+  std::sort(closing.begin(), closing.end());
+  for (std::uint64_t id : closing) {
+    uploads_.erase(id);
+    if (on_closed_) on_closed_(id);
+  }
 }
 
 std::vector<std::uint64_t> FlowManager::start_striped_upload(
@@ -103,11 +111,13 @@ std::vector<std::uint64_t> FlowManager::start_striped_upload(
 
 std::int64_t FlowManager::upload_bytes_acked() const {
   std::int64_t total = 0;
+  // spider-lint: allow(det-unordered-iteration) commutative integer sum — no order-dependent output
   for (const auto& [id, up] : uploads_) total += up.sender->bytes_acked();
   return total;
 }
 
 bool FlowManager::uploads_finished() const {
+  // spider-lint: allow(det-unordered-iteration) commutative conjunction — no order-dependent output
   for (const auto& [id, up] : uploads_) {
     if (!up.sender->finished()) return false;
   }

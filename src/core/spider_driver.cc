@@ -48,10 +48,12 @@ SpiderDriver::SpiderDriver(sim::Simulator& simulator, ClientDevice& device,
 
   device_.set_connected_lookup([this](net::ChannelId ch) {
     std::vector<net::Bssid> out;
+    // spider-lint: allow(det-unordered-iteration) result is sorted below
     for (const auto& [bssid, vif] : interfaces_) {
       if (vif->channel == ch && vif->state == VirtualInterface::State::kConnected)
         out.push_back(bssid);
     }
+    std::sort(out.begin(), out.end());
     return out;
   });
   collector_id_ = sim_.telemetry().add_collector(
@@ -63,7 +65,13 @@ SpiderDriver::~SpiderDriver() {
   schedule_timer_.cancel();
   selection_timer_.cancel();
   eval_timer_.cancel();
-  for (auto& [bssid, vif] : interfaces_) device_.unregister_bssid(bssid);
+  // Unregister in bssid order: teardown must be as reproducible as the run
+  // (unregister_bssid is observable through the device's frame filter).
+  stale_scratch_.clear();
+  // spider-lint: allow(det-unordered-iteration) keys are sorted below
+  for (auto& [bssid, vif] : interfaces_) stale_scratch_.push_back(bssid);
+  std::sort(stale_scratch_.begin(), stale_scratch_.end());
+  for (net::Bssid bssid : stale_scratch_) device_.unregister_bssid(bssid);
 }
 
 void SpiderDriver::publish_metrics(telemetry::Registry& registry) {
@@ -92,9 +100,14 @@ void SpiderDriver::publish_metrics(telemetry::Registry& registry) {
       "driver.dwell_us.ch6",  "driver.dwell_us.ch7",  "driver.dwell_us.ch8",
       "driver.dwell_us.ch9",  "driver.dwell_us.ch10", "driver.dwell_us.ch11",
       "driver.dwell_us.ch12", "driver.dwell_us.ch13", "driver.dwell_us.ch14"};
-  for (const auto& [channel, dwell] : airtime_) {
-    const std::size_t slot = channel_slot(channel);
-    publish(kDwellNames[slot], static_cast<std::uint64_t>(dwell.us()),
+  // Probe the channel plan in slot order instead of walking the unordered
+  // dwell map: same totals, and the publish order no longer depends on
+  // hashing internals. (Slot N is channel N for the 1..14 plan; channel 0
+  // never accrues dwell, and out-of-plan channels cannot be scheduled.)
+  for (std::size_t slot = 1; slot < std::size(kDwellNames); ++slot) {
+    const auto it = airtime_.find(static_cast<net::ChannelId>(slot));
+    if (it == airtime_.end()) continue;
+    publish(kDwellNames[slot], static_cast<std::uint64_t>(it->second.us()),
             published_dwell_us_[slot]);
   }
 }
@@ -184,11 +197,14 @@ void SpiderDriver::finish_channel_eval() {
   if (connected_count() > 0) return;
   ++recamps_;
   config_.schedule.front().channel = best;
-  // Drop joining interfaces stranded on the old home channel.
+  // Drop joining interfaces stranded on the old home channel, in bssid
+  // order so failure-history updates replay identically.
   stale_scratch_.clear();
+  // spider-lint: allow(det-unordered-iteration) keys are sorted below
   for (const auto& [bssid, vif] : interfaces_) {
     if (vif->channel != best) stale_scratch_.push_back(bssid);
   }
+  std::sort(stale_scratch_.begin(), stale_scratch_.end());
   for (net::Bssid bssid : stale_scratch_) {
     destroy_interface(bssid, /*lost=*/false);
   }
@@ -227,14 +243,24 @@ void SpiderDriver::rotate_schedule(std::size_t slice_index) {
   std::size_t next = (slice_index + 1) % config_.schedule.size();
 
   if (config_.camp_while_connected) {
+    // Camp on the lowest-bssid live connection: "first connected found"
+    // would make the camped channel a function of hash-map order when two
+    // connections are live at once.
+    const VirtualInterface* camp = nullptr;
+    net::Bssid camp_bssid{};
+    // spider-lint: allow(det-unordered-iteration) min-by-bssid fold — the selected element is order-independent
     for (const auto& [bssid, vif] : interfaces_) {
-      if (vif->state == VirtualInterface::State::kConnected) {
-        // Stay with the live connection; re-evaluate after a full period.
-        slice = ChannelSlice{vif->channel, 1.0};
-        dwell = config_.period;
-        next = slice_index;  // resume the rotation where it left off
-        break;
+      if (vif->state != VirtualInterface::State::kConnected) continue;
+      if (camp == nullptr || bssid < camp_bssid) {
+        camp = vif.get();
+        camp_bssid = bssid;
       }
+    }
+    if (camp != nullptr) {
+      // Stay with the live connection; re-evaluate after a full period.
+      slice = ChannelSlice{camp->channel, 1.0};
+      dwell = config_.period;
+      next = slice_index;  // resume the rotation where it left off
     }
   }
 
@@ -269,11 +295,22 @@ void SpiderDriver::rotate_schedule(std::size_t slice_index) {
 }
 
 void SpiderDriver::on_arrival(net::ChannelId channel) {
+  // Wake co-channel sessions in bssid order: each wake-up can enqueue
+  // frames, and the enqueue order decides who serializes onto the channel
+  // first — hash-map order here would leak straight into the digest.
+  stale_scratch_.clear();
+  // spider-lint: allow(det-unordered-iteration) keys are sorted below
   for (auto& [bssid, vif] : interfaces_) {
-    if (vif->channel != channel) continue;
-    if (vif->session) vif->session->radio_on_channel();
-    if (vif->dhcp && vif->state == VirtualInterface::State::kDhcp)
-      vif->dhcp->radio_on_channel();
+    if (vif->channel == channel) stale_scratch_.push_back(bssid);
+  }
+  std::sort(stale_scratch_.begin(), stale_scratch_.end());
+  for (net::Bssid bssid : stale_scratch_) {
+    auto it = interfaces_.find(bssid);
+    if (it == interfaces_.end()) continue;  // destroyed by an earlier wake-up
+    VirtualInterface& vif = *it->second;
+    if (vif.session) vif.session->radio_on_channel();
+    if (vif.dhcp && vif.state == VirtualInterface::State::kDhcp)
+      vif.dhcp->radio_on_channel();
   }
 }
 
@@ -365,6 +402,7 @@ void SpiderDriver::selection_tick() {
   // 1. Reap interfaces whose AP has been silent for link_loss_timeout of
   //    on-channel time (silence while parked elsewhere doesn't count).
   std::vector<net::Bssid> dead;
+  // spider-lint: allow(det-unordered-iteration) keys are sorted below
   for (auto& [bssid, vif] : interfaces_) {
     const sim::Time on_air_silence =
         channel_airtime(vif->channel) - vif->airtime_at_last_heard;
@@ -377,6 +415,9 @@ void SpiderDriver::selection_tick() {
       dead.push_back(bssid);
     }
   }
+  // Reap in bssid order: each destroy updates join history and can fire the
+  // disconnect callback, so the order must not be hash-map order.
+  std::sort(dead.begin(), dead.end());
   for (net::Bssid bssid : dead) destroy_interface(bssid, /*lost=*/true);
 
   // 2. Spawn interfaces for fresh candidates on scheduled channels.
@@ -403,9 +444,14 @@ void SpiderDriver::selection_tick() {
     }
     return 0.0;
   };
+  // Explicit bssid tie-break: std::sort is unstable, and policy scores tie
+  // routinely (fresh APs share a history score of zero).
   std::sort(candidates.begin(), candidates.end(),
             [&rank](const ScanEntry& a, const ScanEntry& b) {
-              return rank(a) > rank(b);
+              const double ra = rank(a);
+              const double rb = rank(b);
+              if (ra != rb) return ra > rb;
+              return a.bssid < b.bssid;
             });
 
   for (const ScanEntry& e : candidates) {
@@ -433,6 +479,7 @@ void SpiderDriver::destroy_interface(net::Bssid bssid, bool lost) {
 
 std::size_t SpiderDriver::connected_count() const {
   std::size_t n = 0;
+  // spider-lint: allow(det-unordered-iteration) commutative count — no order-dependent output
   for (const auto& [bssid, vif] : interfaces_) {
     if (vif->state == VirtualInterface::State::kConnected) ++n;
   }

@@ -1,3 +1,4 @@
+// spider-lint: timing-only steady_clock here measures host wall time for sweep progress/throughput reporting; nothing it reads ever feeds simulation state or the digest
 #include "core/sweep.h"
 
 #include <algorithm>

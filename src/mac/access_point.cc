@@ -35,8 +35,8 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
   // the standard AP behaviour virtualized clients rely on.
   radio_.set_tx_failure_handler([this](const net::Frame& f) {
     if (f.kind != net::FrameKind::kData) return;
-    auto it = clients_.find(f.dst);
-    if (it == clients_.end() || !it->second.associated) return;
+    auto it = stations_.find(f.dst);
+    if (it == stations_.end() || !it->second.associated) return;
     // Re-queue only for clients that announced power-save: that's the race
     // where data was in flight when the PM=1 arrived. A client that is
     // simply absent without PSM (e.g. mid-join on another channel) loses
@@ -130,7 +130,10 @@ net::BeaconInfo AccessPoint::beacon_info() const {
   return net::BeaconInfo{config_.ssid, config_.channel, config_.open};
 }
 
-void AccessPoint::beacon_tick() {
+// Hot at fleet scale (every AP, 10 Hz): the interned path bumps a refcount
+// on beacon_payload_; only the legacy non-interned path builds a payload
+// per tick, and it exists as the benchmark's "old path".
+SPIDER_HOT void AccessPoint::beacon_tick() {
   radio_.send(config_.intern_beacons
                   ? net::make_beacon(address(), beacon_payload_)
                   : net::make_beacon(address(), beacon_info()));
@@ -169,7 +172,7 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
       break;
 
     case net::FrameKind::kAuthRequest: {
-      ClientState& state = clients_[frame.src];
+      ClientState& state = stations_[frame.src];
       if (!state.authenticated) ++auth_grants_;
       state.authenticated = true;
       respond_after_delay(net::make_auth_response(address(), frame.src));
@@ -177,8 +180,8 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
     }
 
     case net::FrameKind::kAssocRequest: {
-      auto it = clients_.find(frame.src);
-      if (it == clients_.end() || !it->second.authenticated) {
+      auto it = stations_.find(frame.src);
+      if (it == stations_.end() || !it->second.authenticated) {
         // Real APs reject association before authentication; we stay silent
         // and let the client's link-layer timeout drive a retry of auth.
         break;
@@ -195,19 +198,19 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
     }
 
     case net::FrameKind::kDisassoc: {
-      auto it = clients_.find(frame.src);
-      if (it != clients_.end()) {
+      auto it = stations_.find(frame.src);
+      if (it != stations_.end()) {
         const std::size_t dropped = it->second.buffer.size();
         buffered_now_ -= dropped;
-        clients_.erase(it);
+        stations_.erase(it);
         if (dropped > 0) trace_psm_occupancy();
       }
       break;
     }
 
     case net::FrameKind::kNullData: {
-      auto it = clients_.find(frame.src);
-      if (it == clients_.end() || !it->second.associated) break;
+      auto it = stations_.find(frame.src);
+      if (it == stations_.end() || !it->second.associated) break;
       if (frame.power_mgmt) {
         if (!it->second.power_save) ++psm_enters_;
         it->second.power_save = true;
@@ -223,8 +226,8 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
       // Spider wakes a parked association by polling; we flush everything
       // buffered and clear the PS bit so downlink flows until the next
       // PM=1 announcement.
-      auto it = clients_.find(frame.src);
-      if (it == clients_.end() || !it->second.associated) break;
+      auto it = stations_.find(frame.src);
+      if (it == stations_.end() || !it->second.associated) break;
       if (it->second.power_save) ++psm_exits_;
       it->second.power_save = false;
       flush_buffer(frame.src, it->second);
@@ -234,8 +237,8 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
     case net::FrameKind::kData: {
       // DHCP exchanges legitimately arrive before association completes in
       // our simplified stack only if the client is associated; enforce that.
-      auto it = clients_.find(frame.src);
-      if (it == clients_.end() || !it->second.associated) break;
+      auto it = stations_.find(frame.src);
+      if (it == stations_.end() || !it->second.associated) break;
       // An awake client that transmits proves it is listening; deliver
       // anything that accumulated during a PSM race window.
       if (!it->second.power_save && !it->second.buffer.empty()) {
@@ -271,8 +274,8 @@ void AccessPoint::flush_buffer(net::MacAddress client, ClientState& state) {
 }
 
 bool AccessPoint::send_to_client(net::MacAddress dst, net::Frame frame) {
-  auto it = clients_.find(dst);
-  if (it == clients_.end() || !it->second.associated) return false;
+  auto it = stations_.find(dst);
+  if (it == stations_.end() || !it->second.associated) return false;
   if (it->second.power_save) {
     if (it->second.buffer.size() >= config_.max_buffered_frames) {
       ++buffer_drops_;
@@ -289,18 +292,18 @@ bool AccessPoint::send_to_client(net::MacAddress dst, net::Frame frame) {
 }
 
 bool AccessPoint::is_associated(net::MacAddress client) const {
-  auto it = clients_.find(client);
-  return it != clients_.end() && it->second.associated;
+  auto it = stations_.find(client);
+  return it != stations_.end() && it->second.associated;
 }
 
 bool AccessPoint::in_power_save(net::MacAddress client) const {
-  auto it = clients_.find(client);
-  return it != clients_.end() && it->second.power_save;
+  auto it = stations_.find(client);
+  return it != stations_.end() && it->second.power_save;
 }
 
 std::size_t AccessPoint::buffered_frames(net::MacAddress client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? 0 : it->second.buffer.size();
+  auto it = stations_.find(client);
+  return it == stations_.end() ? 0 : it->second.buffer.size();
 }
 
 }  // namespace spider::mac

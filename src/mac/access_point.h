@@ -83,7 +83,7 @@ class AccessPoint {
   bool is_associated(net::MacAddress client) const;
   bool in_power_save(net::MacAddress client) const;
   std::size_t buffered_frames(net::MacAddress client) const;
-  std::size_t association_count() const { return clients_.size(); }
+  std::size_t association_count() const { return stations_.size(); }
 
   // Counters. Published as mac.ap.* metrics (aggregated across the world's
   // APs) by the telemetry collector each AP registers.
@@ -129,7 +129,7 @@ class AccessPoint {
   net::SharedPayload beacon_payload_;
   DataSink data_sink_;
   phy::AutoRate rate_;
-  std::unordered_map<net::MacAddress, ClientState> clients_;
+  std::unordered_map<net::MacAddress, ClientState> stations_;
   bool started_ = false;
   std::uint64_t auth_grants_ = 0;
   std::uint64_t assoc_grants_ = 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "core/check.h"
+
 namespace spider::phy {
 
-double AutoRate::rate_for(net::MacAddress peer) const {
+SPIDER_HOT double AutoRate::rate_for(net::MacAddress peer) const {
   auto it = peers_.find(peer);
   const int idx = it == peers_.end()
                       ? static_cast<int>(k80211bRates.size()) - 1
@@ -12,7 +14,9 @@ double AutoRate::rate_for(net::MacAddress peer) const {
   return k80211bRates[static_cast<std::size_t>(idx)];
 }
 
-void AutoRate::on_success(net::MacAddress peer) {
+// Hot per tx-result; peers_[...] only allocates the first time a peer is
+// seen (a join-time event), never in the warmed steady state.
+SPIDER_HOT void AutoRate::on_success(net::MacAddress peer) {
   PeerState& s = peers_[peer];
   if (s.rate_index >= static_cast<int>(k80211bRates.size()) - 1) {
     s.successes = 0;
@@ -24,7 +28,7 @@ void AutoRate::on_success(net::MacAddress peer) {
   }
 }
 
-void AutoRate::on_failure(net::MacAddress peer) {
+SPIDER_HOT void AutoRate::on_failure(net::MacAddress peer) {
   PeerState& s = peers_[peer];
   s.successes = 0;
   s.rate_index = std::max(0, s.rate_index - 1);

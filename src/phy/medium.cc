@@ -115,12 +115,12 @@ void Medium::on_channel_changed(Radio& radio, net::ChannelId previous) {
   insert_into_partition(radio);
 }
 
-void Medium::on_position_changed(Radio& radio) {
+SPIDER_HOT void Medium::on_position_changed(Radio& radio) {
   partitions_[channel_slot(radio.channel())].grid.update(radio,
                                                          radio.position());
 }
 
-void Medium::move_radios(std::span<const RadioMove> moves) {
+SPIDER_HOT void Medium::move_radios(std::span<const RadioMove> moves) {
   // Phase 1: write every position and plan the cell crossings, grouped by
   // channel partition. Non-crossers (the common case at sub-second tick
   // cadence) cost one cell computation and no hash traffic at all.
@@ -167,7 +167,7 @@ void Medium::remove_from_partition(Radio& radio, net::ChannelId channel) {
   partition.grid.remove(radio);
 }
 
-double Medium::loss_probability(double distance_m) const {
+SPIDER_HOT double Medium::loss_probability(double distance_m) const {
   if (distance_m > config_.range_m) return 1.0;
   double loss = config_.base_loss;
   if (config_.edge_degradation) {
@@ -187,7 +187,7 @@ sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
   return std::max(busy_until_[channel_slot(channel)], sim_.now());
 }
 
-sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
+SPIDER_HOT sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   ++frames_sent_;
   const net::ChannelId channel = sender.channel();
   ++per_channel_[channel_slot(channel)].sent;
@@ -211,18 +211,45 @@ sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   // Snapshot the sender's position at transmit time; at vehicular speeds the
   // sub-millisecond drift during airtime is irrelevant. The sender itself is
   // carried as its attach id, not a pointer: it may detach (or even be
-  // destroyed and its address recycled) before delivery fires.
-  const Vec2 pos = sender.position();
-  const std::uint64_t sender_id = sender.medium_link_.attach_id;
-  sim_.post_at(done, [this, sender_id, pos, channel,
-                          frame = std::move(frame)] {
-    deliver(sender_id, pos, channel, frame);
+  // destroyed and its address recycled) before delivery fires. The snapshot
+  // lives in a pooled PendingTx node so the closure stays SmallFn-inline.
+  PendingTx* tx = acquire_pending_tx();
+  tx->sender_id = sender.medium_link_.attach_id;
+  tx->pos = sender.position();
+  tx->channel = channel;
+  tx->frame = std::move(frame);
+  sim_.post_at(done, [this, tx] {
+    deliver(tx->sender_id, tx->pos, tx->channel, tx->frame);
+    release_pending_tx(tx);
   });
   return done;
 }
 
-void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
-                     net::ChannelId channel, const net::Frame& frame) {
+Medium::PendingTx* Medium::acquire_pending_tx() {
+  if (!tx_free_.empty()) {
+    PendingTx* node = tx_free_.back();
+    tx_free_.pop_back();
+    return node;
+  }
+  // Pool growth (cold): only when more frames are in flight than ever
+  // before. Keep the free list's capacity at pool size so release_pending_tx
+  // can never allocate, even if every node is returned at once.
+  tx_pool_.push_back(std::make_unique<PendingTx>());
+  tx_free_.reserve(tx_pool_.size());
+  return tx_pool_.back().get();
+}
+
+SPIDER_HOT void Medium::release_pending_tx(PendingTx* node) {
+  // Drop the payload reference promptly (the delivery may have been the last
+  // holder outside the intern table); the node itself is recycled.
+  node->frame = net::Frame{};
+  // Never grows: acquire_pending_tx keeps capacity at pool size.
+  tx_free_.push_back(node);
+}
+
+SPIDER_HOT void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
+                                net::ChannelId channel,
+                                const net::Frame& frame) {
   // Unicast data-plane frames get link-layer ARQ at the addressed receiver
   // and a tx-failure indication back to the sender; everything else is
   // single-shot (as in the analytical join model).

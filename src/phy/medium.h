@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -172,6 +173,21 @@ class Medium {
     RadioGrid grid;
   };
 
+  // State of one in-flight transmission, parked between transmit() and the
+  // delivery event. Pooled (free list below) so the posted closure captures
+  // only {this, node} — 16 bytes, inside SmallFn's inline buffer — instead
+  // of the ~100-byte {id, pos, channel, frame} capture that used to push
+  // every single transmit onto the heap. The pool's high-water mark is the
+  // max number of concurrently in-flight frames, a handful per channel.
+  struct PendingTx {
+    std::uint64_t sender_id = 0;
+    Vec2 pos{};
+    net::ChannelId channel = 0;
+    net::Frame frame{};
+  };
+  PendingTx* acquire_pending_tx();
+  void release_pending_tx(PendingTx* node);
+
   void insert_into_partition(Radio& radio);
   void remove_from_partition(Radio& radio, net::ChannelId channel);
   void deliver(std::uint64_t sender_id, Vec2 sender_pos,
@@ -201,6 +217,10 @@ class Medium {
   // Per-partition scratch for move_radios(); members so steady-state fleet
   // ticks do not allocate.
   std::array<std::vector<GridMove>, kChannelSlots> move_scratch_;
+  // PendingTx free-list pool: tx_pool_ owns the nodes, tx_free_ holds the
+  // idle ones (capacity always >= pool size so release never allocates).
+  std::vector<std::unique_ptr<PendingTx>> tx_pool_;
+  std::vector<PendingTx*> tx_free_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_lost_ = 0;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/check.h"
 #include "phy/channel.h"
 
 namespace spider::phy {
@@ -48,13 +49,13 @@ void Radio::tune(net::ChannelId channel, std::function<void()> done) {
       });
 }
 
-void Radio::set_position(Vec2 p) {
+SPIDER_HOT void Radio::set_position(Vec2 p) {
   if (p == position_) return;
   position_ = p;
   medium_.on_position_changed(*this);
 }
 
-bool Radio::send(net::Frame frame) {
+SPIDER_HOT bool Radio::send(net::Frame frame) {
   if (switching_) {
     ++tx_dropped_switching_;
     return false;
@@ -68,7 +69,8 @@ bool Radio::send(net::Frame frame) {
   return true;
 }
 
-void Radio::handle_delivery(const net::Frame& frame, const RxInfo& info) {
+SPIDER_HOT void Radio::handle_delivery(const net::Frame& frame,
+                                       const RxInfo& info) {
   ++frames_rx_;
   if (energy_) {
     energy_->charge_burst(RadioState::kReceive,
@@ -77,7 +79,7 @@ void Radio::handle_delivery(const net::Frame& frame, const RxInfo& info) {
   if (receive_handler_) receive_handler_(frame, info);
 }
 
-void Radio::handle_tx_result(const net::Frame& frame, bool ok) {
+SPIDER_HOT void Radio::handle_tx_result(const net::Frame& frame, bool ok) {
   if (!ok && tx_failure_handler_) tx_failure_handler_(frame);
   if (tx_result_handler_) tx_result_handler_(frame, ok);
 }

@@ -15,7 +15,7 @@ void RadioGrid::reset_cell_size(double cell_m) {
   inv_cell_m_ = 1.0 / cell_m;
 }
 
-RadioGrid::Cell RadioGrid::cell_of(Vec2 pos) const {
+SPIDER_HOT RadioGrid::Cell RadioGrid::cell_of(Vec2 pos) const {
   return Cell{static_cast<std::int32_t>(std::floor(pos.x * inv_cell_m_)),
               static_cast<std::int32_t>(std::floor(pos.y * inv_cell_m_))};
 }
@@ -56,7 +56,8 @@ bool RadioGrid::update(Radio& radio, Vec2 pos) {
   return true;
 }
 
-bool RadioGrid::plan_move(const Radio& radio, Vec2 pos, GridMove& move) const {
+SPIDER_HOT bool RadioGrid::plan_move(const Radio& radio, Vec2 pos,
+                                     GridMove& move) const {
   const MediumLink& link = radio.medium_link_;
   const Cell c = cell_of(pos);
   if (c.x == link.cell_x && c.y == link.cell_y) return false;
@@ -135,8 +136,10 @@ void RadioGrid::rebucket_batch(std::span<const GridMove> moves) {
   }
 }
 
-bool RadioGrid::gather(Vec2 center, double radius_m,
-                       std::vector<Radio*>& out) const {
+// Hot: per delivery. `out` is the medium's reserved candidates_ scratch, so
+// the appends below never grow it in steady state.
+SPIDER_HOT bool RadioGrid::gather(Vec2 center, double radius_m,
+                                  std::vector<Radio*>& out) const {
   const Cell lo = cell_of({center.x - radius_m, center.y - radius_m});
   const Cell hi = cell_of({center.x + radius_m, center.y + radius_m});
   const std::int64_t span_x = static_cast<std::int64_t>(hi.x) - lo.x + 1;

@@ -55,6 +55,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  // spider-lint: allow(det-banned-sources) every Rng constructor seeds this engine from an explicit caller-provided seed; it is never default-seeded
   std::mt19937_64 engine_;
   std::uint64_t seed_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};

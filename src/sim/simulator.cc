@@ -92,7 +92,7 @@ Simulator::Simulator() : tokens_(std::make_shared<detail::TokenSlab>()) {
 
 Simulator::~Simulator() { tokens_->dead = true; }
 
-TimerHandle Simulator::schedule_at(Time at, SmallFn fn) {
+SPIDER_HOT TimerHandle Simulator::schedule_at(Time at, SmallFn fn) {
   // Scheduling in the past is an invariant violation, not a recoverable
   // error: see src/core/check.h for the exceptions-vs-checks policy. Under
   // kLogAndCount the event is clamped to now() so the run can continue.
@@ -106,14 +106,14 @@ TimerHandle Simulator::schedule_at(Time at, SmallFn fn) {
   return TimerHandle{tokens_, slot, generation};
 }
 
-TimerHandle Simulator::schedule_after(Time delay, SmallFn fn) {
+SPIDER_HOT TimerHandle Simulator::schedule_after(Time delay, SmallFn fn) {
   SPIDER_CHECK(!delay.is_negative())
       << "schedule_after(" << delay.to_string() << ") with negative delay";
   if (delay.is_negative()) delay = Time::zero();
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::post_at(Time at, SmallFn fn) {
+SPIDER_HOT void Simulator::post_at(Time at, SmallFn fn) {
   SPIDER_CHECK(at >= now_) << "post_at(" << at.to_string()
                            << ") behind clock " << now_.to_string();
   if (at < now_) at = now_;
@@ -121,7 +121,7 @@ void Simulator::post_at(Time at, SmallFn fn) {
   note_push();
 }
 
-void Simulator::post_after(Time delay, SmallFn fn) {
+SPIDER_HOT void Simulator::post_after(Time delay, SmallFn fn) {
   SPIDER_CHECK(!delay.is_negative())
       << "post_after(" << delay.to_string() << ") with negative delay";
   if (delay.is_negative()) delay = Time::zero();
@@ -137,7 +137,7 @@ void Simulator::trace_queue_depth(std::int64_t ts_us) {
                              static_cast<std::int64_t>(depth));
 }
 
-void Simulator::fold_instant() {
+SPIDER_HOT void Simulator::fold_instant() {
   digest_ = fold(digest_, instant_us_, instant_acc_, instant_count_);
   instant_acc_ = 0;
   instant_count_ = 0;
@@ -148,7 +148,9 @@ std::uint64_t Simulator::digest() const {
   return fold(digest_, instant_us_, instant_acc_, instant_count_);
 }
 
-void Simulator::drain(Time limit) {
+// The drain loop itself owns a zero budget: every allocation in a steady-
+// state run must come from an event's fn, never the dispatch machinery.
+SPIDER_HOT void Simulator::drain(Time limit) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
     const Event& top = queue_.top();

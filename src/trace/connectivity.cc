@@ -1,11 +1,12 @@
 #include "trace/connectivity.h"
 
-#include <cassert>
+#include "core/check.h"
 
 namespace spider::trace {
 
 void ConnectivityTracker::record(sim::Time now, std::int64_t bytes) {
-  assert(!now.is_negative());
+  SPIDER_DCHECK(!now.is_negative())
+      << "sample at " << now.to_string() << " predates the run";
   if (bytes <= 0) return;
   const auto idx = static_cast<std::size_t>(now.us() / bucket_.us());
   if (buckets_.size() <= idx) buckets_.resize(idx + 1, 0);

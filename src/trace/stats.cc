@@ -1,7 +1,8 @@
 #include "trace/stats.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "core/check.h"
 
 namespace spider::trace {
 
@@ -39,7 +40,9 @@ double EmpiricalCdf::mean() const {
 
 std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(int points, double x_min,
                                                      double x_max) const {
-  assert(points >= 2);
+  SPIDER_CHECK(points >= 2) << "a CDF curve needs at least 2 points, got "
+                            << points;
+  points = std::max(points, 2);  // kLogAndCount fallback: clamp and continue
   std::vector<Point> out;
   out.reserve(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {

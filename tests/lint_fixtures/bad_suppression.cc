@@ -1,0 +1,6 @@
+// Suppression-grammar fixture: every directive below is defective and must
+// surface as a lint-suppression finding (which is itself never suppressible).
+// spider-lint: allow(det-unordered-iteration)
+int reasonless = 0;
+// spider-lint: allow(no-such-rule) the rule name here does not exist
+int unknown_rule = 0;

@@ -1,0 +1,33 @@
+// det-banned-sources fixture. Not compiled; scanned by spider-lint in
+// tests/spider_lint_test.cc, which asserts the exact findings below.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned entropy() { return std::random_device{}(); }  // expect: line 10
+
+long long wall_clock() {
+  return std::chrono::system_clock::now()  // expect finding: line 13
+      .time_since_epoch()
+      .count();
+}
+
+long long monotonic_clock() {
+  return std::chrono::steady_clock::now()  // expect finding: line 19
+      .time_since_epoch()
+      .count();
+}
+
+int libc_rng() { return rand(); }  // expect finding: line 24
+
+long long stamp() { return time(nullptr); }  // expect finding: line 26
+
+unsigned default_seeded() {
+  std::mt19937 engine;  // expect finding: line 29
+  return engine();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// check-policy fixture. Not compiled; scanned by spider-lint in
+// tests/spider_lint_test.cc, which asserts the exact findings below.
+#include <cassert>
+#include <cstdlib>
+
+namespace fixture {
+
+void guard(int v) {
+  assert(v >= 0);         // expect finding: line 9
+  if (v > 100) abort();   // expect finding: line 10
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// A file with none of the flagged idioms: spider-lint must report zero
+// findings and exit 0 when given only this file.
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+std::map<int, int> ordered;
+
+int sum() {
+  int total = 0;
+  for (const auto& [k, v] : ordered) total += v;  // ordered map: fine
+  return total;
+}
+
+}  // namespace fixture

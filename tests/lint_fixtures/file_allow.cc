@@ -1,0 +1,9 @@
+// spider-lint: allow-file(check-policy) fixture exercises file-wide suppression
+// With the file-wide allow above, the raw assert below must not be reported.
+#include <cassert>
+
+namespace fixture {
+
+void guard(int v) { assert(v >= 0); }  // suppressed file-wide
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// hot-path-alloc fixture. SPIDER_HOT is matched lexically, so this file
+// defines its own no-op marker rather than pulling in core/check.h (the
+// #define line is preprocessor text and invisible to the rule scan).
+#define SPIDER_HOT
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int value = 0;
+};
+
+struct Widget {
+  std::vector<int> items_;
+
+  SPIDER_HOT void tick(std::vector<int>& scratch) {
+    items_.push_back(1);   // member ending in '_': reserved, not flagged
+    scratch.push_back(2);  // expect finding: line 20
+    Node* raw = new Node;  // expect finding: line 21
+    delete raw;
+    auto owned = std::make_unique<Node>();  // expect finding: line 23
+    record(std::to_string(owned->value));   // expect finding: line 24
+  }
+
+  void record(const std::string&) {}
+
+  // Identical body outside a SPIDER_HOT function: no findings.
+  void cold(std::vector<int>& scratch) { scratch.push_back(3); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// det-pointer-order fixture. Not compiled; scanned by spider-lint in
+// tests/spider_lint_test.cc, which asserts the exact findings below.
+#include <functional>
+#include <set>
+
+namespace fixture {
+
+struct Obj {
+  int id = 0;
+};
+
+std::set<Obj*, std::less<Obj*>> by_address;  // expect finding: line 12
+
+bool lower_address(const Obj& a, const Obj& b) {
+  return &a < &b;  // expect finding: line 15
+}
+
+auto raw_comparator = [](const Obj* a, const Obj* b) { return a < b; };  // 18
+
+// Dereferencing comparator orders on stable state, not addresses: no finding.
+auto by_id = [](const Obj* a, const Obj* b) { return a->id < b->id; };
+
+}  // namespace fixture

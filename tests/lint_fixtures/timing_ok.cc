@@ -1,0 +1,14 @@
+// spider-lint: timing-only fixture stands in for sweep.cc-style host-time measurement
+// A file-level timing-only annotation exempts steady_clock (and only
+// steady_clock) from det-banned-sources. Expect zero findings here.
+#include <chrono>
+
+namespace fixture {
+
+long long elapsed_host_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fixture

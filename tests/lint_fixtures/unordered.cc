@@ -1,0 +1,30 @@
+// det-unordered-iteration fixture. Not compiled; scanned by spider-lint in
+// tests/spider_lint_test.cc, which asserts the exact findings below.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+std::unordered_map<int, int> hash_table;
+std::unordered_set<int> hash_bag;
+
+int sum_table() {
+  int total = 0;
+  for (const auto& [k, v] : hash_table) total += v;  // expect finding: line 13
+  return total;
+}
+
+int first_of_bag() { return *hash_bag.begin(); }  // expect finding: line 17
+
+void drop_negatives() {
+  std::erase_if(hash_bag, [](int v) { return v < 0; });  // finding: line 20
+}
+
+int sum_allowed() {
+  int total = 0;
+  // spider-lint: allow(det-unordered-iteration) commutative sum over values
+  for (const auto& [k, v] : hash_table) total += v;  // suppressed
+  return total;
+}
+
+}  // namespace fixture

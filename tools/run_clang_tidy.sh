@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy) over every translation unit in src/,
-# in parallel, against a compile database produced by the `tidy` CMake preset.
+# tests/ and bench/, in parallel, against a compile database produced by the
+# `tidy` CMake preset.
 #
 # Usage:
 #   tools/run_clang_tidy.sh [path ...]
 #
-# With no arguments, all of src/**/*.cc is checked. Pass file paths to check
-# a subset (e.g. the files touched by a branch). Exits non-zero on any
-# finding — .clang-tidy promotes all enabled checks to errors — so this is
-# directly usable as a CI gate.
+# With no arguments, all of src/**/*.cc, tests/**/*.cc and bench/**/*.cc is
+# checked. Pass file paths to check a subset (e.g. the files touched by a
+# branch). Exits non-zero on any finding — .clang-tidy promotes all enabled
+# checks to errors — so this is directly usable as a CI gate.
+#
+# tests/lint_fixtures/ is excluded: those files are deliberately-defective
+# spider-lint inputs that are never compiled.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,7 +43,9 @@ fi
 if [[ $# -gt 0 ]]; then
   files=("$@")
 else
-  mapfile -t files < <(find "${repo_root}/src" -name '*.cc' | sort)
+  mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tests" \
+    "${repo_root}/bench" -name '*.cc' \
+    -not -path '*/lint_fixtures/*' | sort)
 fi
 
 echo "== ${tidy_bin} over ${#files[@]} files"
