@@ -8,7 +8,7 @@
 // partition+grid index against the original world scan (both paths live in
 // the shipped Medium behind MediumConfig::indexed_delivery, so the
 // comparison is same-binary and the digests must agree), (3) the fleet hot
-// path — 50 mobile clients under 20 beaconing APs moved through batched
+// path — 200 mobile clients under 20 beaconing APs moved through batched
 // Medium::move_radios ticks with interned beacon payloads, against the
 // pre-rework scalar set_position loop with per-frame payload minting — and
 // (4) wall-clock time of an 8-replication vehicular sweep run serially vs.
@@ -18,6 +18,8 @@
 // upload the numbers and successive PRs have a comparable perf record.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -284,7 +286,86 @@ PhyMeasurement phy_delivery_run(bool indexed, int n_radios, int frames) {
 }
 
 // ---------------------------------------------------------------------------
-// Fleet hot path: 50 clients random-walking through a 20-AP downtown block,
+// Scale section: the memory-layout rework's headline numbers. Same constant-
+// density co-channel workload as phy_delivery_run, but driven through the
+// SoA hot path end to end — batched Medium::move_radios drift (RadioMove
+// batches and grid-move staging on the drain arena) followed by an
+// all-radios probe volley per wave — at fleet sizes (10k / 100k radios)
+// where the AoS layout's cache misses used to dominate. Measurement waves
+// run against a wall-clock budget so the 100k scale stays affordable;
+// fixed-wave runs feed the digest cross-checks.
+
+struct ScaleMeasurement {
+  double frames_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  double bytes_per_radio = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t digest = 0;
+};
+
+// fixed_waves > 0: run exactly that many waves (digest comparisons).
+// fixed_waves == 0: run whole waves until `budget_seconds` of wall clock.
+ScaleMeasurement scale_run(int n_radios, int fixed_waves,
+                           double budget_seconds, bool indexed) {
+  sim::Simulator sim;
+  phy::MediumConfig cfg;
+  cfg.base_loss = 0.1;
+  cfg.indexed_delivery = indexed;
+  phy::Medium medium(sim, sim::Rng(0x5CA7E), cfg);
+  const double side =
+      std::sqrt(static_cast<double>(n_radios) / 500.0) * 1000.0;
+  sim::Rng layout(0x5CA1E);
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+  radios.reserve(static_cast<std::size_t>(n_radios));
+  for (int i = 0; i < n_radios; ++i) {
+    radios.push_back(std::make_unique<phy::Radio>(
+        medium, net::MacAddress::from_index(static_cast<std::uint32_t>(i + 1)),
+        phy::RadioConfig{.initial_channel = 1}));
+    radios.back()->set_position(
+        {layout.uniform(0.0, side), layout.uniform(0.0, side)});
+  }
+  sim::Rng walk = layout.fork("walk");
+  std::vector<phy::RadioMove> moves;
+  moves.reserve(radios.size());
+  int waves = 0;
+  const auto start = std::chrono::steady_clock::now();
+  while (fixed_waves > 0 ? waves < fixed_waves
+                         : (waves == 0 ||
+                            seconds_since(start) < budget_seconds)) {
+    // Vehicular drift, batched: the whole fleet through one move_radios
+    // call (RadioMove staging and per-slot grouping live on the arena).
+    moves.clear();
+    for (auto& r : radios) {
+      moves.push_back(phy::RadioMove{
+          r.get(), r->position() + phy::Vec2{walk.uniform(-3.0, 3.0),
+                                             walk.uniform(-3.0, 3.0)}});
+    }
+    medium.move_radios(moves);
+#ifdef SPIDER_BENCH_ALLOC_TEETH
+    // Wave 0 grows the arena blocks, the tx pool and the event queue; every
+    // later wave's send+deliver half owns a zero allocation budget.
+    std::optional<core::ScopedAllocGuard> teeth;
+    if (waves > 0) teeth.emplace("perf_smoke scale wave");
+#endif
+    for (auto& r : radios) {
+      r->send(net::make_probe_request(r->address()));
+    }
+    sim.run_all();
+    ++waves;
+  }
+  const double elapsed = seconds_since(start);
+  const std::uint64_t frames =
+      static_cast<std::uint64_t>(waves) * static_cast<std::uint64_t>(n_radios);
+  SPIDER_CHECK(medium.frames_sent() == frames);
+  return {static_cast<double>(frames) / elapsed,
+          static_cast<double>(sim.events_executed()) / elapsed,
+          static_cast<double>(medium.hot_state_bytes()) /
+              static_cast<double>(n_radios),
+          frames, sim.digest()};
+}
+
+// ---------------------------------------------------------------------------
+// Fleet hot path: 200 clients random-walking through a 20-AP downtown block,
 // the ensemble the fleet-scale rework targets. The fast arm is the shipped
 // hot path end to end: partition+grid frame delivery, the whole fleet moved
 // through one Medium::move_radios call per position tick, and every AP
@@ -378,6 +459,7 @@ FleetMeasurement fleet_hotpath_run(bool fast, int n_clients, int n_aps,
   // long steady state into a short run, the per-beacon costs are unchanged.
   ap_cfg.beacon_interval = sim::Time::millis(4);
   ap_cfg.intern_beacons = fast;
+  ap_cfg.intern_mgmt_responses = fast;
   std::vector<std::unique_ptr<mac::AccessPoint>> aps;
   aps.reserve(static_cast<std::size_t>(n_aps));
   for (int i = 0; i < n_aps; ++i) {
@@ -425,11 +507,12 @@ FleetMeasurement fleet_hotpath_run(bool fast, int n_clients, int n_aps,
   if (fast) {
     // Runtime teeth past the measured horizon (digest and event count were
     // captured above): with mobility and probe ticks stopped, let in-flight
-    // management responses drain — respond_after_delay closures heap-spill
-    // by design, management is not a hot path — then assert the remaining
-    // steady state, interned beacon ticks plus their deliveries, allocates
-    // nothing. The scalar arm mints a payload per beacon and is exempt: it
-    // exists precisely as the allocating contrast.
+    // management responses drain — warm responses ride pooled nodes and
+    // interned payloads, but the final probe volley may still grow the
+    // response pool cold — then assert the remaining steady state, interned
+    // beacon ticks plus their deliveries, allocates nothing. The scalar arm
+    // mints a payload per beacon and is exempt: it exists precisely as the
+    // allocating contrast.
     sim.run_until(duration + sim::Time::millis(50));
     core::ScopedAllocGuard teeth("perf_smoke fleet beacon steady state");
     sim.run_until(duration + sim::Time::millis(150));
@@ -444,6 +527,30 @@ int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
   const char* out_path =
       (argc > 1 && argv[1][0] != '-') ? argv[1] : "BENCH_perf.json";
+  // Scale-section overrides: --radios N measures one custom fleet size
+  // instead of the default {10k, 100k} pair (note: the CI gate keys on
+  // radios_10000, so gated runs must keep the defaults), --seconds S sets
+  // the wall-clock budget per measured scale.
+  int scale_radios_override = 0;
+  double scale_budget_seconds = 1.5;
+  for (int i = 1; i < argc; ++i) {
+    const auto value_of = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+      if (argv[i][len] == '=') return argv[i] + len + 1;
+      if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value_of("--radios")) {
+      scale_radios_override = std::atoi(v);
+      SPIDER_CHECK(scale_radios_override > 0)
+          << "--radios wants a positive radio count, got " << v;
+    } else if (const char* v = value_of("--seconds")) {
+      scale_budget_seconds = std::atof(v);
+      SPIDER_CHECK(scale_budget_seconds > 0.0)
+          << "--seconds wants a positive budget, got " << v;
+    }
+  }
   bench::print_header("perf_smoke",
                       "perf trajectory: event-queue hot path + parallel sweep");
 
@@ -484,8 +591,17 @@ int main(int argc, char** argv) {
     SPIDER_CHECK(fast.digest == scan.digest)
         << "indexed delivery diverged from the reference scan at " << n
         << " radios";
-    SPIDER_CHECK(fast.deliveries_grid > 0)
-        << "indexed run never used the grid";
+    // Below the auto-select threshold the indexed path deliberately scans
+    // the (single, co-channel) partition — that is the radios_50 fix: a grid
+    // walk over ~50 candidates cost more than copying them. Past the
+    // threshold the grid must actually serve.
+    if (n > static_cast<int>(phy::MediumConfig{}.indexed_scan_threshold)) {
+      SPIDER_CHECK(fast.deliveries_grid > 0)
+          << "indexed run never used the grid at " << n << " radios";
+    } else {
+      SPIDER_CHECK(fast.deliveries_grid == 0)
+          << "auto-select should scan small partitions, not walk the grid";
+    }
     const double speedup = fast.frames_per_sec / scan.frames_per_sec;
     std::printf("phy delivery: %5d radios co-channel: %.3g frames/s indexed,\n"
                 "              %.3g frames/s world scan  (speedup %.2fx,\n"
@@ -507,8 +623,52 @@ int main(int argc, char** argv) {
   }
   phy_json.add("speedup_at_2000", phy_speedup_2000);
 
+  // ---- scale: SoA + arena delivery at fleet sizes -------------------------
+  std::vector<int> scale_sizes = {10'000, 100'000};
+  if (scale_radios_override > 0) scale_sizes = {scale_radios_override};
+  bench::JsonWriter scale_json;
+  for (const int n : scale_sizes) {
+    // Digest gates first. Run-to-run determinism holds at every scale; the
+    // indexed-vs-reference-scan equivalence is only affordable where the
+    // scan arm's O(n) per frame stays sane (the scan is the same filter over
+    // a superset, so equivalence at 10k covers the shared delivery code).
+    const ScaleMeasurement a = scale_run(n, /*fixed_waves=*/2, 0.0, true);
+    const ScaleMeasurement b = scale_run(n, /*fixed_waves=*/2, 0.0, true);
+    SPIDER_CHECK(a.digest == b.digest)
+        << "scale run is not deterministic at " << n << " radios";
+    bool cross_checked = false;
+    if (n <= 20'000) {
+      const ScaleMeasurement scan = scale_run(n, /*fixed_waves=*/2, 0.0, false);
+      SPIDER_CHECK(a.digest == scan.digest)
+          << "SoA indexed delivery diverged from the reference scan at " << n
+          << " radios";
+      cross_checked = true;
+    }
+    const ScaleMeasurement m =
+        scale_run(n, /*fixed_waves=*/0, scale_budget_seconds, true);
+    std::printf(
+        "scale:        %6d radios: %.3g frames/s, %.3g events/s,\n"
+        "              %.0f hot-state bytes/radio  (%llu frames, digests %s)\n",
+        n, m.frames_per_sec, m.events_per_sec, m.bytes_per_radio,
+        static_cast<unsigned long long>(m.frames),
+        cross_checked ? "cross-checked vs scan" : "deterministic");
+    bench::JsonWriter entry;
+    entry.add("radios", n)
+        .add("frames_per_sec", m.frames_per_sec)
+        .add("events_per_sec", m.events_per_sec)
+        .add("bytes_per_radio", m.bytes_per_radio)
+        .add("frames", m.frames)
+        .add("digests_match", true);
+    char key[32];
+    std::snprintf(key, sizeof(key), "radios_%d", n);
+    scale_json.add_object(key, entry);
+  }
+
   // ---- fleet hot path: batch+interned vs. scalar+minted -------------------
-  constexpr int kFleetClients = 50;
+  // Sized so each channel partition (~110 radios) sits comfortably past the
+  // indexed_scan_threshold: the legacy contrast must exercise the grid, not
+  // the small-partition scan both arms would share.
+  constexpr int kFleetClients = 200;
   constexpr int kFleetAps = 20;
   const sim::Time kFleetDuration = sim::Time::seconds(30);
   fleet_hotpath_run(true, kFleetClients, kFleetAps,
@@ -585,6 +745,7 @@ int main(int argc, char** argv) {
       .add("hardware_threads", sim::ThreadPool::default_thread_count())
       .add_object("event_queue", event_queue)
       .add_object("phy", phy_json)
+      .add_object("scale", scale_json)
       .add_object("fleet", fleet_json)
       .add_object("sweep", sweep);
   if (!doc.write_file(out_path)) {

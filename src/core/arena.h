@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "core/check.h"
+
+namespace spider::core {
+
+// Bump allocator for per-drain transients: delivery candidate scratch,
+// RadioMove batches, per-drain staging buffers. Blocks are carved from
+// ::operator new, so a cold arena growing under a ScopedAllocGuard still
+// trips the teeth — discipline violations stay visible — while warm bumps
+// are pointer arithmetic and invisible to the guard, which is exactly the
+// "allocation-free once warm" contract the guarded tests assert.
+//
+// Lifetime rules (see DESIGN.md "Memory layout"):
+//  - per-event transients take a Scope; the destructor rewinds them
+//  - per-drain data may allocate scope-free and lives until reset()
+//  - nothing allocated here may escape reset(); the owner (Simulator)
+//    resets at the END of every drain, so cross-drain state must live
+//    in ordinary containers
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultFirstBlock = 64 * 1024;
+
+  explicit Arena(std::size_t first_block_bytes = kDefaultFirstBlock)
+      : first_block_bytes_(first_block_bytes) {}
+  ~Arena() {
+    for (Block& b : blocks_) ::operator delete(b.data);
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Position snapshot for rewind(). `used` makes markers order-comparable
+  // and lets stats survive a rewind.
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+    std::size_t used = 0;
+  };
+
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    SPIDER_DCHECK((align & (align - 1)) == 0);
+    while (true) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        // Align the *address*, not the offset: blocks come from ::operator
+        // new with only max_align_t alignment, so over-aligned requests must
+        // account for the block base.
+        const auto base = reinterpret_cast<std::uintptr_t>(b.data);
+        const std::size_t aligned =
+            ((base + offset_ + align - 1) & ~(align - 1)) - base;
+        if (aligned + bytes <= b.capacity) {
+          offset_ = aligned + bytes;
+          used_ += bytes;
+          if (used_ > high_water_) high_water_ = used_;
+          return b.data + aligned;
+        }
+        // Too small: skip to the next (larger) block; the skipped tail is
+        // reclaimed by the next reset().
+        ++block_;
+        offset_ = 0;
+        continue;
+      }
+      grow(bytes + align);
+    }
+  }
+
+  // Uninitialized array of a trivial T. Deliberately no construction: the
+  // hot paths overwrite every slot they later read, and value-initializing
+  // ~n ints per delivery at 100k radios would be measurable.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  Marker mark() const { return {block_, offset_, used_}; }
+
+  void rewind(const Marker& m) {
+    SPIDER_DCHECK(m.block < blocks_.size() || (m.block == 0 && m.offset == 0));
+    block_ = m.block;
+    offset_ = m.offset;
+    used_ = m.used;
+  }
+
+  // Drops the cursor back to the start; capacity is retained, so a warm
+  // arena never touches ::operator new again.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+    used_ = 0;
+    ++resets_;
+  }
+
+  // RAII per-event scope: rewinds to the construction point on exit.
+  class Scope {
+   public:
+    explicit Scope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+    ~Scope() { arena_.rewind(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    Marker mark_;
+  };
+
+  std::size_t used() const { return used_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.capacity;
+    return total;
+  }
+  std::uint64_t block_allocations() const { return block_allocations_; }
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t want = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().capacity * 2;
+    if (want < at_least) want = at_least;
+    blocks_.push_back(Block{static_cast<char*>(::operator new(want)), want});
+    ++block_allocations_;
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t block_allocations_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace spider::core

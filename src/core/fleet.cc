@@ -1,9 +1,11 @@
 #include "core/fleet.h"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
+#include "core/arena.h"
 #include "core/check.h"
 
 namespace spider::core {
@@ -88,21 +90,23 @@ FleetExperiment::FleetExperiment(FleetConfig config)
         [raw](net::Bssid bssid) { raw->flows->close_flow(bssid); });
     clients_.push_back(std::move(client));
   }
-  moves_.reserve(clients_.size());
 }
 
-// Hot per mobility tick: moves_ is reserved at construction, and the
-// batched path re-buckets crossers per cell group inside the medium.
+// Hot per mobility tick: the move batch is carved from the drain arena
+// (bump-pointer once the first tick warmed the block), and the batched path
+// re-buckets crossers per cell group inside the medium.
 SPIDER_HOT void FleetExperiment::update_positions() {
   const sim::Time now = sim_.now();
   if (config_.batch_mobility) {
-    moves_.clear();
+    core::Arena::Scope scope(sim_.arena());
+    phy::RadioMove* moves =
+        sim_.arena().alloc_array<phy::RadioMove>(clients_.size());
+    std::size_t n = 0;
     for (auto& client : clients_) {
-      moves_.push_back(phy::RadioMove{
-          &client->device->radio(),
-          config_.vehicle.position(now + client->phase)});
+      moves[n++] = phy::RadioMove{&client->device->radio(),
+                                  config_.vehicle.position(now + client->phase)};
     }
-    medium_->move_radios(moves_);
+    medium_->move_radios(std::span<const phy::RadioMove>(moves, n));
   } else {
     for (auto& client : clients_) {
       client->device->set_position(

@@ -96,8 +96,6 @@ class FleetExperiment {
   std::unique_ptr<tcp::ContentServer> server_;
   std::vector<std::unique_ptr<backhaul::ApHost>> ap_hosts_;
   std::vector<std::unique_ptr<Client>> clients_;
-  // Scratch for the batched position tick; member so it allocates once.
-  std::vector<phy::RadioMove> moves_;
   bool ran_ = false;
 };
 

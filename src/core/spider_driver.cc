@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/arena.h"
 #include "core/check.h"
 #include "phy/channel.h"
 
@@ -67,11 +68,13 @@ SpiderDriver::~SpiderDriver() {
   eval_timer_.cancel();
   // Unregister in bssid order: teardown must be as reproducible as the run
   // (unregister_bssid is observable through the device's frame filter).
-  stale_scratch_.clear();
+  core::Arena::Scope scope(sim_.arena());
+  net::Bssid* stale = sim_.arena().alloc_array<net::Bssid>(interfaces_.size());
+  std::size_t n_stale = 0;
   // spider-lint: allow(det-unordered-iteration) keys are sorted below
-  for (auto& [bssid, vif] : interfaces_) stale_scratch_.push_back(bssid);
-  std::sort(stale_scratch_.begin(), stale_scratch_.end());
-  for (net::Bssid bssid : stale_scratch_) device_.unregister_bssid(bssid);
+  for (auto& [bssid, vif] : interfaces_) stale[n_stale++] = bssid;
+  std::sort(stale, stale + n_stale);
+  for (std::size_t i = 0; i < n_stale; ++i) device_.unregister_bssid(stale[i]);
 }
 
 void SpiderDriver::publish_metrics(telemetry::Registry& registry) {
@@ -199,14 +202,16 @@ void SpiderDriver::finish_channel_eval() {
   config_.schedule.front().channel = best;
   // Drop joining interfaces stranded on the old home channel, in bssid
   // order so failure-history updates replay identically.
-  stale_scratch_.clear();
+  core::Arena::Scope scope(sim_.arena());
+  net::Bssid* stale = sim_.arena().alloc_array<net::Bssid>(interfaces_.size());
+  std::size_t n_stale = 0;
   // spider-lint: allow(det-unordered-iteration) keys are sorted below
   for (const auto& [bssid, vif] : interfaces_) {
-    if (vif->channel != best) stale_scratch_.push_back(bssid);
+    if (vif->channel != best) stale[n_stale++] = bssid;
   }
-  std::sort(stale_scratch_.begin(), stale_scratch_.end());
-  for (net::Bssid bssid : stale_scratch_) {
-    destroy_interface(bssid, /*lost=*/false);
+  std::sort(stale, stale + n_stale);
+  for (std::size_t i = 0; i < n_stale; ++i) {
+    destroy_interface(stale[i], /*lost=*/false);
   }
   rotate_schedule(0);
 }
@@ -298,13 +303,16 @@ void SpiderDriver::on_arrival(net::ChannelId channel) {
   // Wake co-channel sessions in bssid order: each wake-up can enqueue
   // frames, and the enqueue order decides who serializes onto the channel
   // first — hash-map order here would leak straight into the digest.
-  stale_scratch_.clear();
+  core::Arena::Scope scope(sim_.arena());
+  net::Bssid* stale = sim_.arena().alloc_array<net::Bssid>(interfaces_.size());
+  std::size_t n_stale = 0;
   // spider-lint: allow(det-unordered-iteration) keys are sorted below
   for (auto& [bssid, vif] : interfaces_) {
-    if (vif->channel == channel) stale_scratch_.push_back(bssid);
+    if (vif->channel == channel) stale[n_stale++] = bssid;
   }
-  std::sort(stale_scratch_.begin(), stale_scratch_.end());
-  for (net::Bssid bssid : stale_scratch_) {
+  std::sort(stale, stale + n_stale);
+  for (std::size_t i = 0; i < n_stale; ++i) {
+    const net::Bssid bssid = stale[i];
     auto it = interfaces_.find(bssid);
     if (it == interfaces_.end()) continue;  // destroyed by an earlier wake-up
     VirtualInterface& vif = *it->second;

@@ -188,11 +188,10 @@ class SpiderDriver {
   std::uint64_t schedule_switches_ = 0;
   bool excursion_active_ = false;
   bool started_ = false;
-  // Scratch buffers reused across eval ticks (excursions never overlap, so
-  // one of each suffices); members so the steady-state schedule loop does
-  // not allocate.
+  // Scratch buffer reused across eval ticks (excursions never overlap, so
+  // one suffices); member so the steady-state schedule loop does not
+  // allocate. Stale-bssid staging lives on the simulator's drain arena.
   std::vector<net::ChannelId> excursion_remaining_;
-  std::vector<net::Bssid> stale_scratch_;
 
   // Telemetry plumbing: deltas already folded into the shared driver.*
   // metrics (several drivers may share one world), the next Perfetto lane to

@@ -24,9 +24,12 @@ AccessPoint::AccessPoint(phy::Medium& medium, net::MacAddress address,
   SPIDER_CHECK(config_.max_buffered_frames > 0)
       << "AP power-save buffer capacity must be positive";
   radio_.set_position(position);
-  // Built here, not in start(): probe responses reuse the interned payload
-  // and the receive handler below is live before start() is called.
-  if (config_.intern_beacons) beacon_payload_ = beacon_info();
+  // Built here, not in start(): probe responses and management grants reuse
+  // the interned payload and the receive handler below is live before
+  // start() is called.
+  if (config_.intern_beacons || config_.intern_mgmt_responses) {
+    beacon_payload_ = beacon_info();
+  }
   radio_.set_receive_handler(
       [this](const net::Frame& f, const phy::RxInfo& i) { on_receive(f, i); });
   // Link-layer retry failure: an associated client that went absent (e.g.
@@ -143,7 +146,26 @@ SPIDER_HOT void AccessPoint::beacon_tick() {
       });
 }
 
-void AccessPoint::respond_after_delay(net::Frame response) {
+AccessPoint::PendingResponse* AccessPoint::acquire_pending_response() {
+  if (response_free_.empty()) {
+    response_pool_.push_back(std::make_unique<PendingResponse>());
+    return response_pool_.back().get();
+  }
+  PendingResponse* node = response_free_.back();
+  response_free_.pop_back();
+  return node;
+}
+
+void AccessPoint::release_pending_response(PendingResponse* node) {
+  node->frame = net::Frame{};  // drop the payload refcount eagerly
+  response_free_.push_back(node);
+}
+
+// Hot on every auth/assoc grant: the response parks on a pooled node so the
+// scheduled closure captures {this, node, weak alive} — 32 bytes, inside
+// SmallFn's inline buffer. Capturing the Frame itself would heap-spill the
+// closure on every management exchange.
+SPIDER_HOT void AccessPoint::respond_after_delay(net::Frame response) {
   const sim::Time lo = config_.response_delay_min;
   const sim::Time hi = config_.response_delay_max;
   const sim::Time delay =
@@ -152,10 +174,15 @@ void AccessPoint::respond_after_delay(net::Frame response) {
       << "management response delay " << delay.to_string()
       << " outside configured [" << lo.to_string() << ", " << hi.to_string()
       << "]";
+  PendingResponse* node = acquire_pending_response();
+  node->frame = std::move(response);
   medium_.simulator().post_after(
-      delay, [this, alive = std::weak_ptr<char>(alive_),
-              response = std::move(response)] {
-        if (!alive.expired()) radio_.send(response);
+      delay, [this, node, alive = std::weak_ptr<char>(alive_)] {
+        // If the AP died, `this` is gone and the node's memory went with the
+        // pool; touching neither is the only safe move.
+        if (alive.expired()) return;
+        radio_.send(std::move(node->frame));
+        release_pending_response(node);
       });
 }
 
@@ -175,7 +202,10 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
       ClientState& state = stations_[frame.src];
       if (!state.authenticated) ++auth_grants_;
       state.authenticated = true;
-      respond_after_delay(net::make_auth_response(address(), frame.src));
+      respond_after_delay(
+          config_.intern_mgmt_responses
+              ? net::make_auth_response(address(), frame.src, beacon_payload_)
+              : net::make_auth_response(address(), frame.src));
       break;
     }
 
@@ -193,7 +223,10 @@ void AccessPoint::on_receive(const net::Frame& frame, const phy::RxInfo&) {
           << frame.src.to_string();
       if (!it->second.associated) ++assoc_grants_;
       it->second.associated = true;
-      respond_after_delay(net::make_assoc_response(address(), frame.src));
+      respond_after_delay(
+          config_.intern_mgmt_responses
+              ? net::make_assoc_response(address(), frame.src, beacon_payload_)
+              : net::make_assoc_response(address(), frame.src));
       break;
     }
 

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/frame.h"
 #include "phy/auto_rate.h"
@@ -45,6 +46,12 @@ struct AccessPointConfig {
   // identical either way; false keeps the per-frame path for benches and
   // cross-checks.
   bool intern_beacons = true;
+  // Same treatment for the immutable management responses: auth and assoc
+  // grants carry the AP's capability payload, and with interning on the
+  // payload is the one refcounted BeaconInfo built at construction — a warm
+  // auth/assoc exchange then allocates nothing. False reverts to
+  // payload-less responses (identical sizes, identical digests).
+  bool intern_mgmt_responses = true;
   // Minstrel-lite per-client rate adaptation on downlink data (opt-in):
   // failures step the client's rate down, sustained success steps it up;
   // low rates trade airtime for reach at the cell edge.
@@ -105,9 +112,19 @@ class AccessPoint {
     std::deque<net::Frame> buffer;
   };
 
+  // A delayed management response waiting on its firmware-jitter timer.
+  // Pooled so the scheduled closure captures {this, node, weak alive} —
+  // small enough for SmallFn's inline buffer — instead of a whole Frame,
+  // which would heap-spill on every auth/assoc grant.
+  struct PendingResponse {
+    net::Frame frame;
+  };
+
   void on_receive(const net::Frame& frame, const phy::RxInfo& info);
   void beacon_tick();
   void respond_after_delay(net::Frame response);
+  PendingResponse* acquire_pending_response();
+  void release_pending_response(PendingResponse* node);
   void flush_buffer(net::MacAddress client, ClientState& state);
   net::BeaconInfo beacon_info() const;
   void note_buffered();
@@ -129,6 +146,11 @@ class AccessPoint {
   net::SharedPayload beacon_payload_;
   DataSink data_sink_;
   phy::AutoRate rate_;
+  // Free-listed delayed-response nodes (see PendingResponse). The pool only
+  // grows while more responses are in flight at once than ever before; the
+  // steady state recycles.
+  std::vector<std::unique_ptr<PendingResponse>> response_pool_;
+  std::vector<PendingResponse*> response_free_;
   std::unordered_map<net::MacAddress, ClientState> stations_;
   bool started_ = false;
   std::uint64_t auth_grants_ = 0;

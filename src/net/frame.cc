@@ -85,6 +85,20 @@ Frame make_assoc_response(Bssid ap, MacAddress client) {
                kAssocResponseBytes, 0.0, {}};
 }
 
+Frame make_auth_response(Bssid ap, MacAddress client, SharedPayload info) {
+  SPIDER_DCHECK(info.holds<BeaconInfo>())
+      << "interned auth-response payload does not hold a BeaconInfo";
+  return Frame{FrameKind::kAuthResponse, ap, client, ap, false, kAuthBytes,
+               0.0, std::move(info)};
+}
+
+Frame make_assoc_response(Bssid ap, MacAddress client, SharedPayload info) {
+  SPIDER_DCHECK(info.holds<BeaconInfo>())
+      << "interned assoc-response payload does not hold a BeaconInfo";
+  return Frame{FrameKind::kAssocResponse, ap, client, ap, false,
+               kAssocResponseBytes, 0.0, std::move(info)};
+}
+
 Frame make_disassoc(MacAddress src, MacAddress dst, Bssid ap) {
   return Frame{FrameKind::kDisassoc, src, dst, ap, false, kDisassocBytes, 0.0, {}};
 }

@@ -167,6 +167,15 @@ Frame make_auth_request(MacAddress client, Bssid ap);
 Frame make_auth_response(Bssid ap, MacAddress client);
 Frame make_assoc_request(MacAddress client, Bssid ap);
 Frame make_assoc_response(Bssid ap, MacAddress client);
+// Interned variants of the two immutable management responses: an AP's auth
+// and assoc responses carry the same capability payload (SSID, channel,
+// open) for every client forever, so the steady-state path hands out the
+// AP's refcounted BeaconInfo storage instead of a payload-less frame — one
+// allocation per AP lifetime, not per exchange. Sizes are unchanged, so
+// airtime and digests are identical to the overloads above. `info` must
+// hold a BeaconInfo.
+Frame make_auth_response(Bssid ap, MacAddress client, SharedPayload info);
+Frame make_assoc_response(Bssid ap, MacAddress client, SharedPayload info);
 Frame make_disassoc(MacAddress src, MacAddress dst, Bssid ap);
 Frame make_null_data(MacAddress client, Bssid ap, bool power_mgmt);
 Frame make_ps_poll(MacAddress client, Bssid ap);

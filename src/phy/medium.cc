@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/arena.h"
 #include "core/check.h"
 #include "phy/auto_rate.h"
 #include "phy/channel.h"
@@ -59,6 +61,7 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
       config_.range_m *
       rate_range_scale(k80211bRates.front(), config_.bitrate_bps);
   for (ChannelPartition& partition : partitions_) {
+    partition.grid.bind(&hot_);
     partition.grid.reset_cell_size(cell_m);
   }
   collector_id_ = sim_.telemetry().add_collector(
@@ -93,78 +96,122 @@ void Medium::publish_metrics(telemetry::Registry& registry) const {
   }
 }
 
-void Medium::attach(Radio& radio) {
-  MediumLink& link = radio.medium_link_;
-  link.attach_id = next_attach_id_++;
-  all_.push_back(&radio);
-  by_id_.emplace(link.attach_id, &radio);
-  insert_into_partition(radio);
-  // The gather superset can never exceed the world, so sizing the delivery
-  // scratch here keeps deliver() allocation-free from the first frame.
-  if (candidates_.capacity() < all_.size()) candidates_.reserve(all_.size());
+void Medium::attach(Radio& radio, net::ChannelId initial_channel) {
+  SPIDER_CHECK(next_attach_id_ < std::numeric_limits<RadioId>::max())
+      << "attach-id space exhausted";
+  const RadioId id = next_attach_id_++;
+  radio.id_ = id;
+  hot_.ensure(id);
+  hot_.radio[id] = &radio;
+  hot_.address[id] = radio.address();
+  hot_.channel[id] = initial_channel;
+  hot_.switching[id] = 0;
+  hot_.position[id] = Vec2{};
+  all_.push_back(id);
+  insert_into_partition(id);
 }
 
 void Medium::detach(Radio& radio) {
-  remove_from_partition(radio, radio.channel());
-  by_id_.erase(radio.medium_link_.attach_id);
-  std::erase(all_, &radio);
+  const RadioId id = radio.id_;
+  remove_from_partition(id, channel_of(id));
+  hot_.radio[id] = nullptr;
+  std::erase(all_, id);
 }
 
-void Medium::on_channel_changed(Radio& radio, net::ChannelId previous) {
-  remove_from_partition(radio, previous);
-  insert_into_partition(radio);
+void Medium::set_switching(Radio& radio, bool switching) {
+  hot_.switching[radio.id_] = switching ? 1 : 0;
 }
 
-SPIDER_HOT void Medium::on_position_changed(Radio& radio) {
-  partitions_[channel_slot(radio.channel())].grid.update(radio,
-                                                         radio.position());
+void Medium::complete_retune(Radio& radio, net::ChannelId channel) {
+  const RadioId id = radio.id_;
+  const net::ChannelId previous = channel_of(id);
+  hot_.switching[id] = 0;
+  // Until the reset completes the radio stays filed under its old channel
+  // (deaf there via the switching flag); the partition move happens exactly
+  // when the retune takes effect.
+  if (channel != previous) {
+    remove_from_partition(id, previous);
+    hot_.channel[id] = channel;
+    insert_into_partition(id);
+  }
+}
+
+SPIDER_HOT void Medium::set_position(Radio& radio, Vec2 position) {
+  const RadioId id = radio.id_;
+  if (position == hot_.position[id]) return;
+  hot_.position[id] = position;
+  partitions_[channel_slot(channel_of(id))].grid.update(id, position);
 }
 
 SPIDER_HOT void Medium::move_radios(std::span<const RadioMove> moves) {
-  // Phase 1: write every position and plan the cell crossings, grouped by
-  // channel partition. Non-crossers (the common case at sub-second tick
-  // cadence) cost one cell computation and no hash traffic at all.
-  bool any_crossed = false;
+  if (moves.empty()) return;
+  // Drain-arena scratch: planned crossings plus their partition slots. The
+  // first tick of a drain carves fresh blocks (cold, visible to the alloc
+  // teeth); every later tick is pure bump-pointer arithmetic.
+  core::Arena::Scope scope(sim_.arena());
+  core::Arena& arena = sim_.arena();
+  GridMove* planned = arena.alloc_array<GridMove>(moves.size());
+  std::uint8_t* planned_slot = arena.alloc_array<std::uint8_t>(moves.size());
+  std::array<std::uint32_t, kChannelSlots> slot_count{};
+  std::size_t n_planned = 0;
+  // Phase 1: write every position and plan the cell crossings. Non-crossers
+  // (the common case at sub-second tick cadence) cost one cell computation
+  // and no hash traffic at all.
   for (const RadioMove& m : moves) {
-    Radio& radio = *m.radio;
-    if (m.position == radio.position_) continue;
-    radio.position_ = m.position;
-    const std::size_t slot = channel_slot(radio.channel());
-    GridMove planned;
-    if (partitions_[slot].grid.plan_move(radio, m.position, planned)) {
-      move_scratch_[slot].push_back(planned);
-      any_crossed = true;
+    const RadioId id = m.radio->id_;
+    if (m.position == hot_.position[id]) continue;
+    hot_.position[id] = m.position;
+    const std::size_t slot = channel_slot(channel_of(id));
+    GridMove g;
+    if (partitions_[slot].grid.plan_move(id, m.position, g)) {
+      planned[n_planned] = g;
+      planned_slot[n_planned] = static_cast<std::uint8_t>(slot);
+      ++slot_count[slot];
+      ++n_planned;
     }
   }
-  if (!any_crossed) return;
-  // Phase 2: one grouped re-bucket per partition that had crossers.
+  if (n_planned == 0) return;
+  // Phase 2: stable scatter into per-slot groups (preserving each slot's
+  // plan order, which is what N scalar updates would apply), then one
+  // grouped re-bucket per partition that had crossers.
+  std::array<std::uint32_t, kChannelSlots> cursor{};
+  std::uint32_t acc = 0;
   for (std::size_t slot = 0; slot < kChannelSlots; ++slot) {
-    std::vector<GridMove>& pending = move_scratch_[slot];
-    if (pending.empty()) continue;
-    partitions_[slot].grid.rebucket_batch(pending);
-    pending.clear();
+    cursor[slot] = acc;
+    acc += slot_count[slot];
+  }
+  GridMove* grouped = arena.alloc_array<GridMove>(n_planned);
+  for (std::size_t i = 0; i < n_planned; ++i) {
+    grouped[cursor[planned_slot[i]]++] = planned[i];
+  }
+  std::uint32_t begin = 0;
+  for (std::size_t slot = 0; slot < kChannelSlots; ++slot) {
+    if (slot_count[slot] != 0) {
+      partitions_[slot].grid.rebucket_batch(
+          std::span<const GridMove>(grouped + begin, slot_count[slot]));
+    }
+    begin += slot_count[slot];
   }
 }
 
-void Medium::insert_into_partition(Radio& radio) {
-  ChannelPartition& partition = partitions_[channel_slot(radio.channel())];
-  radio.medium_link_.member_index =
-      static_cast<std::uint32_t>(partition.members.size());
-  partition.members.push_back(&radio);
-  partition.grid.insert(radio, radio.position());
+void Medium::insert_into_partition(RadioId id) {
+  ChannelPartition& partition = partitions_[channel_slot(channel_of(id))];
+  hot_.member_index[id] = static_cast<std::uint32_t>(partition.members.size());
+  partition.members.push_back(id);
+  partition.grid.insert(id, hot_.position[id]);
 }
 
-void Medium::remove_from_partition(Radio& radio, net::ChannelId channel) {
+void Medium::remove_from_partition(RadioId id, net::ChannelId channel) {
   ChannelPartition& partition = partitions_[channel_slot(channel)];
-  const std::uint32_t index = radio.medium_link_.member_index;
+  const std::uint32_t index = hot_.member_index[id];
   SPIDER_CHECK(index < partition.members.size() &&
-               partition.members[index] == &radio)
+               partition.members[index] == id)
       << "radio not filed under channel " << channel;
-  Radio* moved = partition.members.back();
+  const RadioId moved = partition.members.back();
   partition.members[index] = moved;
-  moved->medium_link_.member_index = index;
+  hot_.member_index[moved] = index;
   partition.members.pop_back();
-  partition.grid.remove(radio);
+  partition.grid.remove(id);
 }
 
 SPIDER_HOT double Medium::loss_probability(double distance_m) const {
@@ -189,7 +236,7 @@ sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
 
 SPIDER_HOT sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   ++frames_sent_;
-  const net::ChannelId channel = sender.channel();
+  const net::ChannelId channel = channel_of(sender.id_);
   ++per_channel_[channel_slot(channel)].sent;
   if (sniffer_) sniffer_(frame, channel, sim_.now());
   const double rate =
@@ -214,8 +261,8 @@ SPIDER_HOT sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   // destroyed and its address recycled) before delivery fires. The snapshot
   // lives in a pooled PendingTx node so the closure stays SmallFn-inline.
   PendingTx* tx = acquire_pending_tx();
-  tx->sender_id = sender.medium_link_.attach_id;
-  tx->pos = sender.position();
+  tx->sender_id = sender.id_;
+  tx->pos = hot_.position[sender.id_];
   tx->channel = channel;
   tx->frame = std::move(frame);
   sim_.post_at(done, [this, tx] {
@@ -247,7 +294,7 @@ SPIDER_HOT void Medium::release_pending_tx(PendingTx* node) {
   tx_free_.push_back(node);
 }
 
-SPIDER_HOT void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
+SPIDER_HOT void Medium::deliver(RadioId sender_id, Vec2 sender_pos,
                                 net::ChannelId channel,
                                 const net::Frame& frame) {
   // Unicast data-plane frames get link-layer ARQ at the addressed receiver
@@ -267,45 +314,89 @@ SPIDER_HOT void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
       << "rate " << frame.tx_rate_bps << " bps scaled range by "
       << range_scale;
 
-  // Sender liveness, resolved once through the attach-id index (the second
-  // O(world) scan this replaced only existed to find this pointer).
-  Radio* sender = nullptr;
-  if (auto it = by_id_.find(sender_id); it != by_id_.end()) {
-    sender = it->second;
-  }
-
-  // Candidate set. Fast path: co-channel radios in the cell neighborhood of
-  // the sender, re-sorted into attach order so the per-receiver RNG draws
-  // below are consumed in exactly the order the reference scan consumes
-  // them — grid and bucket internals must never influence the stream.
-  const std::vector<Radio*>* candidates = &all_;
+  // Candidate set: a span of ids whose RNG draws below must be consumed in
+  // ascending (= attach) order, so the stream is exactly what the reference
+  // scan draws — grid and bucket internals must never influence it.
+  // Fast-path scratch is carved from the drain arena (rewound on return);
+  // the reference path reads all_ in place, which is already attach-ordered.
+  core::Arena::Scope scope(sim_.arena());
+  const RadioId* candidates = all_.data();
+  std::size_t count = all_.size();
+  // all_ is sorted by construction; grid/partition candidates are not.
+  bool candidates_sorted = true;
   if (config_.indexed_delivery) {
     ChannelPartition& partition = partitions_[channel_slot(channel)];
-    const double effective_range = config_.range_m * range_scale;
-    candidates_.clear();
-    if (partition.grid.gather(sender_pos, effective_range, candidates_)) {
+    const std::size_t members = partition.members.size();
+    bool used_grid = false;
+    // Tiny partitions scan in place: the grid's hash probes cost more than
+    // touching every co-channel radio (the radios_50 regression), and the
+    // scan is a strict superset of the gather, so after the shared
+    // channel/range filters both arms draw identical RNG. The member vector
+    // is stable while the filter loop below runs (callbacks only fire from
+    // the post-sort delivery loop), so no copy is needed.
+    if (members > config_.indexed_scan_threshold) {
+      RadioId* buf = sim_.arena().alloc_array<RadioId>(members);
+      std::size_t gathered = 0;
+      const double effective_range = config_.range_m * range_scale;
+      used_grid =
+          partition.grid.gather(sender_pos, effective_range, buf, gathered);
+      if (used_grid) {
+        candidates = buf;
+        count = gathered;
+      }
+    }
+    if (used_grid) {
       ++deliveries_grid_;
     } else {
-      candidates_.assign(partition.members.begin(), partition.members.end());
+      candidates = partition.members.data();
+      count = members;
       ++deliveries_scan_;
     }
-    std::sort(candidates_.begin(), candidates_.end(),
-              [](const Radio* a, const Radio* b) {
-                return a->medium_link_.attach_id < b->medium_link_.attach_id;
-              });
-    candidates = &candidates_;
+    candidates_sorted = false;
   } else {
     ++deliveries_scan_;
   }
 
-  for (Radio* rx : *candidates) {
-    if (rx == sender) continue;
-    const bool is_addressee = arq_eligible && rx->address() == frame.dst;
-    if (rx->channel() != channel || rx->switching()) continue;
-    const double d = distance(sender_pos, rx->position()) / range_scale;
-    SPIDER_DCHECK(d >= 0.0) << "negative distance " << d << " m";
-    if (d > config_.range_m) continue;
+  // Sender liveness, resolved once through the store (the attach-id hash
+  // this replaced only existed to find this pointer).
+  Radio* const sender =
+      sender_id < hot_.radio.size() ? hot_.radio[sender_id] : nullptr;
 
+  // Filter before sorting: the cheap rejections (sender, channel, mid-reset,
+  // out of range) consume no RNG, so applying them on the unsorted gather
+  // superset and ordering only the survivors (~the in-range neighborhood,
+  // a handful of radios) is stream-identical to sorting everything first —
+  // and skips a per-delivery sort of the whole 3x3 superset. The range test
+  // compares squared distances; one sqrt per survivor, none per reject.
+  struct Hit {
+    RadioId id;
+    double distance_m;  // rate-scaled, as loss_probability expects
+  };
+  Hit* hits = sim_.arena().alloc_array<Hit>(count);
+  std::size_t n_hits = 0;
+  const double max_dist = config_.range_m * range_scale;
+  const double max_dist_sq = max_dist * max_dist;
+  const double inv_range_scale = 1.0 / range_scale;
+  for (std::size_t i = 0; i < count; ++i) {
+    const RadioId id = candidates[i];
+    if (id == sender_id) continue;
+    if (hot_.channel[id] != channel || hot_.switching[id] != 0) continue;
+    const Vec2 rx_pos = hot_.position[id];
+    const double dx = rx_pos.x - sender_pos.x;
+    const double dy = rx_pos.y - sender_pos.y;
+    const double dist_sq = dx * dx + dy * dy;
+    if (dist_sq > max_dist_sq) continue;
+    hits[n_hits++] = Hit{id, std::sqrt(dist_sq) * inv_range_scale};
+  }
+  if (!candidates_sorted) {
+    std::sort(hits, hits + n_hits,
+              [](const Hit& a, const Hit& b) { return a.id < b.id; });
+  }
+
+  for (std::size_t i = 0; i < n_hits; ++i) {
+    const RadioId id = hits[i].id;
+    const double d = hits[i].distance_m;
+    const bool is_addressee = arq_eligible && hot_.address[id] == frame.dst;
     const double p = loss_probability(d);
     bool lost = true;
     const int attempts = is_addressee ? config_.data_retry_limit + 1 : 1;
@@ -322,7 +413,7 @@ SPIDER_HOT void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
     if (is_addressee) addressed_delivery = true;
     // Log-distance RSSI proxy: -40 dBm at 1 m, path-loss exponent 3.
     const double rssi = -40.0 - 30.0 * std::log10(std::max(d, 1.0));
-    rx->handle_delivery(frame, RxInfo{channel, d, rssi});
+    hot_.radio[id]->handle_delivery(frame, RxInfo{channel, d, rssi});
   }
 
   if (arq_eligible && sender != nullptr) {
@@ -330,6 +421,19 @@ SPIDER_HOT void Medium::deliver(std::uint64_t sender_id, Vec2 sender_pos,
     // failure drives AP re-buffering, both outcomes drive rate adaptation.
     sender->handle_tx_result(frame, addressed_delivery);
   }
+}
+
+std::size_t Medium::hot_state_bytes() const {
+  std::size_t total =
+      hot_.capacity_bytes() + all_.capacity() * sizeof(RadioId) +
+      tx_pool_.capacity() * sizeof(std::unique_ptr<PendingTx>) +
+      tx_pool_.size() * sizeof(PendingTx) +
+      tx_free_.capacity() * sizeof(PendingTx*);
+  for (const ChannelPartition& partition : partitions_) {
+    total += partition.members.capacity() * sizeof(RadioId) +
+             partition.grid.memory_bytes();
+  }
+  return total;
 }
 
 }  // namespace spider::phy

@@ -8,6 +8,13 @@
 // receiver: a configurable uniform rate `base_loss` (the model's `h`) plus an
 // optional quadratic degradation near the edge of the range disc.
 //
+// Memory layout: the per-radio fields the delivery and mobility paths touch
+// live in a RadioHotStore (struct-of-arrays indexed by attach id) owned
+// here, not in Radio — Radio keeps the id and reads through accessors. The
+// per-channel partitions and the spatial grid hold ids into the store, so
+// candidate loops stream contiguous arrays instead of chasing pointers; see
+// DESIGN.md "Memory layout".
+//
 // Delivery fast path: radios are partitioned by current channel (kept in
 // sync through attach/detach/retune notifications from the Radio) and each
 // partition is bucketed by a uniform spatial grid whose cell is the maximum
@@ -25,7 +32,6 @@
 #include <functional>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "net/frame.h"
@@ -61,6 +67,12 @@ struct MediumConfig {
   // the reference for the determinism cross-check (both paths consume
   // identical RNG draws, so digests must match bit for bit).
   bool indexed_delivery = true;
+  // Partitions at or below this population skip the grid and scan the
+  // partition directly (still sorted by attach id, so the RNG stream is
+  // unchanged): at tiny worlds the 3x3 hash probes cost more than touching
+  // every co-channel radio (the 0.93x regression perf_smoke's radios_50
+  // section measured). Tests that assert grid usage set this to 0.
+  std::size_t indexed_scan_threshold = 56;
 };
 
 // One radio's new position in a batched mobility tick (Medium::move_radios).
@@ -93,13 +105,25 @@ class Medium {
   sim::Simulator& simulator() { return sim_; }
 
   // Called by Radio's constructor/destructor.
-  void attach(Radio& radio);
+  void attach(Radio& radio, net::ChannelId initial_channel);
   void detach(Radio& radio);
-  // Called by the Radio when a retune completes (its channel changed) or its
-  // position moved, so the channel partitions and the spatial grid track the
-  // radio's current state.
-  void on_channel_changed(Radio& radio, net::ChannelId previous);
-  void on_position_changed(Radio& radio);
+
+  // Hot-store accessors for the radio's handle-based reads (inline: these
+  // sit on every Radio::channel()/position() call).
+  net::ChannelId channel_of(RadioId id) const {
+    return static_cast<net::ChannelId>(hot_.channel[id]);
+  }
+  Vec2 position_of(RadioId id) const { return hot_.position[id]; }
+  bool is_switching(RadioId id) const { return hot_.switching[id] != 0; }
+
+  // Called by Radio when a hardware reset starts/aborts.
+  void set_switching(Radio& radio, bool switching);
+  // Called by Radio when a retune completes: records the new channel,
+  // clears the switching flag and moves the radio between partitions.
+  void complete_retune(Radio& radio, net::ChannelId channel);
+  // Moves one radio (position write + lazy grid re-bucket); a no-move
+  // update is free.
+  void set_position(Radio& radio, Vec2 position);
 
   // Batched mobility tick: applies every move (position write + lazy grid
   // re-bucket) in one call. Crossers are grouped per channel partition and
@@ -107,7 +131,8 @@ class Medium {
   // hash-map traffic per *cell group*, not per radio. Equivalent to calling
   // radio->set_position(position) once per entry — same positions, same
   // digests (position updates consume no RNG, and delivery re-sorts
-  // candidates by attach id so bucket order is invisible).
+  // candidates by attach id so bucket order is invisible). Scratch comes
+  // from the simulator's drain arena.
   void move_radios(std::span<const RadioMove> moves);
 
   void set_sniffer(SnifferFn sniffer) { sniffer_ = std::move(sniffer); }
@@ -130,14 +155,20 @@ class Medium {
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_lost() const { return frames_lost_; }
   // Fast-path observability: deliveries served from the 3x3 grid
-  // neighborhood vs. a partition/world scan (reference path, or a frame
-  // whose effective range outgrew the grid cell).
+  // neighborhood vs. a partition/world scan (reference path, a frame whose
+  // effective range outgrew the grid cell, or a partition at or below the
+  // scan threshold).
   std::uint64_t deliveries_grid() const { return deliveries_grid_; }
   std::uint64_t deliveries_scan() const { return deliveries_scan_; }
   // Radios currently attached on `channel` (tests; O(1)).
   std::size_t radios_on(net::ChannelId channel) const {
     return partitions_[channel_slot(channel)].members.size();
   }
+
+  // Resident bytes of the hot per-radio state: the SoA store, the id lists
+  // (attach order + partitions + grid buckets) and the in-flight tx pool.
+  // The scale bench divides this by the world size to gate bytes/radio.
+  std::size_t hot_state_bytes() const;
 
   // Per-channel slices of the same counters (channels 1..14; anything else
   // is folded into slot 0). Published as phy.frames_*.ch<N> metrics by the
@@ -167,9 +198,10 @@ class Medium {
   };
 
   // Radios tuned to one channel slot: an unordered member list (swap-and-pop
-  // via MediumLink::member_index) plus the spatial grid over their positions.
+  // via RadioHotStore::member_index) plus the spatial grid over their
+  // positions. Members are ids into hot_.
   struct ChannelPartition {
-    std::vector<Radio*> members;
+    std::vector<RadioId> members;
     RadioGrid grid;
   };
 
@@ -180,7 +212,7 @@ class Medium {
   // every single transmit onto the heap. The pool's high-water mark is the
   // max number of concurrently in-flight frames, a handful per channel.
   struct PendingTx {
-    std::uint64_t sender_id = 0;
+    RadioId sender_id = 0;
     Vec2 pos{};
     net::ChannelId channel = 0;
     net::Frame frame{};
@@ -188,35 +220,28 @@ class Medium {
   PendingTx* acquire_pending_tx();
   void release_pending_tx(PendingTx* node);
 
-  void insert_into_partition(Radio& radio);
-  void remove_from_partition(Radio& radio, net::ChannelId channel);
-  void deliver(std::uint64_t sender_id, Vec2 sender_pos,
-               net::ChannelId channel, const net::Frame& frame);
+  void insert_into_partition(RadioId id);
+  void remove_from_partition(RadioId id, net::ChannelId channel);
+  void deliver(RadioId sender_id, Vec2 sender_pos, net::ChannelId channel,
+               const net::Frame& frame);
   void publish_metrics(telemetry::Registry& registry) const;
 
   sim::Simulator& sim_;
   sim::Rng rng_;
   MediumConfig config_;
   SnifferFn sniffer_;
-  // All attached radios in attach order — the reference delivery path's scan
-  // list (and the shape the whole medium used to have).
-  std::vector<Radio*> all_;
-  // Sender liveness across airtime: attach id -> radio, so the tx-result
-  // notification is one hash lookup instead of a second world scan (and a
-  // recycled heap address can never impersonate a detached sender).
-  std::unordered_map<std::uint64_t, Radio*> by_id_;
+  // Dense per-radio hot state, indexed by attach id (see spatial_grid.h).
+  // hot_.radio is the liveness map: a detached id maps to nullptr, so a
+  // recycled heap address can never impersonate a detached sender.
+  RadioHotStore hot_;
+  // All attached ids in attach order — the reference delivery path's scan
+  // list (and, because ids are monotone, always sorted ascending).
+  std::vector<RadioId> all_;
   std::array<ChannelPartition, kChannelSlots> partitions_;
-  std::uint64_t next_attach_id_ = 1;  // 0 = never attached
+  RadioId next_attach_id_ = 1;  // 0 = never attached
   // Busy horizon per channel slot: flat array indexed by channel_slot — the
   // per-transmit hash lookup this replaced showed up in delivery profiles.
   std::array<sim::Time, kChannelSlots> busy_until_{};
-  // Scratch for deliver()'s candidate gather; member so steady-state
-  // deliveries do not allocate (attach() keeps its capacity at world size,
-  // the gather superset's upper bound).
-  std::vector<Radio*> candidates_;
-  // Per-partition scratch for move_radios(); members so steady-state fleet
-  // ticks do not allocate.
-  std::array<std::vector<GridMove>, kChannelSlots> move_scratch_;
   // PendingTx free-list pool: tx_pool_ owns the nodes, tx_free_ holds the
   // idle ones (capacity always >= pool size so release never allocates).
   std::vector<std::unique_ptr<PendingTx>> tx_pool_;

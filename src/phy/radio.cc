@@ -9,13 +9,10 @@
 namespace spider::phy {
 
 Radio::Radio(Medium& medium, net::MacAddress address, RadioConfig config)
-    : medium_(medium),
-      address_(address),
-      config_(config),
-      channel_(config.initial_channel) {
-  if (!valid_channel(channel_))
+    : medium_(medium), address_(address), config_(config) {
+  if (!valid_channel(config.initial_channel))
     throw std::invalid_argument("Radio: invalid initial channel");
-  medium_.attach(*this);
+  medium_.attach(*this, config.initial_channel);
 }
 
 Radio::~Radio() {
@@ -32,31 +29,19 @@ void Radio::tune(net::ChannelId channel, std::function<void()> done) {
   if (!valid_channel(channel))
     throw std::invalid_argument("Radio::tune: invalid channel");
   switch_timer_.cancel();  // a new retune supersedes any in-flight one
-  switching_ = true;
+  medium_.set_switching(*this, true);
   if (energy_) energy_->set_state(RadioState::kReset);
   switch_timer_ = medium_.simulator().schedule_after(
       config_.hardware_reset,
       [this, channel, done = std::move(done)] {
-        const net::ChannelId previous = channel_;
-        channel_ = channel;
-        switching_ = false;
-        // Until the reset completes the radio stays filed under its old
-        // channel (deaf there via switching()); the partition move happens
-        // exactly when the retune takes effect.
-        if (channel != previous) medium_.on_channel_changed(*this, previous);
+        medium_.complete_retune(*this, channel);
         if (energy_) energy_->set_state(RadioState::kIdle);
         if (done) done();
       });
 }
 
-SPIDER_HOT void Radio::set_position(Vec2 p) {
-  if (p == position_) return;
-  position_ = p;
-  medium_.on_position_changed(*this);
-}
-
 SPIDER_HOT bool Radio::send(net::Frame frame) {
-  if (switching_) {
+  if (medium_.is_switching(id_)) {
     ++tx_dropped_switching_;
     return false;
   }

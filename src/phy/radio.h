@@ -4,6 +4,13 @@
 // Retuning requires a hardware reset during which nothing can be sent or
 // received — this is the switching delay `w` of the paper's model and the
 // dominant term in Table 1's channel-switch latency.
+//
+// Memory layout: the fields the medium's hot paths read per candidate —
+// position, channel, switching flag, grid cell — do NOT live here. They sit
+// in the medium's RadioHotStore (struct-of-arrays, indexed by attach id);
+// the radio keeps only the id and reads through the medium's accessors, so
+// delivery scans stream dense arrays instead of dereferencing one Radio per
+// candidate. See DESIGN.md "Memory layout".
 #pragma once
 
 #include <cstdint>
@@ -43,15 +50,16 @@ class Radio {
   Radio& operator=(const Radio&) = delete;
 
   net::MacAddress address() const { return address_; }
-  net::ChannelId channel() const { return channel_; }
-  Vec2 position() const { return position_; }
+  net::ChannelId channel() const { return medium_.channel_of(id_); }
+  Vec2 position() const { return medium_.position_of(id_); }
   // Monotone attach-sequence number within this radio's medium: a small,
-  // stable integer id (used e.g. as a per-radio telemetry counter track).
-  std::uint64_t attach_order() const { return medium_link_.attach_id; }
+  // stable integer id (used e.g. as a per-radio telemetry counter track);
+  // also this radio's index into the medium's hot store.
+  std::uint64_t attach_order() const { return id_; }
   // Moves the radio and re-buckets it in the medium's spatial grid if it
   // crossed a cell boundary; a no-move update is free (parked vehicles get
   // position ticks too).
-  void set_position(Vec2 p);
+  void set_position(Vec2 p) { medium_.set_position(*this, p); }
   void set_receive_handler(ReceiveHandler handler) {
     receive_handler_ = std::move(handler);
   }
@@ -63,7 +71,7 @@ class Radio {
   }
 
   // True while a hardware reset is in flight; the radio is deaf and mute.
-  bool switching() const { return switching_; }
+  bool switching() const { return medium_.is_switching(id_); }
 
   // Retunes to `channel`. Invokes `done` (if any) once the reset completes.
   // Tuning to the current channel still incurs the reset (matches hardware).
@@ -85,7 +93,6 @@ class Radio {
 
  private:
   friend class Medium;
-  friend class RadioGrid;
   // Medium-side delivery entry point.
   void handle_delivery(const net::Frame& frame, const RxInfo& info);
   void handle_tx_result(const net::Frame& frame, bool ok);
@@ -93,11 +100,8 @@ class Radio {
   Medium& medium_;
   net::MacAddress address_;
   RadioConfig config_;
-  net::ChannelId channel_;
-  Vec2 position_{};
-  // Partition/grid bookkeeping owned by the medium (see spatial_grid.h).
-  MediumLink medium_link_;
-  bool switching_ = false;
+  // Handle into the medium's RadioHotStore (assigned by Medium::attach).
+  RadioId id_ = 0;
   sim::TimerHandle switch_timer_;
   ReceiveHandler receive_handler_;
   TxFailureHandler tx_failure_handler_;

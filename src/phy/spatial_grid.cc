@@ -1,9 +1,9 @@
 #include "phy/spatial_grid.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "core/check.h"
-#include "phy/radio.h"
 
 namespace spider::phy {
 
@@ -20,26 +20,25 @@ SPIDER_HOT RadioGrid::Cell RadioGrid::cell_of(Vec2 pos) const {
               static_cast<std::int32_t>(std::floor(pos.y * inv_cell_m_))};
 }
 
-void RadioGrid::insert(Radio& radio, Vec2 pos) {
-  MediumLink& link = radio.medium_link_;
+void RadioGrid::insert(RadioId id, Vec2 pos) {
   const Cell c = cell_of(pos);
-  link.cell_x = c.x;
-  link.cell_y = c.y;
-  std::vector<Radio*>& bucket = cells_[key(c.x, c.y)];
-  link.cell_index = static_cast<std::uint32_t>(bucket.size());
-  bucket.push_back(&radio);
+  store_->cell_x[id] = c.x;
+  store_->cell_y[id] = c.y;
+  std::vector<RadioId>& bucket = cells_[key(c.x, c.y)];
+  store_->cell_index[id] = static_cast<std::uint32_t>(bucket.size());
+  bucket.push_back(id);
   ++size_;
 }
 
-void RadioGrid::remove(Radio& radio) {
-  MediumLink& link = radio.medium_link_;
-  auto it = cells_.find(key(link.cell_x, link.cell_y));
-  SPIDER_CHECK(it != cells_.end() && link.cell_index < it->second.size())
+void RadioGrid::remove(RadioId id) {
+  auto it = cells_.find(key(store_->cell_x[id], store_->cell_y[id]));
+  SPIDER_CHECK(it != cells_.end() &&
+               store_->cell_index[id] < it->second.size())
       << "grid remove for a radio not in its recorded cell";
-  std::vector<Radio*>& bucket = it->second;
-  Radio* moved = bucket.back();
-  bucket[link.cell_index] = moved;
-  moved->medium_link_.cell_index = link.cell_index;
+  std::vector<RadioId>& bucket = it->second;
+  const RadioId moved = bucket.back();
+  bucket[store_->cell_index[id]] = moved;
+  store_->cell_index[moved] = store_->cell_index[id];
   bucket.pop_back();
   // Drop emptied buckets so a long drive doesn't strew dead cells along the
   // whole route; occupied_cells() stays proportional to the live deployment.
@@ -47,26 +46,24 @@ void RadioGrid::remove(Radio& radio) {
   --size_;
 }
 
-bool RadioGrid::update(Radio& radio, Vec2 pos) {
-  MediumLink& link = radio.medium_link_;
+bool RadioGrid::update(RadioId id, Vec2 pos) {
   const Cell c = cell_of(pos);
-  if (c.x == link.cell_x && c.y == link.cell_y) return false;
-  remove(radio);
-  insert(radio, pos);
+  if (c.x == store_->cell_x[id] && c.y == store_->cell_y[id]) return false;
+  remove(id);
+  insert(id, pos);
   return true;
 }
 
-SPIDER_HOT bool RadioGrid::plan_move(const Radio& radio, Vec2 pos,
+SPIDER_HOT bool RadioGrid::plan_move(RadioId id, Vec2 pos,
                                      GridMove& move) const {
-  const MediumLink& link = radio.medium_link_;
   const Cell c = cell_of(pos);
-  if (c.x == link.cell_x && c.y == link.cell_y) return false;
-  move = GridMove{const_cast<Radio*>(&radio), c.x, c.y};
+  if (c.x == store_->cell_x[id] && c.y == store_->cell_y[id]) return false;
+  move = GridMove{id, c.x, c.y};
   return true;
 }
 
-std::vector<Radio*>* RadioGrid::batch_bucket(std::uint64_t cell_key,
-                                             bool inserting) {
+std::vector<RadioId>* RadioGrid::batch_bucket(std::uint64_t cell_key,
+                                              bool inserting) {
   // Newest-first over a bounded tail: a fleet tick's crossers are spatially
   // clustered, so the hit is almost always within the first few entries.
   // Duplicate entries past the window are harmless (same pointer); the
@@ -81,7 +78,7 @@ std::vector<Radio*>* RadioGrid::batch_bucket(std::uint64_t cell_key,
       return batch_groups_[i - 1].second;
     }
   }
-  std::vector<Radio*>* bucket = nullptr;
+  std::vector<RadioId>* bucket = nullptr;
   if (inserting) {
     bucket = &cells_[cell_key];
   } else {
@@ -100,15 +97,14 @@ void RadioGrid::rebucket_batch(std::span<const GridMove> moves) {
   // source bucket through the per-batch memo.
   batch_groups_.clear();
   for (const GridMove& m : moves) {
-    MediumLink& link = m.radio->medium_link_;
-    std::vector<Radio*>& bucket =
-        *batch_bucket(key(link.cell_x, link.cell_y), /*inserting=*/false);
-    SPIDER_CHECK(link.cell_index < bucket.size() &&
-                 bucket[link.cell_index] == m.radio)
+    std::vector<RadioId>& bucket = *batch_bucket(
+        key(store_->cell_x[m.id], store_->cell_y[m.id]), /*inserting=*/false);
+    const std::uint32_t index = store_->cell_index[m.id];
+    SPIDER_CHECK(index < bucket.size() && bucket[index] == m.id)
         << "batch re-bucket for a radio not in its recorded cell";
-    Radio* moved = bucket.back();
-    bucket[link.cell_index] = moved;
-    moved->medium_link_.cell_index = link.cell_index;
+    const RadioId moved = bucket.back();
+    bucket[index] = moved;
+    store_->cell_index[moved] = index;
     bucket.pop_back();
     --size_;
   }
@@ -125,21 +121,22 @@ void RadioGrid::rebucket_batch(std::span<const GridMove> moves) {
   // entries never dangle within the pass.
   batch_groups_.clear();
   for (const GridMove& m : moves) {
-    std::vector<Radio*>& bucket =
+    std::vector<RadioId>& bucket =
         *batch_bucket(key(m.cell_x, m.cell_y), /*inserting=*/true);
-    MediumLink& link = m.radio->medium_link_;
-    link.cell_x = m.cell_x;
-    link.cell_y = m.cell_y;
-    link.cell_index = static_cast<std::uint32_t>(bucket.size());
-    bucket.push_back(m.radio);
+    store_->cell_x[m.id] = m.cell_x;
+    store_->cell_y[m.id] = m.cell_y;
+    store_->cell_index[m.id] = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back(m.id);
     ++size_;
   }
 }
 
-// Hot: per delivery. `out` is the medium's reserved candidates_ scratch, so
-// the appends below never grow it in steady state.
-SPIDER_HOT bool RadioGrid::gather(Vec2 center, double radius_m,
-                                  std::vector<Radio*>& out) const {
+// Hot: per delivery. `out` is carved from the drain arena at partition size
+// — an upper bound on the gather superset — so the bulk copies below never
+// bound-check or grow anything.
+SPIDER_HOT bool RadioGrid::gather(Vec2 center, double radius_m, RadioId* out,
+                                  std::size_t& count) const {
+  count = 0;
   const Cell lo = cell_of({center.x - radius_m, center.y - radius_m});
   const Cell hi = cell_of({center.x + radius_m, center.y + radius_m});
   const std::int64_t span_x = static_cast<std::int64_t>(hi.x) - lo.x + 1;
@@ -149,10 +146,23 @@ SPIDER_HOT bool RadioGrid::gather(Vec2 center, double radius_m,
     for (std::int32_t cx = lo.x; cx <= hi.x; ++cx) {
       auto it = cells_.find(key(cx, cy));
       if (it == cells_.end()) continue;
-      out.insert(out.end(), it->second.begin(), it->second.end());
+      const std::vector<RadioId>& bucket = it->second;
+      std::memcpy(out + count, bucket.data(), bucket.size() * sizeof(RadioId));
+      count += bucket.size();
     }
   }
   return true;
+}
+
+std::size_t RadioGrid::memory_bytes() const {
+  std::size_t total = cells_.size() *
+                      (sizeof(std::uint64_t) + sizeof(std::vector<RadioId>) +
+                       2 * sizeof(void*));  // node + bucket headers, approx
+  // spider-lint: allow(det-unordered-iteration) commutative capacity sum; no order-dependent state escapes
+  for (const auto& [k, bucket] : cells_) {
+    total += bucket.capacity() * sizeof(RadioId);
+  }
+  return total;
 }
 
 }  // namespace spider::phy

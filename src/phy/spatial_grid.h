@@ -1,12 +1,21 @@
-// Uniform spatial hash-grid over attached radios.
+// Dense hot radio state (struct-of-arrays) + uniform spatial hash-grid.
 //
 // The medium's delivery fast path needs "all radios within distance r of a
-// point" without scanning the world. Radios are bucketed into square cells of
-// side cell_m (chosen by the Medium as the maximum effective frame range, so
-// a delivery disc never overlaps more than a 3x3 neighborhood at standard
-// rates); buckets are updated lazily — only when a mobile radio actually
-// crosses a cell boundary, which at vehicular speeds is a few times per
-// minute, not per position tick.
+// point" without scanning the world, and it needs each candidate's position,
+// channel and switching flag without chasing a Radio*. Both live here:
+//
+//  - RadioHotStore holds the fields Medium::deliver, Medium::move_radios and
+//    the grid scans actually touch — position, address, channel, switching,
+//    grid cell, partition index — as parallel arrays indexed by attach id
+//    (monotone, never reused), so candidate loops stream contiguous memory
+//    and a 100k-radio world costs ~48 hot bytes per radio instead of a
+//    pointer chase into a ~200-byte Radio.
+//  - RadioGrid buckets ids into square cells of side cell_m (chosen by the
+//    Medium as the maximum effective frame range, so a delivery disc never
+//    overlaps more than a 3x3 neighborhood at standard rates); buckets are
+//    updated lazily — only when a mobile radio actually crosses a cell
+//    boundary, which at vehicular speeds is a few times per minute, not per
+//    position tick.
 //
 // Determinism contract: bucket iteration order depends on movement history
 // (swap-and-pop removal), so the grid NEVER defines delivery order. Callers
@@ -14,37 +23,74 @@
 // see Medium::deliver.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "net/addr.h"
 #include "phy/geom.h"
 
 namespace spider::phy {
 
 class Radio;
 
-// One pending re-bucket in a batched mobility tick: the radio already holds
-// its new position; (cell_x, cell_y) is the destination cell it must move
-// into. Produced by RadioGrid::plan_move, consumed by rebucket_batch.
-struct GridMove {
-  Radio* radio = nullptr;
-  std::int32_t cell_x = 0;
-  std::int32_t cell_y = 0;
+// Attach-sequence id, used directly as the index into RadioHotStore's
+// arrays. Ids are monotone from 1 and never reused, so sorting candidate ids
+// ascending IS attach order — the property the delivery RNG stream depends
+// on. 0 means "never attached".
+using RadioId = std::uint32_t;
+
+// Parallel arrays of the per-radio state the hot paths read, indexed by
+// RadioId. Owned by the Medium; the grid holds a pointer. `radio` doubles as
+// the liveness map (nullptr after detach), replacing the old attach-id hash.
+struct RadioHotStore {
+  std::vector<Vec2> position;
+  std::vector<net::MacAddress> address;
+  std::vector<std::int32_t> channel;
+  std::vector<std::uint8_t> switching;
+  std::vector<std::int32_t> cell_x;
+  std::vector<std::int32_t> cell_y;
+  std::vector<std::uint32_t> cell_index;    // index within the grid bucket
+  std::vector<std::uint32_t> member_index;  // index within channel partition
+  std::vector<Radio*> radio;
+
+  // Grows every array to cover `id` (amortized O(1) per attach).
+  void ensure(RadioId id) {
+    if (radio.size() > id) return;
+    const std::size_t n = static_cast<std::size_t>(id) + 1;
+    position.resize(n);
+    address.resize(n);
+    channel.resize(n);
+    switching.resize(n);
+    cell_x.resize(n);
+    cell_y.resize(n);
+    cell_index.resize(n);
+    member_index.resize(n);
+    radio.resize(n);
+  }
+
+  std::size_t capacity_bytes() const {
+    return position.capacity() * sizeof(Vec2) +
+           address.capacity() * sizeof(net::MacAddress) +
+           channel.capacity() * sizeof(std::int32_t) +
+           switching.capacity() * sizeof(std::uint8_t) +
+           cell_x.capacity() * sizeof(std::int32_t) +
+           cell_y.capacity() * sizeof(std::int32_t) +
+           cell_index.capacity() * sizeof(std::uint32_t) +
+           member_index.capacity() * sizeof(std::uint32_t) +
+           radio.capacity() * sizeof(Radio*);
+  }
 };
 
-// Per-radio bookkeeping owned by the Medium that the radio is attached to.
-// attach_id is the monotone attach-sequence number that defines the
-// deterministic candidate order (and survives pointer reuse, unlike the raw
-// Radio*); the remaining fields are O(1) handles into the partition's member
-// list and the grid bucket the radio currently occupies.
-struct MediumLink {
-  std::uint64_t attach_id = 0;
+// One pending re-bucket in a batched mobility tick: the store already holds
+// the radio's new position; (cell_x, cell_y) is the destination cell it must
+// move into. Produced by RadioGrid::plan_move, consumed by rebucket_batch.
+struct GridMove {
+  RadioId id = 0;
   std::int32_t cell_x = 0;
   std::int32_t cell_y = 0;
-  std::uint32_t cell_index = 0;    // index within the grid bucket
-  std::uint32_t member_index = 0;  // index within the channel partition
 };
 
 class RadioGrid {
@@ -61,23 +107,25 @@ class RadioGrid {
   std::size_t size() const { return size_; }
   std::size_t occupied_cells() const { return cells_.size(); }
 
+  // Must be called before the first insert; the store outlives the grid.
+  void bind(RadioHotStore* store) { store_ = store; }
   // Must be called before the first insert (the Medium sizes the grid from
   // its config after construction).
   void reset_cell_size(double cell_m);
 
-  void insert(Radio& radio, Vec2 pos);
-  void remove(Radio& radio);
+  void insert(RadioId id, Vec2 pos);
+  void remove(RadioId id);
   // Re-buckets the radio if `pos` crossed a cell boundary; returns whether
   // it did (exposed so tests can count lazy updates).
-  bool update(Radio& radio, Vec2 pos);
+  bool update(RadioId id, Vec2 pos);
 
   // Batched mobility. plan_move() is the read-only half of update(): it
   // returns true and fills `move` when `pos` crosses a cell boundary, so the
   // caller can collect a whole fleet tick's crossers and re-bucket them in
-  // one rebucket_batch() call instead of N update() calls. The radio's
-  // position must already be updated by the caller; the grid only reads the
-  // destination cell from `move`.
-  bool plan_move(const Radio& radio, Vec2 pos, GridMove& move) const;
+  // one rebucket_batch() call instead of N update() calls. The store must
+  // already hold the new position; the grid only reads the destination cell
+  // from `move`.
+  bool plan_move(RadioId id, Vec2 pos, GridMove& move) const;
   // Applies a batch of planned moves. Radios sharing a cell resolve their
   // bucket through a small per-batch memo instead of the hash map, so a
   // convoy crossing a boundary together pays a couple of hash lookups per
@@ -89,9 +137,15 @@ class RadioGrid {
 
   // Appends every radio whose cell overlaps the disc (center, radius) to
   // `out` — a superset of the radios within `radius`; the caller applies the
-  // exact distance filter. Returns false (leaving `out` untouched) when the
-  // disc spans more than kMaxGatherCells cells.
-  bool gather(Vec2 center, double radius_m, std::vector<Radio*>& out) const;
+  // exact distance filter. `out` must have room for size() ids (the caller
+  // carves it from the drain arena at partition size). Returns false
+  // (leaving count at 0) when the disc spans more than kMaxGatherCells
+  // cells.
+  bool gather(Vec2 center, double radius_m, RadioId* out,
+              std::size_t& count) const;
+
+  // Container overhead for bytes-per-radio accounting (buckets + hash map).
+  std::size_t memory_bytes() const;
 
  private:
   struct Cell {
@@ -110,13 +164,14 @@ class RadioGrid {
   // inserts a batch performs (unordered_map nodes never move); the memo is
   // searched newest-first over a bounded window, so clustered fleets hit it
   // almost always and pathological scatter degrades to plain hash lookups.
-  std::vector<Radio*>* batch_bucket(std::uint64_t cell_key, bool inserting);
+  std::vector<RadioId>* batch_bucket(std::uint64_t cell_key, bool inserting);
 
+  RadioHotStore* store_ = nullptr;
   double cell_m_ = 1.0;
   double inv_cell_m_ = 1.0;
   std::size_t size_ = 0;
-  std::unordered_map<std::uint64_t, std::vector<Radio*>> cells_;
-  std::vector<std::pair<std::uint64_t, std::vector<Radio*>*>> batch_groups_;
+  std::unordered_map<std::uint64_t, std::vector<RadioId>> cells_;
+  std::vector<std::pair<std::uint64_t, std::vector<RadioId>*>> batch_groups_;
 };
 
 }  // namespace spider::phy

@@ -187,6 +187,10 @@ SPIDER_HOT void Simulator::drain(Time limit) {
     ++executed_;
     ev.fn();
   }
+  // Drain boundary: everything bumped off the arena during this drain is
+  // dead now (the lifetime contract its users sign). Pure cursor rewind —
+  // capacity is retained, so a warm drain's reset never allocates.
+  arena_.reset();
 }
 
 void Simulator::run_until(Time limit) {

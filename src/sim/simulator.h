@@ -25,6 +25,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/arena.h"
 #include "sim/small_fn.h"
 #include "sim/time.h"
 #include "telemetry/hub.h"
@@ -138,6 +139,13 @@ class Simulator {
   telemetry::Hub& telemetry() { return telemetry_; }
   const telemetry::Hub& telemetry() const { return telemetry_; }
 
+  // Per-world bump arena for drain-scoped transients (delivery candidate
+  // scratch, RadioMove batches, staging buffers). Reset at the END of every
+  // drain, so nothing allocated from it may outlive the drain that made it;
+  // per-event users should take a core::Arena::Scope. See DESIGN.md
+  // "Memory layout" for the lifetime rules.
+  core::Arena& arena() { return arena_; }
+
   // Running digest (splitmix64-style avalanche mix) over executed
   // (time, event-id) pairs. Two runs of the same scenario must produce
   // identical digests or the simulator is not deterministic. Events that
@@ -191,6 +199,7 @@ class Simulator {
   std::size_t last_traced_depth_ = static_cast<std::size_t>(-1);
   bool stopped_ = false;
   telemetry::Hub telemetry_;
+  core::Arena arena_;
 
   // Determinism digest state: digest_ covers all closed instants; the
   // instant_* fields accumulate the (still open) current instant.

@@ -185,5 +185,49 @@ TEST(AllocGuardHotPaths, InternedBeaconTicksAreAllocationFree) {
       << "the guarded second must contain ~10 beacon deliveries";
 }
 
+TEST(AllocGuardHotPaths, InternedMgmtExchangeIsAllocationFreeOnceWarm) {
+  // A warm auth/assoc exchange end to end: request delivery, the AP's
+  // station lookup, the interned response mint (refcount bump), the pooled
+  // delayed-response node, the SmallFn-inline timer closure, and the
+  // response delivery back — none of it may touch the heap once the station
+  // entry, the response pool, and the medium's tx pool exist.
+  sim::Simulator sim;
+  phy::Medium medium(sim, sim::Rng(11), lossless());
+  mac::AccessPointConfig cfg;
+  cfg.intern_mgmt_responses = true;
+  mac::AccessPoint ap(medium, net::MacAddress::from_index(0xA41),
+                      {0.0, 0.0}, sim::Rng(12), cfg);
+  phy::Radio client(medium, net::MacAddress::from_index(0x52A),
+                    phy::RadioConfig{.initial_channel = cfg.channel});
+  client.set_position({5.0, 0.0});
+  std::uint64_t responses = 0;
+  client.set_receive_handler(
+      [&responses](const net::Frame& f, const phy::RxInfo&) {
+        if (f.kind == net::FrameKind::kAuthResponse ||
+            f.kind == net::FrameKind::kAssocResponse) {
+          ++responses;
+        }
+      });
+
+  const auto exchange = [&] {
+    client.send(net::make_auth_request(client.address(), ap.address()));
+    sim.run_all();
+    client.send(net::make_assoc_request(client.address(), ap.address()));
+    sim.run_all();
+  };
+  // Warm-up: mints the station entry, the first pooled response node, the
+  // tx pool, and sizes the event queue.
+  exchange();
+  ASSERT_EQ(responses, 2u);
+  {
+    ScopedAllocGuard guard("interned auth/assoc exchange steady state");
+    for (int i = 0; i < 16; ++i) exchange();
+    EXPECT_EQ(guard.allocations(), 0u)
+        << "a warm interned management exchange allocated";
+  }
+  EXPECT_EQ(responses, 34u)
+      << "the guarded loop must actually have completed exchanges";
+}
+
 }  // namespace
 }  // namespace spider::core

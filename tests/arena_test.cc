@@ -1,0 +1,129 @@
+// core::Arena — the simulator's per-drain bump allocator.
+//
+// The contract the hot paths rely on: warm allocation is a pointer bump
+// (no operator new), reset() is a cursor rewind that keeps every block,
+// alignment is honoured for any power of two, and Scope unwinds nested
+// scratch regions LIFO so callers can stack arrays without coordinating.
+#include "core/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace spider::core {
+namespace {
+
+TEST(Arena, FirstAllocationGrowsOnce) {
+  Arena arena;
+  EXPECT_EQ(arena.block_allocations(), 0u);
+  void* p = arena.allocate(16, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.block_allocations(), 1u);
+  EXPECT_GE(arena.capacity(), Arena::kDefaultFirstBlock);
+}
+
+TEST(Arena, WarmAllocationsReuseTheBlock) {
+  Arena arena;
+  arena.allocate(64, 8);
+  const std::uint64_t blocks = arena.block_allocations();
+  for (int i = 0; i < 1000; ++i) arena.allocate(32, 8);
+  EXPECT_EQ(arena.block_allocations(), blocks)
+      << "small warm allocations must never touch operator new";
+}
+
+TEST(Arena, AlignmentIsHonoured) {
+  Arena arena;
+  arena.allocate(1, 1);  // misalign the cursor
+  for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.allocate(8, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align " << align;
+    arena.allocate(1, 1);  // misalign again for the next round
+  }
+}
+
+TEST(Arena, ResetRewindsWithoutReleasingBlocks) {
+  Arena arena;
+  arena.allocate(4096, 8);
+  const std::size_t cap = arena.capacity();
+  const std::uint64_t blocks = arena.block_allocations();
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.block_allocations(), blocks);
+  EXPECT_EQ(arena.resets(), 1u);
+  // The rewound space is reusable without growth.
+  arena.allocate(4096, 8);
+  EXPECT_EQ(arena.block_allocations(), blocks);
+}
+
+TEST(Arena, GrowthCoversOversizedRequests) {
+  Arena arena;
+  // Larger than the default first block: growth must still satisfy it in
+  // one contiguous allocation.
+  const std::size_t big = Arena::kDefaultFirstBlock * 3;
+  auto* p = static_cast<char*>(arena.allocate(big, 8));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, big);  // the whole range must be writable
+  EXPECT_GE(arena.capacity(), big);
+}
+
+TEST(Arena, HighWaterTracksPeakAcrossResets) {
+  Arena arena;
+  arena.allocate(1024, 8);
+  arena.reset();
+  arena.allocate(16, 8);
+  EXPECT_GE(arena.high_water(), 1024u);
+  EXPECT_LT(arena.used(), 1024u);
+}
+
+TEST(Arena, AllocArrayIsTypedAndAligned) {
+  Arena arena;
+  double* d = arena.alloc_array<double>(37);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  for (int i = 0; i < 37; ++i) d[i] = i * 1.5;
+  EXPECT_EQ(d[36], 54.0);
+  // Zero-length arrays are legal and must not derail the cursor.
+  std::uint32_t* none = arena.alloc_array<std::uint32_t>(0);
+  std::uint32_t* one = arena.alloc_array<std::uint32_t>(1);
+  (void)none;
+  *one = 7;
+  EXPECT_EQ(*one, 7u);
+}
+
+TEST(Arena, ScopesUnwindLifo) {
+  Arena arena;
+  arena.allocate(128, 8);
+  const std::size_t base = arena.used();
+  {
+    Arena::Scope outer(arena);
+    arena.allocate(256, 8);
+    {
+      Arena::Scope inner(arena);
+      arena.allocate(512, 8);
+      EXPECT_GE(arena.used(), base + 256 + 512);
+    }
+    EXPECT_EQ(arena.used(), base + 256);
+  }
+  EXPECT_EQ(arena.used(), base);
+}
+
+TEST(Arena, MarkAndRewindAcrossBlockGrowth) {
+  Arena arena;
+  arena.allocate(16, 8);
+  const Arena::Marker m = arena.mark();
+  const std::size_t used_at_mark = arena.used();
+  // Force growth past the marked block, then rewind over the boundary.
+  arena.allocate(Arena::kDefaultFirstBlock * 2, 8);
+  arena.rewind(m);
+  EXPECT_EQ(arena.used(), used_at_mark);
+  // Allocating again after the rewind is safe and bump-only.
+  const std::uint64_t blocks = arena.block_allocations();
+  arena.allocate(64, 8);
+  EXPECT_EQ(arena.block_allocations(), blocks);
+}
+
+}  // namespace
+}  // namespace spider::core

@@ -29,6 +29,9 @@ phy::MediumConfig lossless() {
   phy::MediumConfig cfg;
   cfg.base_loss = 0.0;
   cfg.edge_degradation = false;
+  // The batched-moves test asserts deliveries_grid() directly; pin the
+  // auto-select threshold off so this small world still uses the grid.
+  cfg.indexed_scan_threshold = 0;
   return cfg;
 }
 
@@ -266,6 +269,134 @@ TEST(FleetHotPath, InternedApReusesOnePayloadAcrossBeaconsAndProbes) {
   const auto fresh = observed_payloads(false);
   EXPECT_GT(fresh.size(), 1u)
       << "non-interned AP should mint a payload per frame";
+}
+
+// --- management-response interning: auth/assoc alias the beacon payload ------
+
+// Runs several clients through full auth+assoc exchanges against one AP and
+// collects the payload storage pointer of every response, plus one beacon's
+// for cross-referencing. As above, every payload is kept alive for the whole
+// run so the allocator cannot recycle addresses and fake the aliasing.
+struct MgmtPayloads {
+  std::set<const net::FramePayload*> responses;
+  const net::FramePayload* beacon = nullptr;
+  int response_count = 0;
+  std::vector<net::SharedPayload> keepalive;
+};
+
+MgmtPayloads observed_mgmt_payloads(bool intern) {
+  sim::Simulator sim;
+  phy::Medium medium(sim, sim::Rng(1), lossless());
+  mac::AccessPointConfig ap_cfg;
+  ap_cfg.intern_mgmt_responses = intern;
+  ap_cfg.response_delay_min = sim::Time::millis(1);
+  ap_cfg.response_delay_max = sim::Time::millis(2);
+  mac::AccessPoint ap(medium, net::MacAddress::from_index(0xA1),
+                      phy::Vec2{0, 0}, sim::Rng(2), ap_cfg);
+  ap.start();
+
+  MgmtPayloads out;
+  std::vector<std::unique_ptr<phy::Radio>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<phy::Radio>(
+        medium, net::MacAddress::from_index(0xC0 + i),
+        phy::RadioConfig{.initial_channel = ap_cfg.channel}));
+    clients.back()->set_position({20.0 + i, 0.0});
+    // Delivery is promiscuous; count only frames addressed to this client so
+    // the expected response count stays exact.
+    const net::MacAddress self = clients.back()->address();
+    clients.back()->set_receive_handler(
+        [&out, self](const net::Frame& f, const phy::RxInfo&) {
+          if (f.dst != self && !f.dst.is_broadcast()) return;
+          if (f.kind == net::FrameKind::kAuthResponse ||
+              f.kind == net::FrameKind::kAssocResponse) {
+            ++out.response_count;
+            out.responses.insert(f.payload.storage());
+            out.keepalive.push_back(f.payload);
+          } else if (f.kind == net::FrameKind::kBeacon) {
+            out.beacon = f.payload.storage();
+            out.keepalive.push_back(f.payload);
+          }
+        });
+  }
+  // The AP beacons forever, so drive the exchanges off scheduled sends and a
+  // bounded run rather than run_all(). Auth at +10 ms steps, assoc 5 ms later
+  // (the response delay is capped at 2 ms, so auth always lands first).
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    phy::Radio* c = clients[i].get();
+    const net::MacAddress ap_addr = ap.address();
+    sim.schedule_at(sim::Time::millis(10 * (i + 1)), [c, ap_addr] {
+      c->send(net::make_auth_request(c->address(), ap_addr));
+    });
+    sim.schedule_at(sim::Time::millis(10 * (i + 1) + 5), [c, ap_addr] {
+      c->send(net::make_assoc_request(c->address(), ap_addr));
+    });
+  }
+  sim.run_until(sim::Time::millis(200));
+  return out;
+}
+
+TEST(FleetHotPath, InternedMgmtResponsesAliasTheBeaconPayload) {
+  const MgmtPayloads interned = observed_mgmt_payloads(true);
+  ASSERT_EQ(interned.response_count, 8);  // 4 clients × (auth + assoc)
+  ASSERT_EQ(interned.responses.size(), 1u)
+      << "every grant should hand out the same interned allocation";
+  EXPECT_NE(*interned.responses.begin(), nullptr);
+  EXPECT_EQ(*interned.responses.begin(), interned.beacon)
+      << "auth/assoc responses should alias the AP's beacon payload";
+  for (const net::SharedPayload& p : interned.keepalive) {
+    EXPECT_TRUE(p.holds<net::BeaconInfo>());
+  }
+
+  const MgmtPayloads fresh = observed_mgmt_payloads(false);
+  ASSERT_EQ(fresh.response_count, 8);
+  // Non-interned responses are payload-less: monostate, null storage.
+  ASSERT_EQ(fresh.responses.size(), 1u);
+  EXPECT_EQ(*fresh.responses.begin(), nullptr);
+}
+
+TEST(FleetHotPath, InternedMgmtPayloadOutlivesItsAccessPoint) {
+  // The payload is refcounted storage, not a pointer into the AP: a response
+  // captured by a receiver (e.g. parked in a power-save buffer or a trace)
+  // must stay readable after the AP is torn down mid-simulation.
+  sim::Simulator sim;
+  phy::Medium medium(sim, sim::Rng(3), lossless());
+  net::SharedPayload captured;
+  {
+    mac::AccessPointConfig ap_cfg;
+    ap_cfg.ssid = "teardown-ap";
+    ap_cfg.response_delay_min = sim::Time::millis(1);
+    ap_cfg.response_delay_max = sim::Time::millis(1);
+    mac::AccessPoint ap(medium, net::MacAddress::from_index(0xA2),
+                        phy::Vec2{0, 0}, sim::Rng(4), ap_cfg);
+    phy::Radio client(medium, net::MacAddress::from_index(0xC9),
+                      phy::RadioConfig{.initial_channel = ap_cfg.channel});
+    client.set_position({10.0, 0.0});
+    client.set_receive_handler(
+        [&captured](const net::Frame& f, const phy::RxInfo&) {
+          if (f.kind == net::FrameKind::kAuthResponse) captured = f.payload;
+        });
+    client.send(net::make_auth_request(client.address(), ap.address()));
+    sim.run_all();
+    ASSERT_TRUE(captured.holds<net::BeaconInfo>());
+  }
+  // AP (and its interned payload member) destroyed; the captured refcount
+  // keeps the storage alive.
+  ASSERT_TRUE(captured.holds<net::BeaconInfo>());
+  EXPECT_EQ(captured.get_if<net::BeaconInfo>()->ssid, "teardown-ap");
+}
+
+TEST(FleetHotPath, MgmtInterningIsDigestNeutralFullStack) {
+  std::uint64_t digests[2] = {0, 0};
+  for (int interned = 0; interned < 2; ++interned) {
+    FleetConfig cfg = small_fleet(/*batch_mobility=*/true, true);
+    cfg.ap_mac.intern_mgmt_responses = interned == 1;
+    FleetExperiment fleet(std::move(cfg));
+    fleet.run();
+    digests[interned] = fleet.simulator().digest();
+  }
+  EXPECT_EQ(digests[0], digests[1])
+      << "interned management responses changed what went on the air";
 }
 
 }  // namespace

@@ -14,20 +14,27 @@ struct Node {
 
 struct Widget {
   std::vector<int> items_;
+  std::vector<int> pool_;
+
+  void init() { pool_.reserve(64); }
 
   SPIDER_HOT void tick(std::vector<int>& scratch) {
-    items_.push_back(1);   // member ending in '_': reserved, not flagged
-    scratch.push_back(2);  // expect finding: line 20
-    Node* raw = new Node;  // expect finding: line 21
+    pool_.push_back(0);    // reserved in init(): visible reserve, not flagged
+    items_.push_back(1);   // expect finding: member but no visible reserve
+    scratch.push_back(2);  // expect finding: line 24
+    scratch.resize(9);     // expect finding: resize can reallocate too
+    Node* raw = new Node;  // expect finding: line 26
     delete raw;
-    auto owned = std::make_unique<Node>();  // expect finding: line 23
-    record(std::to_string(owned->value));   // expect finding: line 24
+    auto owned = std::make_unique<Node>();  // expect finding: line 28
+    record(std::to_string(owned->value));   // expect finding: line 29
+    // spider-lint: allow(hot-path-alloc) fixture: one-line suppression works
+    scratch.push_back(3);
   }
 
   void record(const std::string&) {}
 
   // Identical body outside a SPIDER_HOT function: no findings.
-  void cold(std::vector<int>& scratch) { scratch.push_back(3); }
+  void cold(std::vector<int>& scratch) { scratch.push_back(4); }
 };
 
 }  // namespace fixture

@@ -28,6 +28,9 @@ MediumConfig lossless() {
   MediumConfig cfg;
   cfg.base_loss = 0.0;
   cfg.edge_degradation = false;
+  // These tests assert grid/scan counters directly; pin the auto-select
+  // threshold off so small worlds still exercise the grid path.
+  cfg.indexed_scan_threshold = 0;
   return cfg;
 }
 
@@ -104,11 +107,12 @@ struct PathOutcome {
   std::uint64_t scan = 0;
 };
 
-PathOutcome run_lossy_scenario(bool indexed) {
+PathOutcome run_lossy_scenario(bool indexed, std::size_t scan_threshold = 0) {
   sim::Simulator sim;
   MediumConfig cfg;
   cfg.base_loss = 0.3;  // every in-range receiver consumes Bernoulli draws
   cfg.indexed_delivery = indexed;
+  cfg.indexed_scan_threshold = scan_threshold;  // 0: grid counters asserted
   Medium medium(sim, sim::Rng(42), cfg);
   sim::Rng layout(9);
 
@@ -156,6 +160,35 @@ TEST(FastPath, IndexedAndScanPathsConsumeIdenticalRngStreams) {
   EXPECT_GT(fast.grid, 0u);
   EXPECT_EQ(reference.grid, 0u);
   EXPECT_GT(reference.scan, 0u);
+}
+
+TEST(FastPath, AutoSelectScanThresholdIsDigestNeutral) {
+  // The small-partition auto-select (scan a partition instead of walking the
+  // grid when it has few members) is a pure work optimization: whatever the
+  // threshold, the same frames must be delivered off the same RNG stream.
+  // The scan superset passes through the identical channel/switching/range
+  // filters before any randomness is consumed, so the draws line up.
+  const PathOutcome pinned = run_lossy_scenario(true, 0);
+  const PathOutcome mixed = run_lossy_scenario(true, 25);
+  const PathOutcome scan_all = run_lossy_scenario(true, 1000);
+
+  EXPECT_EQ(pinned.digest, mixed.digest)
+      << "auto-select threshold leaked into the executed-event record";
+  EXPECT_EQ(pinned.digest, scan_all.digest);
+  EXPECT_EQ(pinned.delivered, mixed.delivered);
+  EXPECT_EQ(pinned.delivered, scan_all.delivered);
+  EXPECT_EQ(pinned.lost, mixed.lost);
+  EXPECT_EQ(pinned.lost, scan_all.lost);
+
+  // And the arms really differed: pinned never scanned, the mid threshold
+  // exercised both arms in one run (the retunes push one partition past 25
+  // members), and the high threshold never touched the grid.
+  EXPECT_EQ(pinned.scan, 0u);
+  EXPECT_GT(pinned.grid, 0u);
+  EXPECT_GT(mixed.grid, 0u);
+  EXPECT_GT(mixed.scan, 0u);
+  EXPECT_EQ(scan_all.grid, 0u);
+  EXPECT_GT(scan_all.scan, 0u);
 }
 
 TEST(FastPath, FullStackDigestIndependentOfDeliveryPath) {

@@ -107,12 +107,15 @@ TEST(SpiderLint, HotPathAllocFlagsOnlyHotBodies) {
   const RunResult r = run_lint("--json " + fixture("hot_alloc.cc"));
   EXPECT_EQ(r.exit_code, 1);
   const std::vector<LineRule> expected = {
-      {20, "hot-path-alloc"},  // push_back on non-member
-      {21, "hot-path-alloc"},  // operator new
-      {23, "hot-path-alloc"},  // make_unique
-      {24, "hot-path-alloc"},  // std::to_string
+      {23, "hot-path-alloc"},  // member push_back without visible reserve
+      {24, "hot-path-alloc"},  // push_back on a parameter
+      {25, "hot-path-alloc"},  // resize without visible reserve
+      {26, "hot-path-alloc"},  // operator new
+      {28, "hot-path-alloc"},  // make_unique
+      {29, "hot-path-alloc"},  // std::to_string
   };
-  // The identical cold() body must contribute nothing.
+  // The reserved pool_, the allow()-shielded push_back, and the identical
+  // cold() body must contribute nothing.
   EXPECT_EQ(findings_of(r), expected) << r.out;
 }
 
@@ -158,9 +161,9 @@ TEST(SpiderLint, DirectoryScanAggregatesAndSortsFindings) {
   EXPECT_EQ(r.exit_code, 1);
   spider::telemetry::JsonValue doc;
   ASSERT_TRUE(spider::telemetry::parse_json(r.out, doc)) << r.out;
-  // 3 unordered + 6 banned + 4 hot-alloc + 3 pointer-order + 2 check-policy
+  // 3 unordered + 6 banned + 6 hot-alloc + 3 pointer-order + 2 check-policy
   // + 2 bad suppressions; the clean/suppressed fixtures contribute zero.
-  EXPECT_EQ(doc.number_or("count", -1), 20) << r.out;
+  EXPECT_EQ(doc.number_or("count", -1), 22) << r.out;
   const auto* findings = doc.find("findings");
   ASSERT_NE(findings, nullptr);
   ASSERT_TRUE(findings->is_array());

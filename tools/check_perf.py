@@ -5,11 +5,15 @@ Usage: check_perf.py <baseline.json> <measurement.json> [more measurements...]
 
 Every numeric leaf in the baseline (bench/BENCH_perf_baseline.json), except
 the "schema"/"note" annotations, is a floor: the corresponding metric in the
-measurements must reach floor minus a 5% tolerance. The gated metrics are
-ratios of two throughputs measured in the same binary on the same machine
-(event-queue speedup, PHY indexed-vs-scan speedup), so they are
-hardware-normalized; several measurement files may be passed and the gate
-takes the best value per metric, since CI runners are noisy.
+measurements must reach floor minus a 5% tolerance. A leaf whose name starts
+with "max_" is a ceiling instead: it gates the measurement key without the
+prefix (e.g. baseline "max_bytes_per_radio" gates measured "bytes_per_radio")
+and the measurements must stay at or under it plus the same tolerance. Most
+gated metrics are ratios of two throughputs measured in the same binary on
+the same machine (event-queue speedup, PHY indexed-vs-scan speedup), so they
+are hardware-normalized; several measurement files may be passed and the
+gate takes the best value per metric (highest for floors, lowest for
+ceilings), since CI runners are noisy.
 
 Exits 0 when every metric clears its bar, 1 otherwise.
 """
@@ -17,6 +21,8 @@ import json
 import sys
 
 TOLERANCE = 0.05
+
+CEILING_PREFIX = "max_"
 
 
 def numeric_leaves(doc, prefix=""):
@@ -50,14 +56,29 @@ def main(argv):
 
     ok = True
     for path, base in numeric_leaves(baseline):
-        floor = base * (1.0 - TOLERANCE)
-        best = max(lookup(m, path) for m in measurements)
-        passed = best >= floor
+        parts = path.split(".")
+        is_ceiling = parts[-1].startswith(CEILING_PREFIX)
+        if is_ceiling:
+            measured_path = ".".join(
+                parts[:-1] + [parts[-1][len(CEILING_PREFIX):]]
+            )
+            ceiling = base * (1.0 + TOLERANCE)
+            best = min(lookup(m, measured_path) for m in measurements)
+            passed = best <= ceiling
+            print(
+                f"{'PASS' if passed else 'FAIL'}: {measured_path} best "
+                f"{best:.3f} vs ceiling {ceiling:.3f} "
+                f"(baseline {base:.3f} + {TOLERANCE:.0%})"
+            )
+        else:
+            floor = base * (1.0 - TOLERANCE)
+            best = max(lookup(m, path) for m in measurements)
+            passed = best >= floor
+            print(
+                f"{'PASS' if passed else 'FAIL'}: {path} best {best:.3f} vs "
+                f"floor {floor:.3f} (baseline {base:.3f} - {TOLERANCE:.0%})"
+            )
         ok = ok and passed
-        print(
-            f"{'PASS' if passed else 'FAIL'}: {path} best {best:.3f} vs "
-            f"floor {floor:.3f} (baseline {base:.3f} - {TOLERANCE:.0%})"
-        )
     return 0 if ok else 1
 
 

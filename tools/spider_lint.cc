@@ -29,8 +29,10 @@
 //                            values — addresses differ run to run.
 //   hot-path-alloc           inside a function marked SPIDER_HOT: `new`,
 //                            make_shared/make_unique, std::function,
-//                            push_back/emplace_back on non-member vectors,
-//                            string building. Hot paths allocate nothing in
+//                            container growth (push_back/emplace_back/
+//                            resize) whose receiver has no visible
+//                            `reserve(` anywhere in the same file, string
+//                            building. Hot paths allocate nothing in
 //                            steady state (core/alloc_guard.h proves it at
 //                            runtime; this rule catches it in review).
 //   check-policy             raw assert()/abort() where SPIDER_CHECK /
@@ -89,8 +91,9 @@ constexpr RuleInfo kRules[] = {
      "order by a stable id (attach id, bssid, name) instead of the pointer"},
     {"hot-path-alloc",
      "allocation idiom inside a SPIDER_HOT function",
-     "hot paths allocate nothing in steady state: use reserved member "
-     "scratch, pooled nodes, or interned payloads (see DESIGN.md)"},
+     "hot paths allocate nothing in steady state: reserve() the container "
+     "up front, or use arena scratch, pooled nodes, or interned payloads "
+     "(see DESIGN.md)"},
     {"check-policy",
      "raw assert()/abort() bypasses the SPIDER_CHECK policy layer",
      "use SPIDER_CHECK / SPIDER_DCHECK / SPIDER_UNREACHABLE from "
@@ -668,13 +671,17 @@ void check_hot_path_alloc(const SourceFile& f, std::vector<Finding>& findings) {
              "heap — use sim::SmallFn or a pooled node");
       }
     }
-    // push_back/emplace_back on a non-member container: members end in '_'
-    // by repo convention and own reserved capacity; anything else is a local
-    // or parameter growing on the hot path.
-    static const std::regex kGrow(R"((?:\.|->)\s*(?:push|emplace)_back\s*\()");
+    // Container growth — push_back/emplace_back/resize — can reallocate. A
+    // receiver is exempt only when the same file visibly reserves capacity
+    // on it (`name.reserve(` / `name->reserve(`): constructors and init
+    // paths count, because the contract is reserved-then-grown, not
+    // reserved-inside-the-hot-body. Member spelling alone proves nothing.
+    static const std::regex kGrow(
+        R"((?:\.|->)\s*((?:push|emplace)_back|resize)\s*\()");
     for (std::sregex_iterator it(scope.begin(), scope.end(), kGrow), end;
          it != end; ++it) {
       std::size_t r = static_cast<std::size_t>(it->position());
+      const std::string method = (*it)[1].str();
       // Walk back over the receiver: trailing index `[...]` then identifier.
       std::size_t j = r;
       while (j > 0 && std::isspace(static_cast<unsigned char>(scope[j - 1]))) {
@@ -691,9 +698,16 @@ void check_hot_path_alloc(const SourceFile& f, std::vector<Finding>& findings) {
       std::size_t name_end = j;
       while (j > 0 && ident_char(scope[j - 1])) --j;
       const std::string name = scope.substr(j, name_end - j);
-      if (name.empty() || name.back() != '_') {
-        flag(at(r), "push_back on non-member container '" + name +
-                        "' can reallocate on the hot path");
+      // Identifier characters only, so splicing the name into a regex is
+      // safe without escaping.
+      const bool reserved =
+          !name.empty() &&
+          std::regex_search(
+              text, std::regex("\\b" + name + R"(\s*(?:\.|->)\s*reserve\s*\()"));
+      if (!reserved) {
+        flag(at(r), method + " on container '" + name +
+                        "' with no visible reserve can reallocate on the "
+                        "hot path");
       }
     }
     for (std::size_t pos : token_positions(scope, "to_string")) {
