@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/configs.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "telemetry/stream_exporter.h"
 #include "trace/stats.h"
 
 namespace spider::bench {
@@ -24,11 +26,16 @@ namespace spider::bench {
 //                        (inspect with `spider-trace <path>`);
 //   --trace <path>       record the binary's *first* replication with the
 //                        Chrome trace recorder and write the JSON there
-//                        (load in Perfetto / chrome://tracing).
-// Both also accept the --flag=value spelling.
+//                        (load in Perfetto / chrome://tracing);
+//   --stream <path>      stream every replication live as
+//                        spider-telemetry-stream-v1 JSONL (inspect with
+//                        `spider-trace <path>`; see DESIGN.md "Live
+//                        telemetry plane").
+// All also accept the --flag=value spelling.
 struct TelemetryOptions {
   std::string telemetry_path;
   std::string trace_path;
+  std::string stream_path;
 };
 
 inline TelemetryOptions& telemetry_options() {
@@ -52,8 +59,39 @@ inline void parse_common_flags(int argc, char** argv) {
       options.telemetry_path = v;
     } else if (const char* v = value_of("--trace", i)) {
       options.trace_path = v;
+    } else if (const char* v = value_of("--stream", i)) {
+      options.stream_path = v;
     }
   }
+}
+
+// The binary's shared stream exporter, created on first use when --stream is
+// set (nullptr otherwise). One exporter serves every sweep in the binary;
+// its I/O thread outlives all runs and flushes the file sink at exit.
+inline telemetry::StreamExporter* stream_exporter() {
+  const TelemetryOptions& options = telemetry_options();
+  if (options.stream_path.empty()) return nullptr;
+  static telemetry::StreamExporter exporter;
+  static const bool wired = [] {
+    auto sink = std::make_shared<telemetry::FileStreamSink>(
+        telemetry_options().stream_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "warning: could not open stream file %s\n",
+                   telemetry_options().stream_path.c_str());
+      return false;
+    }
+    exporter.add_sink(std::move(sink));
+    return true;
+  }();
+  return wired ? &exporter : nullptr;
+}
+
+// Binary-wide run tags for --stream: configs materialize serially in
+// submission order (core/sweep.cc), so consecutive tags are deterministic
+// across worker counts and a multi-sweep bench never reuses a tag.
+inline std::uint32_t next_stream_run_tag() {
+  static std::uint32_t next = 1;
+  return next++;
 }
 
 // Worker threads for bench sweeps: SPIDER_BENCH_THREADS if set (>0), else
@@ -89,6 +127,10 @@ inline std::vector<core::ExperimentResults> run_seed_replications(
         // Configs materialize serially in submission order, so invocation 0
         // is exactly run 0 of this sweep.
         if (want_trace && invocation == 0) cfg.trace_enabled = true;
+        if (telemetry::StreamExporter* stream = stream_exporter()) {
+          cfg.stream = stream;
+          cfg.stream_run_tag = next_stream_run_tag();
+        }
         ++invocation;
         return cfg;
       },

@@ -49,6 +49,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/thread_pool.h"
+#include "telemetry/stream_exporter.h"
 
 using namespace spider;
 
@@ -210,6 +211,55 @@ class TracedSimulator : public sim::Simulator {
  public:
   TracedSimulator() { telemetry().trace().set_enabled(true); }
 };
+
+#if SPIDER_TELEMETRY
+// Same engine with a live StreamSession attached (DESIGN.md "Live telemetry
+// plane"): the cadence hook in Simulator::drain fires a metrics publish at
+// every 100 us sim-time boundary, records cross the SPSC ring, and the
+// exporter thread renders them to the sample stream file. This bounds the
+// price of *watching* a run live — the exporter-overhead floor in
+// bench/BENCH_perf_baseline.json gates it.
+telemetry::StreamExporter& smoke_stream_exporter() {
+  static telemetry::StreamExporter exporter;
+  static const bool wired = [] {
+    const std::string& flag = bench::telemetry_options().stream_path;
+    const std::string path = flag.empty() ? "BENCH_stream_sample.jsonl" : flag;
+    auto sink = std::make_shared<telemetry::FileStreamSink>(path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "warning: could not open stream file %s\n",
+                   path.c_str());
+      return false;
+    }
+    exporter.add_sink(std::move(sink));
+    return true;
+  }();
+  (void)wired;
+  return exporter;
+}
+
+class StreamingSimulator : public sim::Simulator {
+ public:
+  StreamingSimulator()
+      : session_(smoke_stream_exporter(), telemetry(), next_tag(),
+                 /*cadence_us=*/100) {
+    session_.begin(now().us(), /*seed=*/0);
+  }
+  ~StreamingSimulator() {
+    session_.finish(now().us(), digest(), events_executed());
+  }
+
+ private:
+  static std::uint32_t next_tag() {
+    static std::uint32_t next = 1;
+    return next++;
+  }
+
+  // Member of the derived class: destroyed before the base Simulator (and
+  // the Hub/Registry the stream records point into), per the session's
+  // lifetime contract.
+  telemetry::StreamSession session_;
+};
+#endif  // SPIDER_TELEMETRY
 
 core::ExperimentConfig sweep_config(std::uint64_t seed) {
   auto cfg = bench::amherst_drive(seed, sim::Time::seconds(120));
@@ -579,6 +629,28 @@ int main(int argc, char** argv) {
               "              recorder armed (%.2fx of tracing-off)\n",
               SPIDER_TELEMETRY ? "in" : "out", traced, traced / optimized);
 
+  // ---- live stream exporter overhead --------------------------------------
+  // Same churn with a StreamSession attached at a 100 us cadence (aggressive:
+  // production defaults stream every 100 ms). The ratio vs. the plain engine
+  // is the price of live observability; bench/BENCH_perf_baseline.json floors
+  // it at 0.95.
+  double streaming = optimized;
+  std::uint64_t stream_lines = 0;
+  std::uint64_t stream_dropped = 0;
+#if SPIDER_TELEMETRY
+  churn_events_per_sec<StreamingSimulator>(10, kPerWave, &sink);  // warm
+  streaming = churn_events_per_sec<StreamingSimulator>(kWaves, kPerWave, &sink);
+  stream_lines = smoke_stream_exporter().lines_written();
+  stream_dropped = smoke_stream_exporter().ring_dropped();
+#endif
+  const double stream_ratio = streaming / optimized;
+  std::printf("stream:       %.3g events/s with a live 100us-cadence stream\n"
+              "              session (%.2fx of stream-off; %llu lines, %llu\n"
+              "              ring drops)\n",
+              streaming, stream_ratio,
+              static_cast<unsigned long long>(stream_lines),
+              static_cast<unsigned long long>(stream_dropped));
+
   // ---- PHY delivery: partition+grid index vs. world scan ------------------
   constexpr int kPhyScales[] = {50, 500, 2000};
   constexpr int kPhyFrames = 20'000;
@@ -729,6 +801,14 @@ int main(int argc, char** argv) {
       .add("tracing_on_events_per_sec", traced)
       .add("tracing_on_ratio", traced / optimized);
 
+  bench::JsonWriter stream_json;
+  stream_json.add("events_per_sec_streaming", streaming)
+      .add("events_per_sec_plain", optimized)
+      .add("overhead_ratio", stream_ratio)
+      .add("cadence_us", 100)
+      .add("lines_written", stream_lines)
+      .add("ring_dropped", stream_dropped);
+
   bench::JsonWriter sweep;
   sweep.add("replications", static_cast<std::uint64_t>(seeds.size()))
       .add("sim_seconds_each", 120)
@@ -744,6 +824,7 @@ int main(int argc, char** argv) {
   doc.add("schema", "spider-bench-perf-v1")
       .add("hardware_threads", sim::ThreadPool::default_thread_count())
       .add_object("event_queue", event_queue)
+      .add_object("stream", stream_json)
       .add_object("phy", phy_json)
       .add_object("scale", scale_json)
       .add_object("fleet", fleet_json)

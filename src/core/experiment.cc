@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/stream_exporter.h"
+
 namespace spider::core {
 
 Experiment::Experiment(ExperimentConfig config)
@@ -66,7 +68,16 @@ Experiment::Experiment(ExperimentConfig config)
           [this](net::Bssid bssid) { flows_->close_flow(bssid); });
       break;
   }
+
+  if (config_.stream != nullptr) {
+    stream_ = std::make_unique<telemetry::StreamSession>(
+        *config_.stream, sim_.telemetry(), config_.stream_run_tag,
+        config_.stream_cadence.us(), config_.stream_ring_capacity);
+    stream_->begin(sim_.now().us(), config_.seed);
+  }
 }
+
+Experiment::~Experiment() = default;
 
 void Experiment::attach_frame_log(trace::FrameLog& log) {
   // Ring overflow streams into the trace recorder (instant events) instead
@@ -100,6 +111,9 @@ ExperimentResults Experiment::run() {
   update_position();
 
   sim_.run_until(config_.duration);
+  if (stream_) {
+    stream_->finish(sim_.now().us(), sim_.digest(), sim_.events_executed());
+  }
 
   ExperimentResults r;
   r.traffic = tracker_.report(config_.duration);

@@ -27,6 +27,11 @@
 #include "trace/connectivity.h"
 #include "trace/frame_log.h"
 
+namespace spider::telemetry {
+class StreamExporter;
+class StreamSession;
+}  // namespace spider::telemetry
+
 namespace spider::core {
 
 enum class DriverKind : std::uint8_t { kSpider, kStock };
@@ -53,6 +58,14 @@ struct ExperimentConfig {
   // one ring write per span, and sweeps only want it on a chosen run.
   bool trace_enabled = false;
   std::size_t trace_capacity = telemetry::TraceRecorder::kDefaultCapacity;
+  // Live telemetry plane (DESIGN.md): when non-null, the experiment attaches
+  // a StreamSession to this exporter and publishes metrics deltas at
+  // `stream_cadence` of simulated time, plus trace events as they record.
+  // Streaming never perturbs the run: digests are identical on and off.
+  telemetry::StreamExporter* stream = nullptr;
+  std::uint32_t stream_run_tag = 0;  // "run" field on every streamed line
+  sim::Time stream_cadence = sim::Time::millis(100);
+  std::size_t stream_ring_capacity = 1 << 15;
 };
 
 struct ExperimentResults {
@@ -83,6 +96,7 @@ struct ExperimentResults {
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig config);
+  ~Experiment();  // out of line: stream_ points at an incomplete type here
 
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
@@ -120,6 +134,9 @@ class Experiment {
   std::unique_ptr<FlowManager> flows_;
   std::unique_ptr<phy::EnergyMeter> energy_;
   trace::ConnectivityTracker tracker_;
+  // Last member: destroyed first, so the session detaches (and drains its
+  // ring) while the world and its registry strings are still alive.
+  std::unique_ptr<telemetry::StreamSession> stream_;
   bool ran_ = false;
 };
 

@@ -7,6 +7,7 @@
 
 #include "core/arena.h"
 #include "core/check.h"
+#include "telemetry/stream_exporter.h"
 
 namespace spider::core {
 
@@ -90,7 +91,16 @@ FleetExperiment::FleetExperiment(FleetConfig config)
         [raw](net::Bssid bssid) { raw->flows->close_flow(bssid); });
     clients_.push_back(std::move(client));
   }
+
+  if (config_.stream != nullptr) {
+    stream_ = std::make_unique<telemetry::StreamSession>(
+        *config_.stream, sim_.telemetry(), config_.stream_run_tag,
+        config_.stream_cadence.us(), config_.stream_ring_capacity);
+    stream_->begin(sim_.now().us(), config_.seed);
+  }
 }
+
+FleetExperiment::~FleetExperiment() = default;
 
 // Hot per mobility tick: the move batch is carved from the drain arena
 // (bump-pointer once the first tick warmed the block), and the batched path
@@ -127,6 +137,9 @@ FleetResults FleetExperiment::run() {
   for (auto& client : clients_) client->driver->start();
   update_positions();
   sim_.run_until(config_.duration);
+  if (stream_) {
+    stream_->finish(sim_.now().us(), sim_.digest(), sim_.events_executed());
+  }
 
   FleetResults results;
   for (auto& client : clients_) {

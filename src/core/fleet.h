@@ -24,6 +24,11 @@
 #include "tcp/tcp.h"
 #include "trace/connectivity.h"
 
+namespace spider::telemetry {
+class StreamExporter;
+class StreamSession;
+}  // namespace spider::telemetry
+
 namespace spider::core {
 
 struct FleetConfig {
@@ -47,6 +52,11 @@ struct FleetConfig {
   sim::Time backhaul_latency = sim::Time::millis(100);
   tcp::TcpConfig tcp;
   SpiderConfig spider;
+  // Live telemetry plane — same contract as ExperimentConfig::stream.
+  telemetry::StreamExporter* stream = nullptr;
+  std::uint32_t stream_run_tag = 0;
+  sim::Time stream_cadence = sim::Time::millis(100);
+  std::size_t stream_ring_capacity = 1 << 15;
 };
 
 struct FleetClientResults {
@@ -66,6 +76,7 @@ struct FleetResults {
 class FleetExperiment {
  public:
   explicit FleetExperiment(FleetConfig config);
+  ~FleetExperiment();  // out of line: StreamSession is incomplete here
 
   FleetExperiment(const FleetExperiment&) = delete;
   FleetExperiment& operator=(const FleetExperiment&) = delete;
@@ -96,6 +107,8 @@ class FleetExperiment {
   std::unique_ptr<tcp::ContentServer> server_;
   std::vector<std::unique_ptr<backhaul::ApHost>> ap_hosts_;
   std::vector<std::unique_ptr<Client>> clients_;
+  // Last member: destroyed first, detaching/draining before the world dies.
+  std::unique_ptr<telemetry::StreamSession> stream_;
   bool ran_ = false;
 };
 

@@ -94,6 +94,11 @@ SweepReport SweepRunner::run(std::size_t replications,
   configs.reserve(replications);
   for (std::size_t i = 0; i < replications; ++i) {
     configs.push_back(make_config(i));
+    // Streamed lines are tagged with the submission index, never a worker
+    // id, so a live stream sorts deterministically by (run, seq) whatever
+    // the thread count. Factories that set their own tag keep it.
+    if (configs.back().stream != nullptr && configs.back().stream_run_tag == 0)
+      configs.back().stream_run_tag = static_cast<std::uint32_t>(i);
   }
 
   const auto start = std::chrono::steady_clock::now();

@@ -1,0 +1,317 @@
+#include "server/run_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+#include "mobility/deployment.h"
+#include "mobility/route.h"
+#include "telemetry/json.h"
+#include "telemetry/run_report.h"
+
+namespace spider::server {
+namespace {
+
+// Follower connection: the sink owns the fd once "follow" is accepted and
+// closes it when the exporter unsubscribes (write failure) or shuts down.
+class SocketSink : public telemetry::StreamSink {
+ public:
+  explicit SocketSink(int fd) : fd_(fd) {}
+  ~SocketSink() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool write_line(std::string_view line) override {
+    const char* p = line.data();
+    std::size_t n = line.size();
+    while (n > 0) {
+      const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      p += static_cast<std::size_t>(w);
+      n -= static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+
+ private:
+  int fd_;
+};
+
+bool send_all(int fd, std::string_view text) {
+  const char* p = text.data();
+  std::size_t n = text.size();
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    p += static_cast<std::size_t>(w);
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string error_line(std::string_view message) {
+  std::string out = "{\"ok\":false,\"error\":";
+  telemetry::append_json_quoted(out, message);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+core::ExperimentConfig drive_scenario(std::uint64_t seed, sim::Time duration,
+                                      int aps) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = duration;
+  sim::Rng rng(seed ^ 0x5eedf00dULL);
+  cfg.aps = mobility::area_deployment(700.0, 500.0, aps, rng);
+  cfg.vehicle =
+      mobility::Vehicle{mobility::Route::rectangle(600.0, 400.0), 10.0};
+  return cfg;
+}
+
+core::FleetConfig fleet_scenario(std::uint64_t seed, sim::Time duration,
+                                 int clients, int aps) {
+  core::FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = duration;
+  cfg.clients = clients;
+  sim::Rng rng(seed ^ 0x5eedf00dULL);
+  cfg.aps = mobility::area_deployment(700.0, 500.0, aps, rng);
+  cfg.vehicle =
+      mobility::Vehicle{mobility::Route::rectangle(600.0, 400.0), 10.0};
+  return cfg;
+}
+
+RunServer::RunServer(RunServerConfig config) : config_(std::move(config)) {}
+
+RunServer::~RunServer() { stop(); }
+
+bool RunServer::start() {
+  SPIDER_CHECK(!running()) << "RunServer::start: already running";
+  if (!config_.stream_file.empty()) {
+    auto sink = std::make_shared<telemetry::FileStreamSink>(
+        config_.stream_file);
+    if (sink->ok()) exporter_.add_sink(std::move(sink));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  shutdown_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  runner_thread_ = std::thread([this] { runner_loop(); });
+  return true;
+}
+
+void RunServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (runner_thread_.joinable()) runner_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+}
+
+std::uint32_t RunServer::submit(const RunSubmission& submission) {
+  std::uint32_t tag;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tag = next_run_tag_++;
+    queue_.emplace_back(submission, tag);
+  }
+  runs_submitted_.fetch_add(1, std::memory_order_acq_rel);
+  cv_.notify_all();
+  return tag;
+}
+
+void RunServer::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && runs_completed_.load(std::memory_order_acquire) ==
+                                 runs_submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void RunServer::runner_loop() {
+  for (;;) {
+    std::pair<RunSubmission, std::uint32_t> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(job.first, job.second);
+    runs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    idle_cv_.notify_all();
+  }
+}
+
+void RunServer::execute(const RunSubmission& submission,
+                        std::uint32_t run_tag) {
+  try {
+    if (submission.scenario == "fleet") {
+      core::FleetConfig cfg = fleet_scenario(submission.seed,
+                                             submission.duration,
+                                             submission.clients,
+                                             submission.aps);
+      cfg.stream = &exporter_;
+      cfg.stream_run_tag = run_tag;
+      cfg.stream_cadence = config_.stream_cadence;
+      cfg.stream_ring_capacity = config_.ring_capacity;
+      core::FleetExperiment experiment(std::move(cfg));
+      if (config_.trace_runs) {
+        experiment.simulator().telemetry().trace().set_enabled(true);
+      }
+      experiment.run();
+      return;
+    }
+    core::ExperimentConfig cfg = drive_scenario(submission.seed,
+                                                submission.duration,
+                                                submission.aps);
+    cfg.trace_enabled = config_.trace_runs;
+    cfg.stream = &exporter_;
+    cfg.stream_run_tag = run_tag;
+    cfg.stream_cadence = config_.stream_cadence;
+    cfg.stream_ring_capacity = config_.ring_capacity;
+    core::Experiment experiment(std::move(cfg));
+    experiment.run();
+  } catch (const std::exception&) {
+    // A failed run must not take the server down; the aborted state stays
+    // visible in the snapshot (run attached but never finished).
+    runs_failed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void RunServer::accept_loop() {
+  for (;;) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_client(fd);
+  }
+}
+
+void RunServer::handle_client(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    // One request line at a time; drop connections idle for >5 s so a stuck
+    // client can't wedge the accept loop.
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 5000);
+      if (ready <= 0 || stop_.load(std::memory_order_acquire)) break;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (line.empty()) continue;
+
+    telemetry::JsonValue request;
+    if (!telemetry::parse_json(line, request) || !request.is_object()) {
+      if (!send_all(fd, error_line("malformed request"))) break;
+      continue;
+    }
+    const std::string cmd = request.string_or("cmd", "");
+    if (cmd == "ping") {
+      std::string out = "{\"ok\":true,\"kind\":\"pong\",\"runs_submitted\":";
+      telemetry::append_json_u64(out, runs_submitted());
+      out += ",\"runs_completed\":";
+      telemetry::append_json_u64(out, runs_completed());
+      out += ",\"lines\":";
+      telemetry::append_json_u64(out, exporter_.lines_written());
+      out += "}\n";
+      if (!send_all(fd, out)) break;
+      continue;
+    }
+    if (cmd == "snapshot") {
+      if (!send_all(fd, exporter_.snapshot_json() + "\n")) break;
+      continue;
+    }
+    if (cmd == "follow") {
+      // Snapshot first so a late joiner has every run's current state, then
+      // hand the fd to the exporter as a live sink. Ownership transfers:
+      // this connection is now written to only under the exporter lock.
+      if (!send_all(fd, exporter_.snapshot_json() + "\n")) break;
+      exporter_.add_sink(std::make_shared<SocketSink>(fd));
+      return;
+    }
+    if (cmd == "submit") {
+      RunSubmission submission;
+      submission.scenario = request.string_or("scenario", "drive");
+      submission.seed =
+          static_cast<std::uint64_t>(request.number_or("seed", 1));
+      submission.duration = sim::Time::millis(static_cast<std::int64_t>(
+          request.number_or("duration_s", 30.0) * 1e3));
+      submission.aps = static_cast<int>(request.number_or("aps", 12));
+      submission.clients = static_cast<int>(request.number_or("clients", 4));
+      if (submission.scenario != "drive" && submission.scenario != "fleet") {
+        if (!send_all(fd, error_line("unknown scenario"))) break;
+        continue;
+      }
+      if (submission.duration <= sim::Time::zero() || submission.aps < 1 ||
+          submission.clients < 1) {
+        if (!send_all(fd, error_line("bad submission parameters"))) break;
+        continue;
+      }
+      const std::uint32_t tag = submit(submission);
+      std::string out = "{\"ok\":true,\"run\":";
+      telemetry::append_json_u64(out, tag);
+      out += "}\n";
+      if (!send_all(fd, out)) break;
+      continue;
+    }
+    if (cmd == "shutdown") {
+      send_all(fd, "{\"ok\":true}\n");
+      shutdown_.store(true, std::memory_order_release);
+      break;
+    }
+    if (!send_all(fd, error_line("unknown cmd"))) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace spider::server

@@ -179,6 +179,12 @@ SPIDER_HOT void Simulator::drain(Time limit) {
     if (instant_count_ > 0 && ev.at.us() != instant_us_) {
       fold_instant();
       trace_queue_depth(ev.at.us());
+      // Live-stream cadence hook, at instant boundaries only so a publish
+      // can never observe (or interleave with) a half-executed instant. One
+      // branch when no stream is attached; publishing reads metrics and
+      // pushes into the lock-free ring — it schedules nothing, consumes no
+      // randomness, and never touches the digest.
+      telemetry_.maybe_publish_stream(ev.at.us());
     }
     instant_us_ = ev.at.us();
     instant_acc_ += event_hash(ev.at.us(), ev.seq);

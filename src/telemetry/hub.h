@@ -15,10 +15,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/check.h"  // SPIDER_HOT marker (header-only; no link dep)
 #include "telemetry/metrics.h"
 #include "telemetry/trace_recorder.h"
 
 namespace spider::telemetry {
+
+class StreamPublisher;
 
 class Hub {
  public:
@@ -48,18 +51,51 @@ class Hub {
   // path (SweepRunner calls this once per finished replication).
   MetricsSnapshot collect() {
 #if SPIDER_TELEMETRY
-    for (auto& [id, fn] : collectors_) fn(metrics_);
+    run_collectors();
     return metrics_.snapshot();
 #else
     return MetricsSnapshot{};
 #endif
   }
 
+  // Folds every collector's plain members into the registry without
+  // snapshotting (collectors are idempotent "copy current totals" writers,
+  // so running them early never perturbs a later collect()).
+  void run_collectors() {
+#if SPIDER_TELEMETRY
+    for (auto& [id, fn] : collectors_) fn(metrics_);
+#endif
+  }
+
+  // Arms (or, with nullptr, disarms) the live-stream cadence hook: while
+  // armed, maybe_publish_stream() folds collectors and publishes changed
+  // metrics to `stream` whenever simulated time crosses a cadence boundary.
+  // Also tees trace events into the stream. Owned by StreamSession — see
+  // stream_exporter.h.
+  void set_stream(StreamPublisher* stream, std::int64_t cadence_us);
+  StreamPublisher* stream() const { return stream_; }
+
+  // Hot-path hook, called from Simulator::drain at instant boundaries. One
+  // compare when no stream is attached or the next boundary is ahead.
+  SPIDER_HOT void maybe_publish_stream(std::int64_t ts_us) {
+#if SPIDER_TELEMETRY
+    if (stream_ == nullptr || ts_us < stream_next_us_) return;
+    publish_stream(ts_us);
+#else
+    (void)ts_us;
+#endif
+  }
+
  private:
+  void publish_stream(std::int64_t ts_us);  // cold half of the hook
+
   Registry metrics_;
   TraceRecorder trace_;
   std::vector<std::pair<CollectorId, Collector>> collectors_;
   CollectorId next_collector_id_ = 1;
+  StreamPublisher* stream_ = nullptr;
+  std::int64_t stream_cadence_us_ = 0;
+  std::int64_t stream_next_us_ = 0;
 };
 
 }  // namespace spider::telemetry

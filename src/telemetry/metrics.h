@@ -194,6 +194,20 @@ class Registry {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
+  // Ordered read-only views for in-process consumers that want to walk the
+  // live maps without paying for a snapshot (the stream publisher's
+  // changed-metric scan). Map keys are stable for the registry's lifetime,
+  // so `&entry.first` may be cached across calls.
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;

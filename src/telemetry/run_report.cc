@@ -4,9 +4,8 @@
 #include <mutex>
 
 namespace spider::telemetry {
-namespace {
 
-void append_quoted(std::string& out, std::string_view s) {
+void append_json_quoted(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char c : s) {
     switch (c) {
@@ -20,13 +19,13 @@ void append_quoted(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
-void append_u64(std::string& out, std::uint64_t v) {
+void append_json_u64(std::string& out, std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
   out += buf;
 }
 
-void append_i64(std::string& out, std::int64_t v) {
+void append_json_i64(std::string& out, std::int64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
   out += buf;
@@ -34,37 +33,39 @@ void append_i64(std::string& out, std::int64_t v) {
 
 // Shortest-round-trip formatting would be ideal; %.17g is deterministic for
 // a given value, which is the property the export actually needs.
-void append_double(std::string& out, double v) {
+void append_json_double(std::string& out, double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;
 }
 
-void append_hex64(std::string& out, std::uint64_t v) {
+void append_json_hex64(std::string& out, std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
                 static_cast<unsigned long long>(v));
   out += buf;
 }
 
+namespace {
+
 void append_histogram(std::string& out, const HistogramSample& h) {
   out += "{\"count\":";
-  append_u64(out, h.count);
+  append_json_u64(out, h.count);
   out += ",\"sum\":";
-  append_double(out, h.sum);
+  append_json_double(out, h.sum);
   out += ",\"min\":";
-  append_double(out, h.min);
+  append_json_double(out, h.min);
   out += ",\"max\":";
-  append_double(out, h.max);
+  append_json_double(out, h.max);
   out += ",\"buckets\":[";
   bool first = true;
   for (const auto& [index, count] : h.buckets) {
     if (!first) out.push_back(',');
     first = false;
     out.push_back('[');
-    append_u64(out, index);
+    append_json_u64(out, index);
     out.push_back(',');
-    append_u64(out, count);
+    append_json_u64(out, count);
     out.push_back(']');
   }
   out += "]}";
@@ -78,20 +79,20 @@ void append_snapshot_json(std::string& out, const MetricsSnapshot& snapshot) {
   for (const CounterSample& c : snapshot.counters) {
     if (!first) out.push_back(',');
     first = false;
-    append_quoted(out, c.name);
+    append_json_quoted(out, c.name);
     out.push_back(':');
-    append_u64(out, c.value);
+    append_json_u64(out, c.value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const GaugeSample& g : snapshot.gauges) {
     if (!first) out.push_back(',');
     first = false;
-    append_quoted(out, g.name);
+    append_json_quoted(out, g.name);
     out += ":{\"value\":";
-    append_i64(out, g.value);
+    append_json_i64(out, g.value);
     out += ",\"high_water\":";
-    append_i64(out, g.high_water);
+    append_json_i64(out, g.high_water);
     out += "}";
   }
   out += "},\"histograms\":{";
@@ -99,7 +100,7 @@ void append_snapshot_json(std::string& out, const MetricsSnapshot& snapshot) {
   for (const HistogramSample& h : snapshot.histograms) {
     if (!first) out.push_back(',');
     first = false;
-    append_quoted(out, h.name);
+    append_json_quoted(out, h.name);
     out.push_back(':');
     append_histogram(out, h);
   }
@@ -111,17 +112,17 @@ std::string run_report_line(std::string_view label, std::size_t run_index,
                             std::uint64_t events_executed,
                             const MetricsSnapshot& snapshot) {
   std::string out = "{\"schema\":";
-  append_quoted(out, kRunReportSchema);
+  append_json_quoted(out, kRunReportSchema);
   out += ",\"kind\":\"run\",\"label\":";
-  append_quoted(out, label);
+  append_json_quoted(out, label);
   out += ",\"run\":";
-  append_u64(out, run_index);
+  append_json_u64(out, run_index);
   out += ",\"seed\":";
-  append_u64(out, seed);
+  append_json_u64(out, seed);
   out += ",\"digest\":";
-  append_hex64(out, digest);
+  append_json_hex64(out, digest);
   out += ",\"events\":";
-  append_u64(out, events_executed);
+  append_json_u64(out, events_executed);
   out.push_back(',');
   append_snapshot_json(out, snapshot);
   out.push_back('}');
@@ -132,13 +133,13 @@ std::string sweep_report_line(std::string_view label, std::size_t runs,
                               std::uint64_t combined_digest,
                               const MetricsSnapshot& merged) {
   std::string out = "{\"schema\":";
-  append_quoted(out, kRunReportSchema);
+  append_json_quoted(out, kRunReportSchema);
   out += ",\"kind\":\"sweep\",\"label\":";
-  append_quoted(out, label);
+  append_json_quoted(out, label);
   out += ",\"runs\":";
-  append_u64(out, runs);
+  append_json_u64(out, runs);
   out += ",\"combined_digest\":";
-  append_hex64(out, combined_digest);
+  append_json_hex64(out, combined_digest);
   out += ",\"merged\":{";
   append_snapshot_json(out, merged);
   out += "},\"process\":{";

@@ -28,6 +28,21 @@ namespace spider::telemetry {
 
 inline constexpr std::string_view kRunReportSchema = "spider-telemetry-v1";
 
+// Schema tag of the live-stream JSONL lines the StreamExporter writes (see
+// stream_exporter.h for the line shapes). Stream lines are a superset
+// shape: readers of either schema must tolerate unknown keys (the JSON
+// reader in json.h does), so a -v1 consumer can skim -stream-v1 files.
+inline constexpr std::string_view kStreamSchema = "spider-telemetry-stream-v1";
+
+// Low-level JSON fragment appenders shared by the run-report renderer, the
+// stream exporter, and tools. Deterministic for a given value (doubles
+// render as %.17g; hex64 renders as a quoted "0x%016x" string).
+void append_json_quoted(std::string& out, std::string_view s);
+void append_json_u64(std::string& out, std::uint64_t v);
+void append_json_i64(std::string& out, std::int64_t v);
+void append_json_double(std::string& out, double v);
+void append_json_hex64(std::string& out, std::uint64_t v);
+
 // Renders the three metric maps: "counters":{...},"gauges":{...},
 // "histograms":{...} (no surrounding braces), appended to `out`.
 void append_snapshot_json(std::string& out, const MetricsSnapshot& snapshot);

@@ -1,0 +1,19 @@
+#include "telemetry/spsc_ring.h"
+
+namespace spider::telemetry {
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+SpscRing::SpscRing(std::size_t capacity)
+    : capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(capacity_ - 1),
+      buffer_(std::make_unique<StreamRecord[]>(capacity_)) {}
+
+}  // namespace spider::telemetry

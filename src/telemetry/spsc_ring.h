@@ -1,0 +1,140 @@
+// Bounded lock-free single-producer/single-consumer ring for the live
+// telemetry plane (DESIGN.md "Live telemetry plane").
+//
+// The producer is a simulation thread publishing StreamRecords from inside
+// Simulator::drain; the consumer is the StreamExporter's I/O thread. The
+// contract the whole plane hangs off:
+//
+//   * the producer NEVER blocks and NEVER allocates — try_push is a couple
+//     of relaxed loads, one store, one release store, all into memory owned
+//     since construction (SPIDER_HOT, proven allocation-free under
+//     core::ScopedAllocGuard in tests/stream_plane_test.cc);
+//   * on overflow the record is dropped and counted, never waited for —
+//     a slow consumer can lose telemetry, it cannot slow the simulation;
+//   * exactly one thread pushes and exactly one thread pops. Cross-thread
+//     visibility is acquire/release on the two cursors; the cursors live on
+//     separate cache lines so the producer and consumer don't false-share.
+//
+// Records are fixed-size PODs. String fields are `const char*` that must
+// stay valid until the consumer has rendered the record: string literals
+// (trace names) or registry map-key c_str()s (metric names — stable for the
+// world's lifetime; StreamExporter::detach drains the ring before a world
+// dies, see stream_exporter.h).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/check.h"  // SPIDER_HOT marker
+
+namespace spider::telemetry {
+
+enum class StreamRecordKind : std::uint8_t {
+  kRunBegin = 1,    // u = seed
+  kRunEnd,          // u = digest, a = events executed, b = trace dropped
+  kMetricDefine,    // id + name + metric_kind + current value fields
+  kMetricUpdate,    // id + current (cumulative) value fields
+  kPublishBegin,    // brackets one cadence publish
+  kPublishEnd,
+  kSpan,            // name/category/ts/a=dur_us/id=track
+  kInstant,         // name/category/ts/id=track
+  kCounterSample,   // name/category/ts/a=value/id=track (trace 'C' samples)
+};
+
+enum class StreamMetricKind : std::uint8_t {
+  kCounter = 0,   // u = cumulative value
+  kGauge,         // a = value, b = high water
+  kHistogram,     // u = count, d = sum
+};
+
+struct StreamRecord {
+  StreamRecordKind kind = StreamRecordKind::kInstant;
+  StreamMetricKind metric_kind = StreamMetricKind::kCounter;
+  std::uint32_t id = 0;            // metric id, or trace track
+  std::int64_t ts_us = 0;          // simulated time, never wall clock
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+};
+
+class SpscRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+  // Capacity is rounded up to a power of two (minimum 2) so the cursor
+  // masks are a single AND.
+  explicit SpscRing(std::size_t capacity = kDefaultCapacity);
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Producer side. try_push returns false when the ring is full and does
+  // NOT count a drop (callers that retry — run lifecycle records — would
+  // inflate the counter); push_or_drop is the hot-path spelling that counts.
+  SPIDER_HOT bool try_push(const StreamRecord& record) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    buffer_[tail & mask_] = record;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  SPIDER_HOT void push_or_drop(const StreamRecord& record) {
+    if (!try_push(record)) dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Consumer side: copies up to `max` records into `out`, oldest first.
+  std::size_t pop_batch(StreamRecord* out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    std::uint64_t n = tail - head;
+    if (n > max) n = max;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out[i] = buffer_[(head + i) & mask_];
+    }
+    head_.store(head + n, std::memory_order_release);
+    return static_cast<std::size_t>(n);
+  }
+
+  // Records currently queued (racy by nature; exact once the producer has
+  // stopped).
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  // Records accepted into the ring since construction.
+  std::uint64_t pushed() const {
+    return tail_.load(std::memory_order_relaxed);
+  }
+  // Records lost to overflow (push_or_drop on a full ring).
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<StreamRecord[]> buffer_;
+
+  // Consumer cursor, producer cursor, and the producer's cached view of the
+  // consumer cursor on three separate cache lines: the producer re-reads
+  // head_ only when the ring looks full, so steady-state pushes touch no
+  // line the consumer writes.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::uint64_t cached_head_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace spider::telemetry

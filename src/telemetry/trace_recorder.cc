@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/stream_exporter.h"
+
 namespace spider::telemetry {
 namespace {
 
@@ -73,6 +75,7 @@ void TraceRecorder::set_capacity(std::size_t capacity) {
 
 void TraceRecorder::push(const TraceEvent& ev) {
   ++recorded_;
+  if (stream_ != nullptr) stream_->publish_trace(ev);
   if (buffer_.size() < capacity_) {
     buffer_.push_back(ev);
     return;
@@ -130,7 +133,14 @@ std::string TraceRecorder::to_json() const {
     first = false;
     append_event(out, ev);
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  out += "],\"displayTimeUnit\":\"ms\"";
+  // Surfaced so spider-trace can report ring overwrites (--strict gates on
+  // it); readers that don't know the key ignore it.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"droppedEvents\":%llu",
+                static_cast<unsigned long long>(dropped_));
+  out += buf;
+  out += "}";
   return out;
 }
 

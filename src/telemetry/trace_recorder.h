@@ -26,6 +26,8 @@
 
 namespace spider::telemetry {
 
+class StreamPublisher;
+
 struct TraceEvent {
   const char* name = "";      // string literal
   const char* category = "";  // string literal
@@ -86,6 +88,11 @@ class TraceRecorder {
   // setup survive a later enable.
   void name_track(std::uint32_t track, const char* name);
 
+  // Live-stream tee: while set, every recorded event is also pushed to the
+  // stream publisher (which never blocks — see spsc_ring.h). Wired by
+  // Hub::set_stream; nullptr detaches.
+  void set_stream(StreamPublisher* stream) { stream_ = stream; }
+
   std::size_t size() const { return buffer_.size(); }
   std::uint64_t recorded() const { return recorded_; }
   // Events overwritten by the ring (recorded - retained).
@@ -104,6 +111,7 @@ class TraceRecorder {
   void push(const TraceEvent& ev);
 
   bool enabled_ = false;
+  StreamPublisher* stream_ = nullptr;
   std::size_t capacity_ = kDefaultCapacity;
   std::vector<TraceEvent> buffer_;
   std::size_t next_ = 0;  // ring write cursor once buffer_ is full

@@ -403,6 +403,40 @@ TEST(RunReport, LineRoundTripsThroughTheReader) {
 #endif
 }
 
+// Forward compatibility both ways across the run-report (-v1) and stream
+// (-stream-v1) schemas: every line carries "schema" so a reader can
+// dispatch or skip, and the reader tolerates unknown keys — a v1 consumer
+// pointed at a mixed file reads the lines it knows and identifies the
+// rest, instead of erroring (spider-trace does exactly this).
+TEST(RunReport, ReadersTolerateUnknownKeysAndForeignSchemas) {
+  Registry registry;
+  registry.counter("driver.joins").inc(3);
+  std::string line = run_report_line("fig6", 2, 42, 0xabcdef, 9001,
+                                     registry.snapshot());
+  // A future writer appends fields this reader has never heard of.
+  ASSERT_EQ(line.back(), '}');
+  line.pop_back();
+  line += ",\"future_key\":{\"nested\":[1,2,3]},\"another\":\"x\"}";
+  JsonValue doc;
+  ASSERT_TRUE(parse_json(line, doc, nullptr));
+  EXPECT_EQ(doc.string_or("schema", ""), kRunReportSchema);
+  EXPECT_DOUBLE_EQ(doc.find("counters")->number_or("driver.joins", 0), 3.0);
+
+  // A stream-v1 line parses with the same reader, announces its schema,
+  // and its known shapes (run/seq/counters) read exactly like -v1 shapes.
+  const std::string stream_line =
+      "{\"schema\":\"spider-telemetry-stream-v1\",\"kind\":\"metrics\","
+      "\"run\":3,\"seq\":7,\"ts_us\":1500,\"counters\":{\"driver.joins\":4},"
+      "\"unknown_section\":{\"v\":true}}";
+  JsonValue stream_doc;
+  ASSERT_TRUE(parse_json(stream_line, stream_doc, nullptr));
+  EXPECT_EQ(stream_doc.string_or("schema", ""), kStreamSchema);
+  EXPECT_DOUBLE_EQ(stream_doc.number_or("run", -1), 3.0);
+  EXPECT_DOUBLE_EQ(stream_doc.number_or("seq", -1), 7.0);
+  EXPECT_DOUBLE_EQ(stream_doc.find("counters")->number_or("driver.joins", 0),
+                   4.0);
+}
+
 TEST(RunReport, SweepLineCarriesMergedAndProcessSections) {
   Registry registry;
   registry.counter("x").inc(1);

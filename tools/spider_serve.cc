@@ -1,0 +1,101 @@
+// spider-serve — host simulation runs behind a local socket and stream
+// their live telemetry (schema spider-telemetry-stream-v1).
+//
+//   spider-serve --socket /tmp/spider.sock [--stream out.jsonl]
+//                [--cadence-ms 100] [--no-trace]
+//                [--run drive|fleet [--seed N] [--duration-s S]
+//                 [--aps N] [--clients N]]
+//
+// With --run, one submission is queued immediately (handy for demos and CI:
+// start the server, watch it with `spider-trace --follow /tmp/spider.sock`).
+// Further runs are submitted over the socket:
+//   {"cmd":"submit","scenario":"drive","seed":2,"duration_s":30,"aps":12}
+// The server exits on {"cmd":"shutdown"} or SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/run_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_signal(int) { g_interrupted = 1; }
+
+const char* value_of(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spider::server::RunServerConfig config;
+  config.socket_path = "/tmp/spider-serve.sock";
+  if (const char* v = value_of(argc, argv, "--socket")) config.socket_path = v;
+  if (const char* v = value_of(argc, argv, "--stream")) config.stream_file = v;
+  if (const char* v = value_of(argc, argv, "--cadence-ms")) {
+    config.stream_cadence = spider::sim::Time::millis(std::atoll(v));
+  }
+  if (has_flag(argc, argv, "--no-trace")) config.trace_runs = false;
+
+  spider::server::RunServer server(config);
+  if (!server.start()) {
+    std::fprintf(stderr, "spider-serve: cannot bind %s\n",
+                 config.socket_path.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::fprintf(stderr, "spider-serve: listening on %s\n",
+               config.socket_path.c_str());
+
+  if (const char* scenario = value_of(argc, argv, "--run")) {
+    spider::server::RunSubmission submission;
+    submission.scenario = scenario;
+    if (const char* v = value_of(argc, argv, "--seed")) {
+      submission.seed = static_cast<std::uint64_t>(std::atoll(v));
+    }
+    if (const char* v = value_of(argc, argv, "--duration-s")) {
+      submission.duration =
+          spider::sim::Time::millis(static_cast<std::int64_t>(
+              std::atof(v) * 1e3));
+    }
+    if (const char* v = value_of(argc, argv, "--aps")) {
+      submission.aps = std::atoi(v);
+    }
+    if (const char* v = value_of(argc, argv, "--clients")) {
+      submission.clients = std::atoi(v);
+    }
+    const std::uint32_t tag = server.submit(submission);
+    std::fprintf(stderr, "spider-serve: queued %s run %u\n",
+                 submission.scenario.c_str(), static_cast<unsigned>(tag));
+  }
+
+  while (!g_interrupted && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::fprintf(stderr,
+               "spider-serve: shutting down (%llu submitted, %llu completed, "
+               "%llu lines)\n",
+               static_cast<unsigned long long>(server.runs_submitted()),
+               static_cast<unsigned long long>(server.runs_completed()),
+               static_cast<unsigned long long>(
+                   server.exporter().lines_written()));
+  server.stop();
+  return 0;
+}

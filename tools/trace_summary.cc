@@ -1,15 +1,30 @@
 // spider-trace — terminal summaries of the repo's telemetry artifacts.
 //
-// Accepts either artifact the benches emit:
+// Accepts any artifact the benches and the run server emit:
 //   * a spider-telemetry-v1 JSONL file (from --telemetry): prints each
 //     sweep's top counters, gauge levels/peaks, histogram summaries with
 //     log-bucket quantiles, and a per-channel dwell/traffic table;
+//   * a spider-telemetry-stream-v1 JSONL file (from --stream / spider-serve):
+//     prints per-run stream statistics and the final streamed metric values;
+//     mixed files work — lines with an unknown schema or kind are skipped
+//     with a warning, so v1 consumers can skim stream files and vice versa;
 //   * a Chrome trace JSON file (from --trace): prints per-(category, name)
 //     span statistics, instant-event counts, counter-track statistics
-//     (samples / value range / final value, per series id), and the named
-//     tracks.
+//     (samples / value range / final value, per series id), the named
+//     tracks, and the ring's dropped-event count.
 //
-// Usage: spider-trace <file> [--top N]
+// Usage: spider-trace <file> [--top N] [--strict]
+//        spider-trace --follow <socket> [--top N] [--strict]
+//
+// --follow connects to a spider-serve socket, prints the snapshot, then
+// tails the live stream until the server hangs up. --strict exits nonzero
+// when any drop counter (stream ring overflow, trace ring overwrite) is
+// nonzero — the CI guard that telemetry windows were big enough.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -163,12 +178,174 @@ void print_channel_table(const JsonValue& counters) {
   }
 }
 
-int summarize_jsonl(const std::string& text, int top) {
+// ---------------------------------------------------------------------------
+// spider-telemetry-stream-v1 mode (files and --follow)
+
+// Accumulates one run's stream. Metric values are cumulative on the wire, so
+// "latest value seen" IS the final total — which is what reconciles against
+// the end-of-run MetricsSnapshot.
+struct RunStreamState {
+  double seed = 0.0;
+  bool begun = false;
+  bool ended = false;
+  std::int64_t first_ts_us = 0;
+  std::int64_t last_ts_us = 0;
+  std::uint64_t metrics_lines = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t instants = 0;
+  std::uint64_t counter_samples = 0;
+  double events = 0.0;
+  double stream_dropped = 0.0;
+  double trace_dropped = 0.0;
+  std::string digest;
+  std::map<std::string, double> counters;                      // latest
+  std::map<std::string, std::pair<double, double>> gauges;     // value, hw
+  std::map<std::string, std::pair<double, double>> histograms; // count, sum
+};
+
+class StreamSummary {
+ public:
+  void consume(const JsonValue& doc) {
+    const std::string kind = doc.string_or("kind", "");
+    if (kind == "snapshot") {
+      if (const JsonValue* runs = doc.find("runs")) {
+        for (const JsonValue& run : runs->array) consume_run_state(run);
+      }
+      return;
+    }
+    RunStreamState& run =
+        runs_[static_cast<std::uint32_t>(doc.number_or("run", 0.0))];
+    const auto ts = static_cast<std::int64_t>(doc.number_or("ts_us", 0.0));
+    if (!run.begun || ts < run.first_ts_us) run.first_ts_us = ts;
+    if (ts > run.last_ts_us) run.last_ts_us = ts;
+    if (kind == "run_begin") {
+      run.begun = true;
+      run.seed = doc.number_or("seed", 0.0);
+    } else if (kind == "metrics") {
+      ++run.metrics_lines;
+      merge_metrics(run, doc);
+    } else if (kind == "span") {
+      ++run.spans;
+    } else if (kind == "instant") {
+      ++run.instants;
+    } else if (kind == "counter_sample") {
+      ++run.counter_samples;
+    } else if (kind == "run_end") {
+      run.ended = true;
+      run.events = doc.number_or("events", 0.0);
+      run.stream_dropped = doc.number_or("stream_dropped", 0.0);
+      run.trace_dropped = doc.number_or("trace_dropped", 0.0);
+      run.digest = doc.string_or("digest", "?");
+    }
+    // Unknown kinds within the stream schema are forward-compatible: the
+    // timestamps above were already folded in, nothing else to do.
+  }
+
+  std::size_t lines_consumed() const { return lines_; }
+  void count_line() { ++lines_; }
+
+  double total_drops() const {
+    double total = 0.0;
+    for (const auto& [tag, run] : runs_) {
+      total += run.stream_dropped + run.trace_dropped;
+    }
+    return total;
+  }
+
+  void print(int top) const {
+    for (const auto& [tag, run] : runs_) {
+      std::printf("stream run %-3u seed=%-6.0f %s window=%.3fs..%.3fs",
+                  static_cast<unsigned>(tag), run.seed,
+                  run.ended ? "finished" : (run.begun ? "running" : "partial"),
+                  static_cast<double>(run.first_ts_us) / 1e6,
+                  static_cast<double>(run.last_ts_us) / 1e6);
+      if (run.ended) {
+        std::printf(" events=%.0f digest=%s", run.events, run.digest.c_str());
+      }
+      std::printf("\n");
+      std::printf(
+          "  lines: %llu metrics, %llu spans, %llu instants, %llu samples; "
+          "dropped: %.0f stream, %.0f trace\n",
+          static_cast<unsigned long long>(run.metrics_lines),
+          static_cast<unsigned long long>(run.spans),
+          static_cast<unsigned long long>(run.instants),
+          static_cast<unsigned long long>(run.counter_samples),
+          run.stream_dropped, run.trace_dropped);
+      std::vector<std::pair<std::string, double>> rows(run.counters.begin(),
+                                                       run.counters.end());
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                       });
+      const std::size_t shown =
+          std::min<std::size_t>(rows.size(), static_cast<std::size_t>(top));
+      if (shown > 0) {
+        std::printf("  final counters (top %zu of %zu):\n", shown,
+                    rows.size());
+        for (std::size_t i = 0; i < shown; ++i) {
+          std::printf("    %-40s %12.0f\n", rows[i].first.c_str(),
+                      rows[i].second);
+        }
+      }
+      for (const auto& [name, g] : run.gauges) {
+        std::printf("  gauge %-36s %10.0f / %.0f\n", name.c_str(), g.first,
+                    g.second);
+      }
+      for (const auto& [name, h] : run.histograms) {
+        std::printf("  histogram %-32s n=%-8.0f mean=%.4g\n", name.c_str(),
+                    h.first, h.first > 0 ? h.second / h.first : 0.0);
+      }
+    }
+  }
+
+ private:
+  void merge_metrics(RunStreamState& run, const JsonValue& doc) {
+    if (const JsonValue* counters = doc.find("counters")) {
+      for (const auto& [name, value] : counters->object) {
+        run.counters[name] = value.number;
+      }
+    }
+    if (const JsonValue* gauges = doc.find("gauges")) {
+      for (const auto& [name, g] : gauges->object) {
+        run.gauges[name] = {g.number_or("value", 0.0),
+                            g.number_or("high_water", 0.0)};
+      }
+    }
+    if (const JsonValue* histograms = doc.find("histograms")) {
+      for (const auto& [name, h] : histograms->object) {
+        run.histograms[name] = {h.number_or("count", 0.0),
+                                h.number_or("sum", 0.0)};
+      }
+    }
+  }
+
+  void consume_run_state(const JsonValue& state) {
+    RunStreamState& run =
+        runs_[static_cast<std::uint32_t>(state.number_or("run", 0.0))];
+    run.seed = state.number_or("seed", run.seed);
+    run.events = state.number_or("events", run.events);
+    run.digest = state.string_or("digest", run.digest);
+    run.last_ts_us = static_cast<std::int64_t>(
+        state.number_or("ts_us", static_cast<double>(run.last_ts_us)));
+    run.stream_dropped = state.number_or("stream_dropped", run.stream_dropped);
+    const std::string s = state.string_or("state", "");
+    if (s == "running") run.begun = true;
+    if (s == "finished") run.begun = run.ended = true;
+    merge_metrics(run, state);
+  }
+
+  std::map<std::uint32_t, RunStreamState> runs_;
+  std::size_t lines_ = 0;
+};
+
+int summarize_jsonl(const std::string& text, int top, bool strict) {
   std::istringstream lines(text);
   std::string line;
   std::size_t line_no = 0;
   std::size_t runs_seen = 0;
   std::size_t sweeps_seen = 0;
+  std::size_t skipped = 0;
+  StreamSummary stream;
   while (std::getline(lines, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -180,10 +357,18 @@ int summarize_jsonl(const std::string& text, int top) {
       return 1;
     }
     const std::string schema = doc.string_or("schema", "");
+    if (schema == spider::telemetry::kStreamSchema) {
+      stream.consume(doc);
+      stream.count_line();
+      continue;
+    }
+    // Unknown schemas are skipped, not fatal: consumers of either schema
+    // must tolerate lines (and keys) they don't know.
     if (schema != spider::telemetry::kRunReportSchema) {
-      std::fprintf(stderr, "line %zu: unexpected schema \"%s\"\n", line_no,
-                   schema.c_str());
-      return 1;
+      std::fprintf(stderr, "line %zu: skipping unknown schema \"%s\"\n",
+                   line_no, schema.c_str());
+      ++skipped;
+      continue;
     }
     const std::string kind = doc.string_or("kind", "");
     if (kind == "run") {
@@ -229,23 +414,32 @@ int summarize_jsonl(const std::string& text, int top) {
         }
       }
     } else {
-      std::fprintf(stderr, "line %zu: unknown kind \"%s\"\n", line_no,
-                   kind.c_str());
-      return 1;
+      std::fprintf(stderr, "line %zu: skipping unknown kind \"%s\"\n",
+                   line_no, kind.c_str());
+      ++skipped;
     }
   }
-  if (runs_seen == 0 && sweeps_seen == 0) {
+  if (runs_seen == 0 && sweeps_seen == 0 && stream.lines_consumed() == 0) {
     std::fprintf(stderr, "no telemetry lines found\n");
     return 1;
   }
-  std::printf("%zu run line(s), %zu sweep block(s)\n", runs_seen, sweeps_seen);
+  if (stream.lines_consumed() > 0) stream.print(top);
+  std::printf("%zu run line(s), %zu sweep block(s), %zu stream line(s)",
+              runs_seen, sweeps_seen, stream.lines_consumed());
+  if (skipped > 0) std::printf(", %zu skipped", skipped);
+  std::printf("\n");
+  if (strict && stream.total_drops() > 0.0) {
+    std::fprintf(stderr, "--strict: %.0f dropped record(s) in the stream\n",
+                 stream.total_drops());
+    return 3;
+  }
   return 0;
 }
 
 // ---------------------------------------------------------------------------
 // Chrome trace mode
 
-int summarize_trace(const JsonValue& doc, int top) {
+int summarize_trace(const JsonValue& doc, int top, bool strict) {
   const JsonValue* events = doc.find("traceEvents");
   if (events == nullptr || !events->is_array()) {
     std::fprintf(stderr, "no traceEvents array\n");
@@ -366,6 +560,120 @@ int summarize_trace(const JsonValue& doc, int top) {
                   c.max_v, c.last_v);
     }
   }
+  // Events overwritten by the recorder's bounded ring — the exported file
+  // holds only the most recent window when this is nonzero.
+  const double dropped = doc.number_or("droppedEvents", 0.0);
+  if (dropped > 0.0) {
+    std::printf("dropped events (ring overwrites): %.0f\n", dropped);
+  }
+  if (strict && dropped > 0.0) {
+    std::fprintf(stderr,
+                 "--strict: %.0f event(s) overwritten; raise trace_capacity\n",
+                 dropped);
+    return 3;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --follow: tail a spider-serve socket
+
+int follow_socket(const char* path, int top, bool strict) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot create socket\n");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (std::strlen(path) >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long\n");
+    ::close(fd);
+    return 1;
+  }
+  std::memcpy(addr.sun_path, path, std::strlen(path) + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "cannot connect to %s (is spider-serve running?)\n",
+                 path);
+    ::close(fd);
+    return 1;
+  }
+  const char request[] = "{\"cmd\":\"follow\"}\n";
+  if (::send(fd, request, sizeof(request) - 1, 0) < 0) {
+    std::fprintf(stderr, "cannot send follow request\n");
+    ::close(fd);
+    return 1;
+  }
+
+  StreamSummary stream;
+  std::string buffer;
+  char chunk[8192];
+  bool snapshot_seen = false;
+  for (;;) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      JsonValue doc;
+      if (!spider::telemetry::parse_json(line, doc)) continue;
+      const std::string kind = doc.string_or("kind", "");
+      stream.consume(doc);
+      if (kind == "snapshot") {
+        snapshot_seen = true;
+        const JsonValue* runs = doc.find("runs");
+        std::printf("connected: %zu run(s) known to the server\n",
+                    runs != nullptr ? runs->array.size() : 0);
+        std::fflush(stdout);
+        continue;
+      }
+      stream.count_line();
+      // Live one-liner per streamed record so mid-run progress is visible.
+      std::printf("[run %.0f] seq %.0f t=%.3fs %s", doc.number_or("run", 0.0),
+                  doc.number_or("seq", 0.0),
+                  doc.number_or("ts_us", 0.0) / 1e6, kind.c_str());
+      if (kind == "metrics") {
+        std::size_t changed = 0;
+        for (const char* section : {"counters", "gauges", "histograms"}) {
+          if (const JsonValue* group = doc.find(section)) {
+            changed += group->object.size();
+          }
+        }
+        std::printf(" (%zu changed)", changed);
+      } else if (kind == "span") {
+        std::printf(" %s/%s dur=%.3fms", doc.string_or("cat", "?").c_str(),
+                    doc.string_or("name", "?").c_str(),
+                    doc.number_or("dur_us", 0.0) / 1e3);
+      } else if (kind == "instant" || kind == "counter_sample") {
+        std::printf(" %s/%s", doc.string_or("cat", "?").c_str(),
+                    doc.string_or("name", "?").c_str());
+      } else if (kind == "run_end") {
+        std::printf(" digest=%s events=%.0f dropped=%.0f/%.0f",
+                    doc.string_or("digest", "?").c_str(),
+                    doc.number_or("events", 0.0),
+                    doc.number_or("stream_dropped", 0.0),
+                    doc.number_or("trace_dropped", 0.0));
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // server hung up (or shut down) — summarize and exit
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::printf("stream closed after %zu line(s)\n", stream.lines_consumed());
+  stream.print(top);
+  if (!snapshot_seen && stream.lines_consumed() == 0) {
+    std::fprintf(stderr, "no stream data received\n");
+    return 1;
+  }
+  if (strict && stream.total_drops() > 0.0) {
+    std::fprintf(stderr, "--strict: %.0f dropped record(s) in the stream\n",
+                 stream.total_drops());
+    return 3;
+  }
   return 0;
 }
 
@@ -373,22 +681,31 @@ int summarize_trace(const JsonValue& doc, int top) {
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
+  const char* follow = nullptr;
   int top = 12;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
       top = std::atoi(argv[i] + 6);
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--follow") == 0 && i + 1 < argc) {
+      follow = argv[++i];
     } else if (path == nullptr) {
       path = argv[i];
     }
   }
-  if (path == nullptr || top <= 0) {
+  if ((path == nullptr && follow == nullptr) || top <= 0) {
     std::fprintf(stderr,
-                 "usage: spider-trace <telemetry.jsonl | trace.json> "
-                 "[--top N]\n");
+                 "usage: spider-trace <telemetry.jsonl | stream.jsonl | "
+                 "trace.json> [--top N] [--strict]\n"
+                 "       spider-trace --follow <socket> [--top N] "
+                 "[--strict]\n");
     return 2;
   }
+  if (follow != nullptr) return follow_socket(follow, top, strict);
   bool ok = false;
   const std::string text = read_file(path, &ok);
   if (!ok) {
@@ -396,11 +713,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   // A Chrome trace is one JSON object with "traceEvents"; everything else
-  // that parses line-by-line is treated as run-report JSONL.
+  // that parses line-by-line is treated as JSONL (run-report or stream).
   JsonValue doc;
   if (spider::telemetry::parse_json(text, doc, nullptr) &&
       doc.find("traceEvents") != nullptr) {
-    return summarize_trace(doc, top);
+    return summarize_trace(doc, top, strict);
   }
-  return summarize_jsonl(text, top);
+  return summarize_jsonl(text, top, strict);
 }
