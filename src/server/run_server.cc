@@ -1,9 +1,13 @@
 #include "server/run_server.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <cstring>
 #include <utility>
@@ -19,9 +23,19 @@ namespace {
 
 // Follower connection: the sink owns the fd once "follow" is accepted and
 // closes it when the exporter unsubscribes (write failure) or shuts down.
+//
+// write_line is called with the exporter lock held, so it must never block
+// indefinitely: a follower that stops reading (paused pager, SIGSTOP) would
+// otherwise wedge the exporter I/O thread and, through its mutex, the
+// runner's end-of-run detach and the snapshot/add_sink paths. The fd is
+// therefore non-blocking, and a full socket buffer gets a short bounded
+// POLLOUT wait before the sink fails out and is unsubscribed.
 class SocketSink : public telemetry::StreamSink {
  public:
-  explicit SocketSink(int fd) : fd_(fd) {}
+  explicit SocketSink(int fd) : fd_(fd) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  }
   ~SocketSink() override {
     if (fd_ >= 0) ::close(fd_);
   }
@@ -29,11 +43,28 @@ class SocketSink : public telemetry::StreamSink {
   bool write_line(std::string_view line) override {
     const char* p = line.data();
     std::size_t n = line.size();
+    // Total wait budget per line for a congested-but-alive follower; a
+    // buffer still full past this is a stalled consumer, and stalled
+    // consumers get dropped rather than slow the exporter.
+    int budget_ms = 100;
     while (n > 0) {
       const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
-      if (w <= 0) return false;
-      p += static_cast<std::size_t>(w);
-      n -= static_cast<std::size_t>(w);
+      if (w > 0) {
+        p += static_cast<std::size_t>(w);
+        n -= static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (budget_ms <= 0) return false;
+        const int slice_ms = budget_ms < 20 ? budget_ms : 20;
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, slice_ms);
+        if (ready < 0 && errno != EINTR) return false;
+        budget_ms -= slice_ms;
+        continue;
+      }
+      return false;
     }
     return true;
   }
@@ -130,9 +161,22 @@ bool RunServer::start() {
 
 void RunServer::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  stop_.store(true, std::memory_order_release);
+  {
+    // stop_ is waited on through mu_-guarded predicates (runner_loop,
+    // wait_idle): set it under the lock so a waiter can't evaluate its
+    // predicate false, miss the notify, and block forever.
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
   cv_.notify_all();
+  idle_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // The accept thread spawns one handler thread per connection; all of
+    // them check stop_ at least every poll slice, so this drains quickly.
+    std::unique_lock<std::mutex> lock(clients_mu_);
+    clients_cv_.wait(lock, [this] { return active_clients_ == 0; });
+  }
   if (runner_thread_.joinable()) runner_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -147,8 +191,10 @@ std::uint32_t RunServer::submit(const RunSubmission& submission) {
     std::lock_guard<std::mutex> lock(mu_);
     tag = next_run_tag_++;
     queue_.emplace_back(submission, tag);
+    // Inside the lock for the same lost-wakeup reason as stop_: wait_idle's
+    // predicate reads it under mu_.
+    runs_submitted_.fetch_add(1, std::memory_order_acq_rel);
   }
-  runs_submitted_.fetch_add(1, std::memory_order_acq_rel);
   cv_.notify_all();
   return tag;
 }
@@ -156,8 +202,10 @@ std::uint32_t RunServer::submit(const RunSubmission& submission) {
 void RunServer::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] {
-    return queue_.empty() && runs_completed_.load(std::memory_order_acquire) ==
-                                 runs_submitted_.load(std::memory_order_acquire);
+    return stop_.load(std::memory_order_acquire) ||
+           (queue_.empty() &&
+            runs_completed_.load(std::memory_order_acquire) ==
+                runs_submitted_.load(std::memory_order_acquire));
   });
 }
 
@@ -169,15 +217,17 @@ void RunServer::runner_loop() {
       cv_.wait(lock, [this] {
         return stop_.load(std::memory_order_acquire) || !queue_.empty();
       });
-      if (queue_.empty()) {
-        if (stop_.load(std::memory_order_acquire)) return;
-        continue;
-      }
+      // Abandon queued-but-not-started runs on stop: a shutdown shouldn't
+      // wait out a backlog of multi-second simulations.
+      if (stop_.load(std::memory_order_acquire)) return;
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     execute(job.first, job.second);
-    runs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      runs_completed_.fetch_add(1, std::memory_order_acq_rel);
+    }
     idle_cv_.notify_all();
   }
 }
@@ -226,22 +276,51 @@ void RunServer::accept_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    handle_client(fd);
+    // One handler thread per connection so a client sitting in its idle
+    // window (or streaming commands) can't starve other clients' accepts.
+    // stop() waits for active_clients_ to reach zero before returning, so a
+    // detached handler never outlives the server.
+    {
+      std::lock_guard<std::mutex> lock(clients_mu_);
+      ++active_clients_;
+    }
+    std::thread([this, fd] {
+      handle_client(fd);
+      std::lock_guard<std::mutex> lock(clients_mu_);
+      --active_clients_;
+      clients_cv_.notify_all();
+    }).detach();
   }
 }
 
 void RunServer::handle_client(int fd) {
+  // Bound outbound writes so a client that stops reading its responses
+  // can't pin this handler thread past stop().
+  timeval send_timeout{};
+  send_timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
   std::string buffer;
   char chunk[4096];
   for (;;) {
     // One request line at a time; drop connections idle for >5 s so a stuck
-    // client can't wedge the accept loop.
+    // client can't hold its handler thread forever. Poll in short slices so
+    // stop() stays responsive mid-window.
     const std::size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
-      pollfd pfd{fd, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, 5000);
-      if (ready <= 0 || stop_.load(std::memory_order_acquire)) break;
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      ssize_t n = -1;
+      for (int idle_ms = 0; idle_ms < 5000;) {
+        if (stop_.load(std::memory_order_acquire)) break;
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) break;
+        if (ready == 0) {
+          idle_ms += 200;
+          continue;
+        }
+        n = ::recv(fd, chunk, sizeof(chunk), 0);
+        break;
+      }
       if (n <= 0) break;
       buffer.append(chunk, static_cast<std::size_t>(n));
       continue;
@@ -305,8 +384,10 @@ void RunServer::handle_client(int fd) {
       continue;
     }
     if (cmd == "shutdown") {
-      send_all(fd, "{\"ok\":true}\n");
+      // Flag first, then acknowledge: a client that has read the reply must
+      // be able to observe shutdown_requested() == true.
       shutdown_.store(true, std::memory_order_release);
+      send_all(fd, "{\"ok\":true}\n");
       break;
     }
     if (!send_all(fd, error_line("unknown cmd"))) break;

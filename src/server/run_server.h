@@ -20,11 +20,14 @@
 //                                             loop to stop (see
 //                                             shutdown_requested())
 //
-// Threading: one accept thread (poll + accept + per-request handling), one
-// runner thread executing queued submissions serially, plus the exporter's
-// own I/O thread. Worlds only ever live on the runner thread, preserving
-// the one-world-one-thread simulator contract; followers observe through
-// the lock-free ring, never through the world.
+// Threading: one accept thread (poll + accept), one short-lived handler
+// thread per accepted connection (so one client can't starve another's
+// accept), one runner thread executing queued submissions serially, plus
+// the exporter's own I/O thread. Worlds only ever live on the runner
+// thread, preserving the one-world-one-thread simulator contract;
+// followers observe through the lock-free ring, never through the world —
+// and follower sockets are non-blocking, so a stalled consumer is dropped
+// rather than allowed to slow the exporter.
 #pragma once
 
 #include <atomic>
@@ -102,8 +105,8 @@ class RunServer {
   std::uint64_t runs_failed() const {
     return runs_failed_.load(std::memory_order_acquire);
   }
-  // Blocks until every submitted run has executed (tests; the accept thread
-  // never calls this).
+  // Blocks until every submitted run has executed, or until stop() abandons
+  // the queue (tests; the accept/handler threads never call this).
   void wait_idle();
 
  private:
@@ -128,6 +131,11 @@ class RunServer {
   std::uint32_t next_run_tag_ = 0;
   std::thread accept_thread_;
   std::thread runner_thread_;
+  // Detached per-connection handler threads; stop() blocks until the count
+  // drains to zero so no handler can outlive the server.
+  std::mutex clients_mu_;
+  std::condition_variable clients_cv_;
+  int active_clients_ = 0;
 };
 
 }  // namespace spider::server

@@ -425,6 +425,12 @@ void StreamExporter::consume_locked(Source& source,
       return;
     }
     case StreamRecordKind::kMetricUpdate: {
+      if (!source.in_batch && record.ts_us > source.batch_ts_us) {
+        // The kPublishBegin bracket was lost to ring overflow: fall back to
+        // the newest update timestamp so the flushed "metrics" line isn't
+        // stamped with a stale earlier batch time.
+        source.batch_ts_us = record.ts_us;
+      }
       const std::size_t id = record.id;
       if (source.metrics.size() <= id) source.metrics.resize(id + 1);
       MetricState& m = source.metrics[id];

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -173,8 +174,8 @@ TEST(RunServer, SocketProtocolPingSubmitFollowShutdown) {
     EXPECT_NE(rejected.string_or("error", ""), "");
 
     server.wait_idle();
-  }  // drop the control connection: the accept thread handles one client at
-     // a time, and a loaded machine can outlast the 5 s idle timeout anyway
+  }  // drop the control connection: a loaded machine can outlast the 5 s
+     // idle timeout anyway
 
   {
     // A follower connecting after the run still gets the registry snapshot
@@ -205,6 +206,74 @@ TEST(RunServer, SocketProtocolPingSubmitFollowShutdown) {
   server.stop();
   EXPECT_EQ(server.runs_completed(), 1u);
   EXPECT_EQ(server.runs_failed(), 0u);
+}
+
+TEST(RunServer, StalledFollowerDoesNotWedgeServer) {
+  RunServerConfig config;
+  config.socket_path = test_socket_path("stall");
+  // 1 ms cadence on a 5 s run: thousands of metrics lines, far more than an
+  // AF_UNIX socket buffer holds — guarantees the stalled follower's buffer
+  // fills mid-run.
+  config.stream_cadence = sim::Time::millis(1);
+  RunServer server(config);
+  ASSERT_TRUE(server.start());
+
+  Client follower(config.socket_path);
+  ASSERT_TRUE(follower.ok());
+  ASSERT_TRUE(follower.send_line("{\"cmd\":\"follow\"}"));
+  ASSERT_NE(follower.read_line(), "");  // snapshot line
+  // The follower now stops reading. The exporter must drop it (bounded
+  // write budget) instead of blocking in send under its lock — which would
+  // wedge the end-of-run detach and hang wait_idle forever.
+  server.submit(short_drive(5));
+  server.wait_idle();
+  EXPECT_EQ(server.runs_completed(), 1u);
+  server.stop();
+}
+
+TEST(RunServer, StopAbandonsQueuedRuns) {
+  RunServerConfig config;
+  config.socket_path = test_socket_path("abandon");
+  config.stream_cadence = sim::Time::millis(10);
+  RunServer server(config);
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 6; ++i) server.submit(short_drive(100 + i));
+  // stop() lands long before six runs can execute; the runner finishes at
+  // most the run it already popped and abandons the rest of the queue.
+  server.stop();
+  EXPECT_LE(server.runs_completed(), 1u);
+  EXPECT_EQ(server.runs_submitted(), 6u);
+  // wait_idle must return despite the abandoned queue (stop_ short-circuits
+  // the predicate), not hang on completed == submitted.
+  server.wait_idle();
+}
+
+TEST(RunServer, ConcurrentClientsAreServedIndependently) {
+  RunServerConfig config;
+  config.socket_path = test_socket_path("multi");
+  config.stream_cadence = sim::Time::millis(10);
+  RunServer server(config);
+  ASSERT_TRUE(server.start());
+
+  // First client connects and sits idle; with per-connection handler
+  // threads the second client's ping answers immediately instead of
+  // starving behind the first's 5 s idle window.
+  Client idle_client(config.socket_path);
+  ASSERT_TRUE(idle_client.ok());
+  Client pinger(config.socket_path);
+  ASSERT_TRUE(pinger.ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(pinger.send_line("{\"cmd\":\"ping\"}"));
+  telemetry::JsonValue pong;
+  ASSERT_TRUE(telemetry::parse_json(pinger.read_line(), pong));
+  EXPECT_EQ(pong.string_or("kind", ""), "pong");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Serial handling would park this ping for the idle client's full 5 s
+  // timeout; keep a wide margin for loaded machines.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000);
+  server.stop();
 }
 
 }  // namespace

@@ -143,7 +143,9 @@ void run_interleaving(std::uint32_t seed, std::size_t capacity,
   std::uint64_t last = 0;
   bool first = true;
   for (const StreamRecord& r : popped) {
-    if (!first) EXPECT_GT(r.u, last);
+    if (!first) {
+      EXPECT_GT(r.u, last);
+    }
     EXPECT_EQ(r.a, static_cast<std::int64_t>(r.u * 3));
     last = r.u;
     first = false;
