@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_json.h"
@@ -41,11 +42,13 @@
 
 #include "core/alloc_guard.h"
 #endif
+#include "core/shard_scenarios.h"
 #include "core/sweep.h"
 #include "mac/access_point.h"
 #include "net/frame.h"
 #include "phy/medium.h"
 #include "phy/radio.h"
+#include "phy/shard_world.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/thread_pool.h"
@@ -571,18 +574,43 @@ FleetMeasurement fleet_hotpath_run(bool fast, int n_clients, int n_aps,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded single world: one 100k-radio world advanced on K strips. Both arms
+// run the SAME engine (phy::ShardedWorld); only the strip count and the pool
+// differ, so the digest comparison is exact, not statistical. Construction
+// is excluded from the timing — the section measures the advance.
+struct ShardMeasurement {
+  double seconds = 0.0;
+  std::uint64_t digest = 0;
+  phy::ShardWorldStats stats;
+};
+
+ShardMeasurement sharded_world_run(const phy::ShardScenario& scenario,
+                                   unsigned shards, sim::ThreadPool* pool) {
+  phy::ShardedWorld world(scenario, shards, pool);
+  const auto start = std::chrono::steady_clock::now();
+  world.run();
+  ShardMeasurement m;
+  m.seconds = seconds_since(start);
+  m.digest = world.digest();
+  m.stats = world.stats();
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::parse_common_flags(argc, argv);
-  const char* out_path =
-      (argc > 1 && argv[1][0] != '-') ? argv[1] : "BENCH_perf.json";
+  const char* out_path = "BENCH_perf.json";
   // Scale-section overrides: --radios N measures one custom fleet size
   // instead of the default {10k, 100k} pair (note: the CI gate keys on
   // radios_10000, so gated runs must keep the defaults), --seconds S sets
   // the wall-clock budget per measured scale.
   int scale_radios_override = 0;
   double scale_budget_seconds = 1.5;
+  // --shards N sets the sharded-world section's strip count (0 = one strip
+  // per available hardware thread, capped at 8).
+  int shards_override = 0;
   for (int i = 1; i < argc; ++i) {
     const auto value_of = [&](const char* flag) -> const char* {
       const std::size_t len = std::strlen(flag);
@@ -599,6 +627,17 @@ int main(int argc, char** argv) {
       scale_budget_seconds = std::atof(v);
       SPIDER_CHECK(scale_budget_seconds > 0.0)
           << "--seconds wants a positive budget, got " << v;
+    } else if (const char* v = value_of("--shards")) {
+      shards_override = std::atoi(v);
+      SPIDER_CHECK(shards_override > 0)
+          << "--shards wants a positive strip count, got " << v;
+    } else if (value_of("--telemetry") != nullptr ||
+               value_of("--trace") != nullptr ||
+               value_of("--stream") != nullptr) {
+      // Already handled by parse_common_flags; consumed here only so a
+      // separate-token value isn't mistaken for the output path.
+    } else if (argv[i][0] != '-') {
+      out_path = argv[i];  // positional output path, flags may precede it
     }
   }
   bench::print_header("perf_smoke",
@@ -657,6 +696,7 @@ int main(int argc, char** argv) {
   phy_delivery_run(true, 50, 2'000);  // warm allocators/caches
   bench::JsonWriter phy_json;
   double phy_speedup_2000 = 0.0;
+  double phy_speedup_50 = 0.0;
   for (const int n : kPhyScales) {
     const PhyMeasurement fast = phy_delivery_run(true, n, kPhyFrames);
     const PhyMeasurement scan = phy_delivery_run(false, n, kPhyFrames);
@@ -692,8 +732,15 @@ int main(int argc, char** argv) {
     std::snprintf(key, sizeof(key), "radios_%d", n);
     phy_json.add_object(key, scale_json);
     if (n == 2000) phy_speedup_2000 = speedup;
+    if (n == 50) phy_speedup_50 = speedup;
   }
   phy_json.add("speedup_at_2000", phy_speedup_2000);
+  // The radios_50 regression gate: with indexed_delivery on, auto-select
+  // must scan the small co-channel partition rather than walk the grid
+  // (asserted above via deliveries_grid == 0), so the shipped path can no
+  // longer lose to the reference scan the way the always-grid path did
+  // (0.83x). Gated at ~parity in bench/BENCH_perf_baseline.json.
+  phy_json.add("auto_speedup_at_50", phy_speedup_50);
 
   // ---- scale: SoA + arena delivery at fleet sizes -------------------------
   std::vector<int> scale_sizes = {10'000, 100'000};
@@ -771,6 +818,70 @@ int main(int argc, char** argv) {
       .add("speedup", fleet_speedup)
       .add("digests_match", true);
 
+  // ---- sharded single world: 1 strip vs. K strips, digest-gated -----------
+  // Speedup is measured on frames/s, not events/s: frames_sent is
+  // shard-invariant (and checked), while event counts grow with K by the
+  // halo copies. The N-vs-1 digest equality is the determinism headline —
+  // same world, bit for bit, at every strip count.
+  const unsigned shard_count =
+      shards_override > 0
+          ? static_cast<unsigned>(shards_override)
+          : std::max(1u, std::min(8u, sim::ThreadPool::default_thread_count()));
+  constexpr int kShardRadios = 100'000;
+  const sim::Time kShardDuration = sim::Time::millis(30);
+  const phy::ShardScenario shard_scenario =
+      core::make_scale_shard_scenario(kShardRadios, 97, kShardDuration);
+  {
+    // Warm allocators on a small world before timing the real arms.
+    const phy::ShardScenario warm =
+        core::make_scale_shard_scenario(2'000, 97, sim::Time::millis(5));
+    sharded_world_run(warm, 1, nullptr);
+  }
+  sim::ThreadPool shard_pool(shard_count);
+  const ShardMeasurement unsharded =
+      sharded_world_run(shard_scenario, 1, nullptr);
+  const ShardMeasurement sharded =
+      sharded_world_run(shard_scenario, shard_count, &shard_pool);
+  SPIDER_CHECK(sharded.digest == unsharded.digest)
+      << shard_count << "-shard world diverged from the 1-shard reference";
+  SPIDER_CHECK(sharded.stats.frames_sent == unsharded.stats.frames_sent)
+      << "shard arms sent different frame counts";
+  SPIDER_CHECK(sharded.stats.message_drops == 0)
+      << "cross-shard mailboxes dropped messages";
+  const double shard_fps_1 =
+      static_cast<double>(unsharded.stats.frames_sent) / unsharded.seconds;
+  const double shard_fps_n =
+      static_cast<double>(sharded.stats.frames_sent) / sharded.seconds;
+  const double shard_speedup = shard_fps_n / shard_fps_1;
+  std::printf(
+      "shard:        %d radios, %llu windows: %.3g frames/s on 1 shard,\n"
+      "              %.3g frames/s on %u shards (%u workers)  (speedup "
+      "%.2fx,\n"
+      "              %llu halo msgs, %llu migrations, 0 drops, digests "
+      "identical)\n",
+      kShardRadios, static_cast<unsigned long long>(sharded.stats.windows),
+      shard_fps_1, shard_fps_n, sharded.stats.shards, sharded.stats.workers,
+      shard_speedup,
+      static_cast<unsigned long long>(sharded.stats.halo_messages),
+      static_cast<unsigned long long>(sharded.stats.migrations));
+  bench::JsonWriter shard_json;
+  shard_json.add("radios", kShardRadios)
+      .add("sim_millis", kShardDuration.us() / 1000)
+      .add("windows", sharded.stats.windows)
+      .add("frames", sharded.stats.frames_sent)
+      .add("frames_per_sec_1shard", shard_fps_1)
+      .add("frames_per_sec_sharded", shard_fps_n)
+      .add("shards", sharded.stats.shards)
+      .add("workers", sharded.stats.workers)
+      .add("speedup", shard_speedup)
+      .add("halo_messages", sharded.stats.halo_messages)
+      .add("migrations", sharded.stats.migrations)
+      .add("retunes_started", sharded.stats.retunes_started)
+      .add("message_drops", sharded.stats.message_drops)
+      .add("mailbox_high_water",
+           static_cast<std::uint64_t>(sharded.stats.mailbox_high_water))
+      .add("digests_match", true);
+
   // ---- sweep: serial vs. parallel -----------------------------------------
   const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47, 57, 67, 77};
   const auto serial = core::run_seed_sweep(seeds, sweep_config, 1);
@@ -821,13 +932,21 @@ int main(int argc, char** argv) {
       .add_hex("combined_digest", parallel.combined_digest());
 
   bench::JsonWriter doc;
+  // hardware_threads is what the OS reports, default_pool_threads what a
+  // ThreadPool(0) actually spawns; sections that fan out record the worker
+  // count they really used (sweep.parallel_threads, shard.workers) so the
+  // artifact says how parallel each number was, not just how parallel the
+  // machine could have been.
   doc.add("schema", "spider-bench-perf-v1")
-      .add("hardware_threads", sim::ThreadPool::default_thread_count())
+      .add("hardware_threads",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+      .add("default_pool_threads", sim::ThreadPool::default_thread_count())
       .add_object("event_queue", event_queue)
       .add_object("stream", stream_json)
       .add_object("phy", phy_json)
       .add_object("scale", scale_json)
       .add_object("fleet", fleet_json)
+      .add_object("shard", shard_json)
       .add_object("sweep", sweep);
   if (!doc.write_file(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path);

@@ -7,6 +7,7 @@
 
 #include "core/arena.h"
 #include "core/check.h"
+#include "core/shard_scenarios.h"
 #include "telemetry/stream_exporter.h"
 
 namespace spider::core {
@@ -101,6 +102,10 @@ FleetExperiment::FleetExperiment(FleetConfig config)
 }
 
 FleetExperiment::~FleetExperiment() = default;
+
+std::vector<unsigned> FleetExperiment::shard_assignment(unsigned shards) const {
+  return fleet_shard_assignment(config_, shards);
+}
 
 // Hot per mobility tick: the move batch is carved from the drain arena
 // (bump-pointer once the first tick warmed the block), and the batched path

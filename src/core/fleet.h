@@ -89,6 +89,11 @@ class FleetExperiment {
   std::size_t client_count() const { return clients_.size(); }
   ClientDevice& client_device(std::size_t i) { return *clients_[i]->device; }
 
+  // Which of `shards` equal-width vertical strips each configured AP falls
+  // into (see core::fleet_shard_assignment) — the load map used to judge
+  // whether a deployment shards evenly before a phy::ShardedWorld-style run.
+  std::vector<unsigned> shard_assignment(unsigned shards) const;
+
  private:
   struct Client {
     std::unique_ptr<ClientDevice> device;

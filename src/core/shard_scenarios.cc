@@ -1,0 +1,131 @@
+#include "core/shard_scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/fleet.h"
+#include "phy/channel.h"
+
+namespace spider::core {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double hash01(std::uint64_t seed, std::uint64_t a, std::uint64_t salt) {
+  const std::uint64_t x =
+      mix64(seed ^ mix64(a * 0x9e3779b97f4a7c15ull + salt));
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+phy::ShardScenario make_scale_shard_scenario(int n_radios, std::uint64_t seed,
+                                             sim::Time duration) {
+  SPIDER_CHECK(n_radios > 0) << "scale scenario with " << n_radios << " radios";
+  phy::ShardScenario scenario;
+  scenario.seed = seed;
+  scenario.duration = duration;
+  // Same density the scale bench uses: ~500 radios/km^2.
+  const double side_m =
+      std::sqrt(static_cast<double>(n_radios) / 500.0) * 1000.0;
+  scenario.width_m = std::max(side_m, 400.0);
+  scenario.height_m = scenario.width_m;
+  scenario.channel_plan.assign(phy::kOrthogonalChannels.begin(),
+                               phy::kOrthogonalChannels.end());
+  scenario.nodes.reserve(static_cast<std::size_t>(n_radios));
+  for (int i = 0; i < n_radios; ++i) {
+    const std::uint32_t uid = static_cast<std::uint32_t>(i) + 1;
+    phy::ShardNodeSpec spec;
+    spec.start = phy::Vec2{hash01(seed, uid, 0x11) * scenario.width_m,
+                           hash01(seed, uid, 0x22) * scenario.height_m};
+    spec.channel = phy::kOrthogonalChannels[uid % 3];
+    spec.step_m = 3.0;        // pedestrian-ish drift per tick
+    spec.tx_period_ticks = 8;  // a probe volley every 8th tick (uid-phased)
+    spec.retune_period_ticks = 40;
+    scenario.nodes.push_back(spec);
+  }
+  return scenario;
+}
+
+phy::ShardScenario make_fleet_shard_scenario(int clients, int aps,
+                                             std::uint64_t seed,
+                                             sim::Time duration) {
+  SPIDER_CHECK(clients > 0 && aps > 0)
+      << "fleet scenario with " << clients << " clients, " << aps << " aps";
+  phy::ShardScenario scenario;
+  scenario.seed = seed;
+  scenario.duration = duration;
+  scenario.width_m = 2000.0;
+  scenario.height_m = 800.0;
+  scenario.channel_plan.assign(phy::kOrthogonalChannels.begin(),
+                               phy::kOrthogonalChannels.end());
+  scenario.nodes.reserve(static_cast<std::size_t>(clients + aps));
+  // APs first (uids 1..aps): parked beaconers on a jittered grid, channels
+  // striped across the orthogonal plan like a real campus deployment.
+  const int columns = std::max(1, static_cast<int>(std::ceil(
+                                      std::sqrt(static_cast<double>(aps)))));
+  for (int a = 0; a < aps; ++a) {
+    const std::uint32_t uid = static_cast<std::uint32_t>(a) + 1;
+    phy::ShardNodeSpec spec;
+    const int col = a % columns;
+    const int row = a / columns;
+    const int rows = (aps + columns - 1) / columns;
+    spec.start = phy::Vec2{
+        (col + 0.3 + 0.4 * hash01(seed, uid, 0x33)) * scenario.width_m /
+            columns,
+        (row + 0.3 + 0.4 * hash01(seed, uid, 0x44)) * scenario.height_m /
+            std::max(rows, 1)};
+    spec.channel = phy::kOrthogonalChannels[a % 3];
+    spec.beaconer = true;
+    spec.tx_period_ticks = 2;  // ~beacon cadence at the tick scale
+    scenario.nodes.push_back(spec);
+  }
+  // Clients: random walkers that probe like scanning drivers and hop
+  // channels (the retune edge cases live here: hops start mid-window and
+  // complete on barriers while the walker may cross strips).
+  for (int c = 0; c < clients; ++c) {
+    const std::uint32_t uid = static_cast<std::uint32_t>(aps + c) + 1;
+    phy::ShardNodeSpec spec;
+    spec.start = phy::Vec2{hash01(seed, uid, 0x55) * scenario.width_m,
+                           hash01(seed, uid, 0x66) * scenario.height_m};
+    spec.channel = phy::kOrthogonalChannels[uid % 3];
+    spec.step_m = 23.0;  // vehicular: crosses cells (and strips) routinely
+    spec.tx_period_ticks = 4;
+    spec.retune_period_ticks = 12;
+    scenario.nodes.push_back(spec);
+  }
+  return scenario;
+}
+
+std::vector<unsigned> fleet_shard_assignment(const FleetConfig& config,
+                                             unsigned shards) {
+  SPIDER_CHECK(shards >= 1) << "assignment needs at least one shard";
+  // The deployment's x-extent: APs plus everywhere the route can put a
+  // client.
+  double x_min = config.vehicle.route().bounds_min().x;
+  double x_max = config.vehicle.route().bounds_max().x;
+  for (const mobility::ApDescriptor& ap : config.aps) {
+    x_min = std::min(x_min, ap.position.x);
+    x_max = std::max(x_max, ap.position.x);
+  }
+  const double span = std::max(x_max - x_min, 1.0);
+  std::vector<unsigned> assignment;
+  assignment.reserve(config.aps.size());
+  for (const mobility::ApDescriptor& ap : config.aps) {
+    const double frac = (ap.position.x - x_min) / span;
+    const unsigned strip = std::min(
+        shards - 1,
+        static_cast<unsigned>(frac * static_cast<double>(shards)));
+    assignment.push_back(strip);
+  }
+  return assignment;
+}
+
+}  // namespace spider::core

@@ -1,0 +1,42 @@
+// Canonical sharded-world scenarios + fleet shard placement.
+//
+// The N-vs-1-shard digest gates (tests/shard_world_test.cc and perf_smoke's
+// shard section) run these two worlds — a uniform "scale" field like the
+// scale bench and a fleet-shaped deployment (fixed beaconing APs, wandering
+// clients) — so both regimes the paper cares about are covered by the same
+// determinism contract. Everything here is a pure function of its arguments;
+// the scenarios carry no state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/shard_world.h"
+#include "sim/time.h"
+
+namespace spider::core {
+
+struct FleetConfig;
+
+// Uniform field at the scale bench's density (~500 radios/km^2), channels
+// striped across the orthogonal plan, every node drifting, probing and
+// periodically retuning. Mirrors bench/perf_smoke.cc's scale section.
+phy::ShardScenario make_scale_shard_scenario(int n_radios, std::uint64_t seed,
+                                             sim::Time duration);
+
+// Fleet-shaped world: `aps` parked beaconers on a grid, `clients` random
+// walkers that probe and channel-hop (the driver scan pattern, reduced to
+// pure-function form).
+phy::ShardScenario make_fleet_shard_scenario(int clients, int aps,
+                                             std::uint64_t seed,
+                                             sim::Time duration);
+
+// Strip assignment for a fleet deployment: which of `shards` equal-width
+// vertical strips (over the union of the AP positions and the route's
+// bounding box) each AP falls into. APs are the anchors of a fleet world's
+// load, so this is the placement FleetExperiment::shard_assignment reports
+// for capacity planning ahead of a sharded fleet run.
+std::vector<unsigned> fleet_shard_assignment(const FleetConfig& config,
+                                             unsigned shards);
+
+}  // namespace spider::core

@@ -24,6 +24,10 @@
 #include "core/experiment.h"
 #include "telemetry/metrics.h"
 
+namespace spider::sim {
+class ThreadPool;
+}  // namespace spider::sim
+
 namespace spider::core {
 
 // One replication's outcome plus the evidence that it is the same run a
@@ -79,7 +83,19 @@ class SweepRunner {
   SweepReport run(std::size_t replications,
                   const ConfigFactory& make_config) const;
 
+  // Same sweep, but on a caller-owned pool: replications and intra-world
+  // shard phases (phy::ShardedWorld) can share one set of workers instead of
+  // each spinning up their own. Results are identical to run() — tasks are
+  // the same, only the pool's provenance differs. Uses at most
+  // pool.thread_count() workers (reported in SweepReport::threads).
+  SweepReport run_on(sim::ThreadPool& pool, std::size_t replications,
+                     const ConfigFactory& make_config) const;
+
  private:
+  SweepReport run_impl(std::size_t replications,
+                       const ConfigFactory& make_config,
+                       sim::ThreadPool* pool, unsigned workers) const;
+
   unsigned threads_;
 };
 

@@ -38,6 +38,32 @@ constexpr std::array<SlotName, N> make_slot_names(const char* stem) {
   return names;
 }
 
+// splitmix64 finalizer: the avalanche mix behind tx keys, stateless loss
+// draws and the commutative delivery digest. Stability across revisions is
+// NOT part of the contract (only within-binary equality is compared).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// World-unique transmission id: (sender uid, per-sender sequence) avalanched
+// into one word. Keys loss draws and digest folds, so it must be stable
+// across shard counts — both inputs are.
+std::uint64_t make_tx_key(std::uint64_t uid, std::uint32_t seq) {
+  return mix64(mix64(uid) ^ seq);
+}
+
+// One receiver outcome folded for the delivery digest. Commutative
+// accumulation (wrapping +) over these identifies the *set* of outcomes,
+// independent of delivery order and of which shard folded each term.
+std::uint64_t fold_outcome(std::int64_t t_us, std::uint64_t tx_key,
+                           std::uint64_t rx_uid, bool delivered) {
+  return mix64(mix64(static_cast<std::uint64_t>(t_us) ^ tx_key) ^
+               (rx_uid * 2 + (delivered ? 1 : 0)));
+}
+
 }  // namespace
 
 Medium::Medium(sim::Simulator& simulator, sim::Rng rng, MediumConfig config)
@@ -107,8 +133,18 @@ void Medium::attach(Radio& radio, net::ChannelId initial_channel) {
   hot_.channel[id] = initial_channel;
   hot_.switching[id] = 0;
   hot_.position[id] = Vec2{};
+  // Identity defaults: uid = attach id (unique within this medium), fresh
+  // transmit sequence. Sharded worlds overwrite via set_identity.
+  hot_.uid[id] = id;
+  hot_.tx_seq[id] = 0;
   all_.push_back(id);
   insert_into_partition(id);
+}
+
+void Medium::set_identity(Radio& radio, std::uint64_t uid,
+                          std::uint32_t tx_seq) {
+  hot_.uid[radio.id_] = uid;
+  hot_.tx_seq[radio.id_] = tx_seq;
 }
 
 void Medium::detach(Radio& radio) {
@@ -196,6 +232,12 @@ SPIDER_HOT void Medium::move_radios(std::span<const RadioMove> moves) {
 
 void Medium::insert_into_partition(RadioId id) {
   ChannelPartition& partition = partitions_[channel_slot(channel_of(id))];
+  // Monotone appends keep the sorted flag; an out-of-order insert (a radio
+  // retuning back onto a channel it left) clears it until the partition
+  // empties out again.
+  if (!partition.members.empty() && partition.members.back() >= id) {
+    partition.members_sorted = false;
+  }
   hot_.member_index[id] = static_cast<std::uint32_t>(partition.members.size());
   partition.members.push_back(id);
   partition.grid.insert(id, hot_.position[id]);
@@ -211,6 +253,10 @@ void Medium::remove_from_partition(RadioId id, net::ChannelId channel) {
   partition.members[index] = moved;
   hot_.member_index[moved] = index;
   partition.members.pop_back();
+  // Removing the last element preserves order; a swap-and-pop from the
+  // middle does not. An emptied partition is trivially sorted again.
+  if (index != partition.members.size()) partition.members_sorted = false;
+  if (partition.members.empty()) partition.members_sorted = true;
   partition.grid.remove(id);
 }
 
@@ -237,14 +283,22 @@ sim::Time Medium::channel_idle_at(net::ChannelId channel) const {
 SPIDER_HOT sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   ++frames_sent_;
   const net::ChannelId channel = channel_of(sender.id_);
-  ++per_channel_[channel_slot(channel)].sent;
+  const std::size_t slot = channel_slot(channel);
+  ++per_channel_[slot].sent;
   if (sniffer_) sniffer_(frame, channel, sim_.now());
   const double rate =
       frame.tx_rate_bps > 0.0 ? frame.tx_rate_bps : config_.bitrate_bps;
   const sim::Time airtime =
       config_.preamble + sim::transmission_time(frame.size_bytes, rate);
+  const Vec2 pos = hot_.position[sender.id_];
 
-  sim::Time& busy = busy_until_[channel_slot(channel)];
+  // Carrier-sense domain: the whole channel by default, or just the sender's
+  // grid cell in cell_contention mode (same-cell senders always share a
+  // shard, so the horizon needs no cross-shard coordination).
+  sim::Time& busy =
+      config_.cell_contention
+          ? cell_busy_[slot][partitions_[slot].grid.cell_key_of(pos)]
+          : busy_until_[slot];
   const sim::Time start = std::max(sim_.now(), busy);
   const sim::Time done = start + airtime;
   // Channel-occupancy monotonicity: serialization can only extend the busy
@@ -255,6 +309,13 @@ SPIDER_HOT sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
       << airtime.to_string() << ")";
   busy = done;
 
+  const std::uint64_t sender_uid = hot_.uid[sender.id_];
+  const std::uint64_t tx_key = make_tx_key(sender_uid, ++hot_.tx_seq[sender.id_]);
+  if (config_.stateless_loss) {
+    delivery_digest_ += mix64(static_cast<std::uint64_t>(sim_.now().us()) ^
+                              mix64(tx_key));
+  }
+
   // Snapshot the sender's position at transmit time; at vehicular speeds the
   // sub-millisecond drift during airtime is irrelevant. The sender itself is
   // carried as its attach id, not a pointer: it may detach (or even be
@@ -262,14 +323,54 @@ SPIDER_HOT sim::Time Medium::transmit(Radio& sender, net::Frame frame) {
   // lives in a pooled PendingTx node so the closure stays SmallFn-inline.
   PendingTx* tx = acquire_pending_tx();
   tx->sender_id = sender.id_;
-  tx->pos = hot_.position[sender.id_];
+  tx->sender_uid = sender_uid;
+  tx->tx_key = tx_key;
+  tx->pos = pos;
   tx->channel = channel;
   tx->frame = std::move(frame);
   sim_.post_at(done, [this, tx] {
-    deliver(tx->sender_id, tx->pos, tx->channel, tx->frame);
+    deliver(*tx);
     release_pending_tx(tx);
   });
+  if (tx_tap_) {
+    tx_tap_(TxInfo{sender_uid, tx_key, pos, channel, done, &tx->frame});
+  }
   return done;
+}
+
+void Medium::deliver_remote(sim::Time at, std::uint64_t sender_uid,
+                            std::uint64_t tx_key, Vec2 pos,
+                            net::ChannelId channel, net::Frame frame) {
+  // Order-independent draws are what make a halo copy consume no local RNG;
+  // without them the copy would shift every subsequent draw in this shard.
+  SPIDER_CHECK(config_.stateless_loss)
+      << "deliver_remote requires stateless loss draws";
+  ++remote_frames_in_;
+  // No frames_sent_ bump and no send-side digest fold: the origin shard
+  // counted this transmission; this shard only owns its local receivers.
+  PendingTx* tx = acquire_pending_tx();
+  tx->sender_id = 0;
+  tx->sender_uid = sender_uid;
+  tx->tx_key = tx_key;
+  tx->pos = pos;
+  tx->channel = channel;
+  tx->frame = std::move(frame);
+  sim_.post_at(at, [this, tx] {
+    deliver(*tx);
+    release_pending_tx(tx);
+  });
+}
+
+SPIDER_HOT bool Medium::stateless_bernoulli(double p, std::uint64_t tx_key,
+                                            std::uint64_t rx_uid,
+                                            int attempt) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::uint64_t x = mix64(config_.loss_seed ^ tx_key);
+  x = mix64(x ^ (rx_uid * 0x9e3779b97f4a7c15ull +
+                 static_cast<std::uint64_t>(attempt)));
+  // Top 53 bits as a double in [0, 1), compared against p.
+  return (static_cast<double>(x >> 11) * 0x1.0p-53) < p;
 }
 
 Medium::PendingTx* Medium::acquire_pending_tx() {
@@ -294,9 +395,11 @@ SPIDER_HOT void Medium::release_pending_tx(PendingTx* node) {
   tx_free_.push_back(node);
 }
 
-SPIDER_HOT void Medium::deliver(RadioId sender_id, Vec2 sender_pos,
-                                net::ChannelId channel,
-                                const net::Frame& frame) {
+SPIDER_HOT void Medium::deliver(const PendingTx& tx) {
+  const RadioId sender_id = tx.sender_id;  // 0 for cross-shard transmissions
+  const Vec2 sender_pos = tx.pos;
+  const net::ChannelId channel = tx.channel;
+  const net::Frame& frame = tx.frame;
   // Unicast data-plane frames get link-layer ARQ at the addressed receiver
   // and a tx-failure indication back to the sender; everything else is
   // single-shot (as in the analytical join model).
@@ -347,12 +450,16 @@ SPIDER_HOT void Medium::deliver(RadioId sender_id, Vec2 sender_pos,
     }
     if (used_grid) {
       ++deliveries_grid_;
+      candidates_sorted = false;
     } else {
       candidates = partition.members.data();
       count = members;
       ++deliveries_scan_;
+      // A partition that only ever saw monotone appends is already in attach
+      // order, so the survivors below come out sorted and the re-sort can be
+      // skipped — the RNG stream is identical either way.
+      candidates_sorted = partition.members_sorted;
     }
-    candidates_sorted = false;
   } else {
     ++deliveries_scan_;
   }
@@ -379,7 +486,11 @@ SPIDER_HOT void Medium::deliver(RadioId sender_id, Vec2 sender_pos,
   const double inv_range_scale = 1.0 / range_scale;
   for (std::size_t i = 0; i < count; ++i) {
     const RadioId id = candidates[i];
-    if (id == sender_id) continue;
+    // Self-reception is excluded by world-stable uid, not attach id: a
+    // sender that migrated to another shard mid-flight must still skip
+    // itself when its own frame arrives as a halo copy. With default
+    // identities (uid == attach id) this is the same test as before.
+    if (hot_.uid[id] == tx.sender_uid) continue;
     if (hot_.channel[id] != channel || hot_.switching[id] != 0) continue;
     const Vec2 rx_pos = hot_.position[id];
     const double dx = rx_pos.x - sender_pos.x;
@@ -393,6 +504,8 @@ SPIDER_HOT void Medium::deliver(RadioId sender_id, Vec2 sender_pos,
               [](const Hit& a, const Hit& b) { return a.id < b.id; });
   }
 
+  const bool stateless = config_.stateless_loss;
+  const std::int64_t now_us = sim_.now().us();
   for (std::size_t i = 0; i < n_hits; ++i) {
     const RadioId id = hits[i].id;
     const double d = hits[i].distance_m;
@@ -400,8 +513,16 @@ SPIDER_HOT void Medium::deliver(RadioId sender_id, Vec2 sender_pos,
     const double p = loss_probability(d);
     bool lost = true;
     const int attempts = is_addressee ? config_.data_retry_limit + 1 : 1;
-    for (int a = 0; a < attempts && lost; ++a) {
-      lost = rng_.bernoulli(p);
+    if (stateless) {
+      const std::uint64_t rx_uid = hot_.uid[id];
+      for (int a = 0; a < attempts && lost; ++a) {
+        lost = stateless_bernoulli(p, tx.tx_key, rx_uid, a);
+      }
+      delivery_digest_ += fold_outcome(now_us, tx.tx_key, rx_uid, !lost);
+    } else {
+      for (int a = 0; a < attempts && lost; ++a) {
+        lost = rng_.bernoulli(p);
+      }
     }
     if (lost) {
       ++frames_lost_;
@@ -432,6 +553,12 @@ std::size_t Medium::hot_state_bytes() const {
   for (const ChannelPartition& partition : partitions_) {
     total += partition.members.capacity() * sizeof(RadioId) +
              partition.grid.memory_bytes();
+  }
+  for (const auto& horizon : cell_busy_) {
+    // Node-based map: ~one allocation per occupied cell plus bucket array.
+    total += horizon.size() *
+                 (sizeof(std::uint64_t) + sizeof(sim::Time) + 2 * sizeof(void*)) +
+             horizon.bucket_count() * sizeof(void*);
   }
   return total;
 }

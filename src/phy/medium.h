@@ -32,6 +32,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "net/frame.h"
@@ -73,6 +74,22 @@ struct MediumConfig {
   // every co-channel radio (the 0.93x regression perf_smoke's radios_50
   // section measured). Tests that assert grid usage set this to 0.
   std::size_t indexed_scan_threshold = 56;
+  // Sharded-engine loss mode: each per-receiver Bernoulli draw comes from a
+  // counter-based hash of (loss_seed, tx_key, receiver uid, attempt) instead
+  // of the medium's sequential RNG stream, so every outcome is a pure
+  // function of physical identities — independent of delivery order, attach
+  // order, and shard count. Also arms the commutative delivery digest
+  // (delivery_digest()) that the N-vs-1-shard gate compares. Default off:
+  // the sequential stream is the contract all existing digests are built on.
+  bool stateless_loss = false;
+  std::uint64_t loss_seed = 0;
+  // Localized carrier sense: serialize transmissions per (channel, grid
+  // cell) instead of per channel world-wide. Required by the sharded engine
+  // — a world-global busy horizon is inherently unshardable — and
+  // shard-invariant because shard strips are unions of whole grid-cell
+  // columns, so same-cell senders always live in the same shard. While set,
+  // channel_idle_at() keeps reporting the (now untouched) global horizon.
+  bool cell_contention = false;
 };
 
 // One radio's new position in a batched mobility tick (Medium::move_radios).
@@ -136,6 +153,62 @@ class Medium {
   void move_radios(std::span<const RadioMove> moves);
 
   void set_sniffer(SnifferFn sniffer) { sniffer_ = std::move(sniffer); }
+
+  // --- Sharded-engine surface (see phy::ShardedWorld) -----------------------
+  //
+  // World-stable identity: attach ids are per-Medium, so a radio that
+  // migrates between shards carries a uid (and its transmit sequence) that
+  // survives the detach/re-attach. Defaults at attach: uid = attach id,
+  // tx_seq = 0 — unique within one Medium, so single-world behaviour is
+  // unchanged. Sharded callers must keep uids world-unique.
+  void set_identity(Radio& radio, std::uint64_t uid, std::uint32_t tx_seq);
+  std::uint64_t uid_of(RadioId id) const { return hot_.uid[id]; }
+  std::uint32_t tx_seq_of(RadioId id) const { return hot_.tx_seq[id]; }
+
+  // Cross-shard transmission descriptor handed to the tap below for every
+  // local transmit, and accepted back via deliver_remote() on the
+  // neighboring shard. `tx_key` is the world-unique transmission id
+  // hash(uid, tx_seq) that keys stateless loss draws and the delivery
+  // digest.
+  struct TxInfo {
+    std::uint64_t sender_uid = 0;
+    std::uint64_t tx_key = 0;
+    Vec2 pos{};
+    net::ChannelId channel = 0;
+    sim::Time deliver_at;
+    const net::Frame* frame = nullptr;
+  };
+  using TxTapFn = std::function<void(const TxInfo&)>;
+  // Invoked synchronously inside transmit() after the delivery event is
+  // scheduled — the coordinator's hook for mirroring boundary frames into a
+  // neighbor shard's mailbox.
+  void set_tx_tap(TxTapFn tap) { tx_tap_ = std::move(tap); }
+
+  // Schedules delivery of a frame transmitted in another shard. Receivers
+  // with hot uid == sender_uid are skipped (the sender may have migrated
+  // here mid-flight), so together with the local delivery in the origin
+  // shard every radio in the world sees the frame exactly once. Requires
+  // stateless_loss (order-independent draws are what make the halo copy
+  // consume no local RNG).
+  void deliver_remote(sim::Time at, std::uint64_t sender_uid,
+                      std::uint64_t tx_key, Vec2 pos, net::ChannelId channel,
+                      net::Frame frame);
+
+  // Commutative digest over physical delivery outcomes, armed by
+  // stateless_loss: per transmit, mix(time, tx_key) is added; per receiver
+  // outcome, mix(time, tx_key, rx uid, delivered?) is added in the shard
+  // that OWNS the receiver. Wrapping addition makes the per-shard values
+  // summable: the world digest is the sum over shards, identical for any
+  // shard count. (Per-shard values alone are NOT comparable across shard
+  // counts.)
+  std::uint64_t delivery_digest() const { return delivery_digest_; }
+  std::uint64_t remote_frames_in() const { return remote_frames_in_; }
+
+  // Cell size of the spatial grid (same for every partition) — the halo
+  // width the sharded coordinator uses, since it upper-bounds the effective
+  // range of any standard-rate frame.
+  double grid_cell_m() const { return partitions_[0].grid.cell_m(); }
+  // -------------------------------------------------------------------------
 
   // Called by Radio::send(): schedules serialization and delivery. Returns
   // the time at which the transmission will complete.
@@ -203,6 +276,13 @@ class Medium {
   struct ChannelPartition {
     std::vector<RadioId> members;
     RadioGrid grid;
+    // True while `members` happens to be ascending by attach id — the common
+    // steady state (appends are monotone; only a swap-and-pop removal from
+    // the middle breaks it). Lets the small-partition scan path skip the
+    // per-delivery re-sort of survivors (the last cost keeping the shipped
+    // auto-selected path behind the world scan at radios_50), while leaving
+    // the RNG stream byte-identical: sorted input sorts to itself.
+    bool members_sorted = true;
   };
 
   // State of one in-flight transmission, parked between transmit() and the
@@ -212,7 +292,9 @@ class Medium {
   // every single transmit onto the heap. The pool's high-water mark is the
   // max number of concurrently in-flight frames, a handful per channel.
   struct PendingTx {
-    RadioId sender_id = 0;
+    RadioId sender_id = 0;  // 0 for remote (cross-shard) transmissions
+    std::uint64_t sender_uid = 0;
+    std::uint64_t tx_key = 0;
     Vec2 pos{};
     net::ChannelId channel = 0;
     net::Frame frame{};
@@ -222,9 +304,12 @@ class Medium {
 
   void insert_into_partition(RadioId id);
   void remove_from_partition(RadioId id, net::ChannelId channel);
-  void deliver(RadioId sender_id, Vec2 sender_pos, net::ChannelId channel,
-               const net::Frame& frame);
+  void deliver(const PendingTx& tx);
   void publish_metrics(telemetry::Registry& registry) const;
+  // Counter-based per-receiver loss draw (stateless_loss mode): a pure
+  // function of (loss_seed, tx_key, rx_uid, attempt).
+  bool stateless_bernoulli(double p, std::uint64_t tx_key, std::uint64_t rx_uid,
+                           int attempt) const;
 
   sim::Simulator& sim_;
   sim::Rng rng_;
@@ -242,6 +327,11 @@ class Medium {
   // Busy horizon per channel slot: flat array indexed by channel_slot — the
   // per-transmit hash lookup this replaced showed up in delivery profiles.
   std::array<sim::Time, kChannelSlots> busy_until_{};
+  // Per-(channel, grid-cell) busy horizons, used instead of busy_until_ when
+  // config_.cell_contention is set. Lookup-only (never iterated), so the
+  // unordered map's ordering can't leak into behaviour.
+  std::array<std::unordered_map<std::uint64_t, sim::Time>, kChannelSlots>
+      cell_busy_;
   // PendingTx free-list pool: tx_pool_ owns the nodes, tx_free_ holds the
   // idle ones (capacity always >= pool size so release never allocates).
   std::vector<std::unique_ptr<PendingTx>> tx_pool_;
@@ -253,6 +343,9 @@ class Medium {
   std::uint64_t deliveries_scan_ = 0;
   std::array<ChannelCounters, kChannelSlots> per_channel_{};
   telemetry::Hub::CollectorId collector_id_ = 0;
+  TxTapFn tx_tap_;
+  std::uint64_t delivery_digest_ = 0;
+  std::uint64_t remote_frames_in_ = 0;
 };
 
 }  // namespace spider::phy

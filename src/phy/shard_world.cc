@@ -1,0 +1,546 @@
+#include "phy/shard_world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+#include "net/addr.h"
+#include "phy/channel.h"
+#include "phy/radio.h"
+
+namespace spider::phy {
+
+namespace {
+
+// Trace track ids for the per-shard window lanes (1000 + shard index keeps
+// them clear of the per-world sim.* tracks).
+constexpr std::uint32_t kShardTrackBase = 1000;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform [0, 1) as a pure function of its inputs — node behaviour must
+// never consume a sequential stream, or it would depend on shard layout.
+double hash01(std::uint64_t seed, std::uint64_t uid, std::uint64_t tick,
+              std::uint64_t salt) {
+  const std::uint64_t x =
+      mix64(seed ^ mix64(uid * 0x9e3779b97f4a7c15ull + salt) ^ mix64(tick));
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Reflects a coordinate into [0, limit] (one bounce is enough: per-tick
+// steps are tiny compared to world size), then clamps for safety.
+double reflect(double v, double limit) {
+  if (v < 0.0) v = -v;
+  if (v > limit) v = 2.0 * limit - v;
+  return std::clamp(v, 0.0, limit);
+}
+
+net::MacAddress mac_of(std::uint32_t uid) {
+  return net::MacAddress::from_index(uid);
+}
+
+}  // namespace
+
+// One timestamped cross-shard frame. Sorted by (at_us, tx_key) before apply:
+// tx keys are world-unique per transmission, so the order is total and
+// identical however the messages were produced.
+struct ShardMsg {
+  std::int64_t at_us = 0;
+  std::uint64_t sender_uid = 0;
+  std::uint64_t tx_key = 0;
+  Vec2 pos{};
+  net::ChannelId channel = 0;
+  net::Frame frame;
+};
+
+struct ShardedWorld::Node {
+  Vec2 pos{};
+  net::ChannelId channel = 1;
+  bool switching = false;
+  net::ChannelId pending_channel = 0;
+  std::int64_t retune_done_us = 0;
+  std::uint32_t tx_seq = 0;  // carried across migrations
+  // Lifetime counters from previous residencies (the live radio's counters
+  // are added on read).
+  std::uint64_t rx_base = 0;
+  std::uint64_t tx_base = 0;
+  unsigned shard = 0;
+  net::SharedPayload beacon;  // minted once for beaconers
+  std::unique_ptr<Radio> radio;
+};
+
+struct ShardedWorld::Shard {
+  unsigned index = 0;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<Medium> medium;
+  std::vector<std::uint32_t> residents;  // uids, ascending
+  // Bounded mailboxes (reserved capacity; growth is tracked, never dropped).
+  std::vector<ShardMsg> outbox_left;
+  std::vector<ShardMsg> outbox_right;
+  std::vector<ShardMsg> inbox;
+  // Pending retune completions, ascending (done_us, uid); tiny (a node
+  // retunes at most once per 4.94 ms).
+  std::vector<std::pair<std::int64_t, std::uint32_t>> retunes;
+  std::vector<RadioMove> move_scratch;
+  std::vector<std::uint32_t> out_migrants;
+  std::uint64_t aux_digest = 0;  // commutative folds of barrier events
+  std::uint64_t retunes_started = 0;
+};
+
+ShardedWorld::ShardedWorld(ShardScenario scenario, unsigned shards,
+                           sim::ThreadPool* pool)
+    : scenario_(std::move(scenario)), executor_(shards, pool) {
+  SPIDER_CHECK(shards >= 1) << "world needs at least one shard";
+  SPIDER_CHECK(scenario_.width_m > 0.0 && scenario_.height_m > 0.0)
+      << "degenerate world " << scenario_.width_m << " x "
+      << scenario_.height_m;
+  SPIDER_CHECK(scenario_.windows_per_tick >= 1) << "tick needs >= 1 window";
+  SPIDER_CHECK(!scenario_.channel_plan.empty()) << "empty channel plan";
+  for (const net::ChannelId c : scenario_.channel_plan) {
+    SPIDER_CHECK(valid_channel(c)) << "channel " << c << " outside the plan";
+  }
+  derive_window();
+  build_shards(pool);
+}
+
+ShardedWorld::~ShardedWorld() {
+  // Radios must detach before their mediums die.
+  nodes_.clear();
+}
+
+void ShardedWorld::derive_window() {
+  // Conservative lookahead: nothing in one shard can affect another sooner
+  // than the smallest frame's airtime (a frame transmitted now delivers at
+  // least preamble + serialization later) or the 4.94 ms hardware reset
+  // (retune completions are additionally quantized to barriers). Every
+  // scenario frame class is considered; silent worlds fall back to the
+  // probe-request size.
+  int min_bytes = std::numeric_limits<int>::max();
+  for (const ShardNodeSpec& spec : scenario_.nodes) {
+    if (spec.tx_period_ticks == 0) continue;
+    min_bytes = std::min(
+        min_bytes, spec.beaconer ? net::kBeaconBytes : net::kProbeRequestBytes);
+  }
+  if (min_bytes == std::numeric_limits<int>::max()) {
+    min_bytes = net::kProbeRequestBytes;
+  }
+  const sim::Time airtime =
+      scenario_.medium.preamble +
+      sim::transmission_time(min_bytes, scenario_.medium.bitrate_bps);
+  std::int64_t w_us =
+      std::min(airtime.us(), RadioConfig{}.hardware_reset.us());
+  if (scenario_.window_us_override > 0) {
+    SPIDER_CHECK(scenario_.window_us_override <= w_us)
+        << "window override " << scenario_.window_us_override
+        << "us exceeds the conservative lookahead " << w_us << "us";
+    w_us = scenario_.window_us_override;
+  }
+  // Windows run strictly-before their barrier (run_until(end - 1us)), so a
+  // window must span at least 2us.
+  SPIDER_CHECK(w_us >= 2) << "window " << w_us << "us too small";
+  window_ = sim::Time::micros(w_us);
+}
+
+void ShardedWorld::build_shards(sim::ThreadPool* pool) {
+  (void)pool;
+  const unsigned k = executor_.shards();
+  shards_.reserve(k);
+  for (unsigned s = 0; s < k; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    shard->sim = std::make_unique<sim::Simulator>();
+    MediumConfig cfg = scenario_.medium;
+    // The sharded engine's two hard requirements (see medium.h): draws that
+    // are pure functions of physical identity, and carrier sense that never
+    // spans a shard boundary.
+    cfg.stateless_loss = true;
+    cfg.loss_seed = mix64(scenario_.seed ^ 0x5c6df5u);
+    cfg.cell_contention = true;
+    shard->medium = std::make_unique<Medium>(
+        *shard->sim, sim::Rng(mix64(scenario_.seed) + s), cfg);
+    const std::size_t mailbox_reserve =
+        std::max<std::size_t>(64, scenario_.nodes.size() / std::max(1u, k));
+    shard->outbox_left.reserve(mailbox_reserve);
+    shard->outbox_right.reserve(mailbox_reserve);
+    shard->inbox.reserve(mailbox_reserve);
+    shards_.push_back(std::move(shard));
+  }
+  cell_m_ = shards_[0]->medium->grid_cell_m();
+  inv_cell_m_ = 1.0 / cell_m_;
+
+  // Strip edges snapped to grid-cell columns: radios sharing a cell always
+  // share a shard (what makes per-cell carrier sense shard-invariant), and
+  // every strip spans at least one cell so the one-cell halo only ever
+  // reaches the immediate neighbor.
+  const std::int32_t cells_x = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::ceil(scenario_.width_m / cell_m_)));
+  SPIDER_CHECK(static_cast<std::int32_t>(k) <= cells_x)
+      << k << " shards need " << k << " grid-cell columns, world has "
+      << cells_x;
+  edges_cells_.resize(k + 1);
+  edges_m_.resize(k + 1);
+  for (unsigned e = 0; e <= k; ++e) {
+    std::int32_t cell = static_cast<std::int32_t>(
+        (static_cast<std::int64_t>(e) * cells_x) / k);
+    if (e > 0 && cell <= edges_cells_[e - 1]) cell = edges_cells_[e - 1] + 1;
+    edges_cells_[e] = cell;
+    edges_m_[e] = static_cast<double>(cell) * cell_m_;
+  }
+  SPIDER_CHECK(edges_cells_[k] == cells_x)
+      << "strip edges drifted past the world";
+
+  // Tap every shard's transmits: anything within one cell of a strip edge is
+  // mirrored into the neighbor's mailbox (<=, not <: a receiver exactly at
+  // the maximum effective range still gets a — certainly lost — outcome
+  // fold, which the digest counts).
+  for (unsigned s = 0; s < k; ++s) {
+    shards_[s]->medium->set_tx_tap([this, s](const Medium::TxInfo& info) {
+      Shard& shard = *shards_[s];
+      if (s > 0 && info.pos.x - edges_m_[s] <= cell_m_) {
+        shard.outbox_left.push_back(ShardMsg{info.deliver_at.us(),
+                                             info.sender_uid, info.tx_key,
+                                             info.pos, info.channel,
+                                             *info.frame});
+      }
+      if (s + 1 < shards_.size() && edges_m_[s + 1] - info.pos.x <= cell_m_) {
+        shard.outbox_right.push_back(ShardMsg{info.deliver_at.us(),
+                                              info.sender_uid, info.tx_key,
+                                              info.pos, info.channel,
+                                              *info.frame});
+      }
+    });
+  }
+
+  // Nodes, ascending uid — so per-shard resident lists start sorted and
+  // every shard's attach order is the uid order.
+  nodes_.resize(scenario_.nodes.size());
+  shard_track_names_.reserve(k);
+  for (unsigned s = 0; s < k; ++s) {
+    char name[24];
+    std::snprintf(name, sizeof(name), "shard %u", s);
+    shard_track_names_.emplace_back(name);
+  }
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    const std::uint32_t uid = i + 1;
+    const ShardNodeSpec& spec = scenario_.nodes[i];
+    SPIDER_CHECK(valid_channel(spec.channel))
+        << "node " << uid << " starts on channel " << spec.channel;
+    Node& node = nodes_[i];
+    node.pos = Vec2{std::clamp(spec.start.x, 0.0, scenario_.width_m),
+                    std::clamp(spec.start.y, 0.0, scenario_.height_m)};
+    node.channel = spec.channel;
+    node.shard = shard_of_x(node.pos.x);
+    if (spec.beaconer) {
+      node.beacon = net::SharedPayload(
+          net::BeaconInfo{"spider", spec.channel, true});
+    }
+    Shard& home = *shards_[node.shard];
+    node.radio = std::make_unique<Radio>(*home.medium, mac_of(uid),
+                                         RadioConfig{node.channel});
+    node.radio->set_position(node.pos);
+    home.medium->set_identity(*node.radio, uid, 0);
+    home.residents.push_back(uid);
+  }
+  stats_.shards = k;
+  stats_.workers = executor_.workers();
+}
+
+unsigned ShardedWorld::shard_of_x(double x) const {
+  // Same rounding as RadioGrid::cell_of, so "which strip" can never disagree
+  // with "which cell".
+  const std::int32_t cx =
+      static_cast<std::int32_t>(std::floor(x * inv_cell_m_));
+  const auto it =
+      std::upper_bound(edges_cells_.begin(), edges_cells_.end(), cx);
+  if (it == edges_cells_.begin()) return 0;
+  const unsigned k =
+      static_cast<unsigned>(std::distance(edges_cells_.begin(), it)) - 1;
+  return std::min(k, static_cast<unsigned>(shards_.size()) - 1);
+}
+
+void ShardedWorld::process_due_retunes(Shard& shard, std::int64_t barrier_us) {
+  // Completions are barrier events, applied ascending (time, uid) — never
+  // simulator events, so they can't interleave with deliveries differently
+  // at different shard counts.
+  while (!shard.retunes.empty() && shard.retunes.front().first <= barrier_us) {
+    const std::uint32_t uid = shard.retunes.front().second;
+    shard.retunes.erase(shard.retunes.begin());
+    Node& node = nodes_[uid - 1];
+    shard.medium->complete_retune(*node.radio, node.pending_channel);
+    node.channel = node.pending_channel;
+    node.switching = false;
+  }
+}
+
+void ShardedWorld::mobility_phase(Shard& shard, std::int64_t barrier_us,
+                                  std::uint64_t tick) {
+  process_due_retunes(shard, barrier_us);
+  shard.move_scratch.clear();
+  for (const std::uint32_t uid : shard.residents) {
+    const ShardNodeSpec& spec = scenario_.nodes[uid - 1];
+    if (spec.step_m <= 0.0) continue;
+    Node& node = nodes_[uid - 1];
+    const double dx = (2.0 * hash01(scenario_.seed, uid, tick, 0xA5) - 1.0) *
+                      spec.step_m;
+    const double dy = (2.0 * hash01(scenario_.seed, uid, tick, 0xB6) - 1.0) *
+                      spec.step_m;
+    node.pos = Vec2{reflect(node.pos.x + dx, scenario_.width_m),
+                    reflect(node.pos.y + dy, scenario_.height_m)};
+    shard.move_scratch.push_back(RadioMove{node.radio.get(), node.pos});
+  }
+  if (!shard.move_scratch.empty()) {
+    shard.medium->move_radios(shard.move_scratch);
+  }
+  shard.out_migrants.clear();
+  for (const std::uint32_t uid : shard.residents) {
+    if (shard_of_x(nodes_[uid - 1].pos.x) != shard.index) {
+      shard.out_migrants.push_back(uid);
+    }
+  }
+}
+
+void ShardedWorld::route_migrants() {
+  // Serial coordinator phase. Collected across shards and applied ascending
+  // uid, so destination attach order — and with it everything downstream —
+  // is independent of which shard each migrant came from.
+  migrant_scratch_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    migrant_scratch_.insert(migrant_scratch_.end(),
+                            shard->out_migrants.begin(),
+                            shard->out_migrants.end());
+    shard->out_migrants.clear();
+  }
+  if (migrant_scratch_.empty()) return;
+  std::sort(migrant_scratch_.begin(), migrant_scratch_.end());
+  for (const std::uint32_t uid : migrant_scratch_) {
+    Node& node = nodes_[uid - 1];
+    Shard& from = *shards_[node.shard];
+    const unsigned to = shard_of_x(node.pos.x);
+    SPIDER_CHECK(to != node.shard) << "migrant " << uid << " didn't move";
+    Shard& dest = *shards_[to];
+    // Carry the world-stable identity: transmit sequence (tx keys must keep
+    // advancing, not restart), lifetime counters, and any in-flight retune.
+    Radio& old_radio = *node.radio;
+    const RadioId old_id = static_cast<RadioId>(old_radio.attach_order());
+    node.tx_seq = from.medium->tx_seq_of(old_id);
+    node.rx_base += old_radio.frames_rx();
+    node.tx_base += old_radio.frames_tx();
+    if (node.switching) {
+      const auto entry = std::make_pair(node.retune_done_us, uid);
+      const auto it = std::find(from.retunes.begin(), from.retunes.end(), entry);
+      SPIDER_CHECK(it != from.retunes.end())
+          << "migrant " << uid << " lost its pending retune";
+      from.retunes.erase(it);
+    }
+    node.radio.reset();  // detaches from the old shard's medium
+    node.radio = std::make_unique<Radio>(*dest.medium, mac_of(uid),
+                                         RadioConfig{node.channel});
+    node.radio->set_position(node.pos);
+    dest.medium->set_identity(*node.radio, uid, node.tx_seq);
+    if (node.switching) {
+      dest.medium->set_switching(*node.radio, true);
+      const auto entry = std::make_pair(node.retune_done_us, uid);
+      dest.retunes.insert(
+          std::upper_bound(dest.retunes.begin(), dest.retunes.end(), entry),
+          entry);
+    }
+    from.residents.erase(
+        std::lower_bound(from.residents.begin(), from.residents.end(), uid));
+    dest.residents.insert(
+        std::lower_bound(dest.residents.begin(), dest.residents.end(), uid),
+        uid);
+    node.shard = to;
+    ++stats_.migrations;
+  }
+}
+
+void ShardedWorld::start_retune(Shard& shard, Node& node, std::uint32_t uid,
+                                std::int64_t barrier_us, std::uint64_t tick) {
+  const std::uint64_t pick =
+      mix64(scenario_.seed ^ mix64(uid) ^ (tick * 0x9e3779b97f4a7c15ull));
+  const net::ChannelId target = scenario_.channel_plan[
+      pick % scenario_.channel_plan.size()];
+  node.switching = true;
+  node.pending_channel = target;
+  // Completion lands on the first barrier at or past start + reset: real
+  // latency within [4.94 ms, 4.94 ms + W), and exactly representable at
+  // every shard count.
+  const std::int64_t reset_us = RadioConfig{}.hardware_reset.us();
+  const std::int64_t w_us = window_.us();
+  node.retune_done_us =
+      ((barrier_us + reset_us + w_us - 1) / w_us) * w_us;
+  shard.medium->set_switching(*node.radio, true);
+  const auto entry = std::make_pair(node.retune_done_us, uid);
+  shard.retunes.insert(
+      std::upper_bound(shard.retunes.begin(), shard.retunes.end(), entry),
+      entry);
+  // Retune starts are world events too: fold them commutatively so a K that
+  // somehow skipped one cannot produce the K=1 digest.
+  shard.aux_digest += mix64(mix64(static_cast<std::uint64_t>(barrier_us) ^
+                                  (uid * 0x9e3779b97f4a7c15ull)) ^
+                            static_cast<std::uint64_t>(target));
+  ++shard.retunes_started;
+}
+
+void ShardedWorld::traffic_phase(Shard& shard, std::int64_t barrier_us,
+                                 std::uint64_t tick) {
+  for (const std::uint32_t uid : shard.residents) {
+    const ShardNodeSpec& spec = scenario_.nodes[uid - 1];
+    Node& node = nodes_[uid - 1];
+    if (spec.retune_period_ticks != 0 && tick > 0 && !node.switching &&
+        (tick + uid) % spec.retune_period_ticks == 0) {
+      start_retune(shard, node, uid, barrier_us, tick);
+    }
+    if (spec.tx_period_ticks != 0 && (tick + uid) % spec.tx_period_ticks == 0) {
+      net::Frame frame = spec.beaconer
+                             ? net::make_beacon(mac_of(uid), node.beacon)
+                             : net::make_probe_request(mac_of(uid));
+      // send() refuses while switching — that refusal is itself a pure
+      // function of (uid, tick), so it needs no digest fold.
+      node.radio->send(std::move(frame));
+    }
+  }
+}
+
+void ShardedWorld::advance_phase(Shard& shard, std::int64_t barrier_us) {
+  process_due_retunes(shard, barrier_us);
+  const std::int64_t end_us = barrier_us + window_.us();
+  // Strictly-before the end barrier, then jump the clock onto it: events
+  // scheduled exactly at a barrier run AFTER that barrier's phases, at every
+  // shard count.
+  shard.sim->run_until(sim::Time::micros(end_us - 1));
+  shard.sim->advance_to(sim::Time::micros(end_us));
+  if (tracing_) {
+    shard.sim->telemetry().trace().complete("window", "shard", barrier_us,
+                                            window_.us(),
+                                            kShardTrackBase + shard.index);
+  }
+}
+
+void ShardedWorld::exchange_mailboxes() {
+  // Serial coordinator phase: deliver every boundary frame into its
+  // neighbor's queue, in (time, tx key) order. Runs after the window whose
+  // sends produced the messages and before any window that could need them
+  // (delivery is always >= one full window after the send — the lookahead
+  // guarantee), so no message is ever late, and none is ever dropped.
+  const std::size_t k = shards_.size();
+  for (std::size_t s = 0; s < k; ++s) {
+    Shard& shard = *shards_[s];
+    if (s > 0) {
+      std::vector<ShardMsg>& inbox = shards_[s - 1]->inbox;
+      inbox.insert(inbox.end(),
+                   std::make_move_iterator(shard.outbox_left.begin()),
+                   std::make_move_iterator(shard.outbox_left.end()));
+      shard.outbox_left.clear();
+    }
+    if (s + 1 < k) {
+      std::vector<ShardMsg>& inbox = shards_[s + 1]->inbox;
+      inbox.insert(inbox.end(),
+                   std::make_move_iterator(shard.outbox_right.begin()),
+                   std::make_move_iterator(shard.outbox_right.end()));
+      shard.outbox_right.clear();
+    }
+  }
+  for (std::size_t s = 0; s < k; ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.inbox.empty()) continue;
+    stats_.mailbox_high_water =
+        std::max(stats_.mailbox_high_water, shard.inbox.size());
+    std::sort(shard.inbox.begin(), shard.inbox.end(),
+              [](const ShardMsg& a, const ShardMsg& b) {
+                if (a.at_us != b.at_us) return a.at_us < b.at_us;
+                return a.tx_key < b.tx_key;
+              });
+    for (ShardMsg& msg : shard.inbox) {
+      shard.medium->deliver_remote(sim::Time::micros(msg.at_us),
+                                   msg.sender_uid, msg.tx_key, msg.pos,
+                                   msg.channel, std::move(msg.frame));
+    }
+    stats_.halo_messages += shard.inbox.size();
+    shard.inbox.clear();
+  }
+}
+
+void ShardedWorld::run() {
+  const std::int64_t w_us = window_.us();
+  const std::int64_t total_us = scenario_.duration.us();
+  const std::uint64_t n_windows =
+      static_cast<std::uint64_t>((total_us + w_us - 1) / w_us);
+  for (std::uint64_t w = 0; w < n_windows; ++w) {
+    const std::int64_t barrier_us = static_cast<std::int64_t>(w) * w_us;
+    if (w % scenario_.windows_per_tick == 0) {
+      const std::uint64_t tick = w / scenario_.windows_per_tick;
+      executor_.parallel(
+          [&](unsigned s) { mobility_phase(*shards_[s], barrier_us, tick); });
+      route_migrants();
+      executor_.parallel(
+          [&](unsigned s) { traffic_phase(*shards_[s], barrier_us, tick); });
+    }
+    executor_.parallel(
+        [&](unsigned s) { advance_phase(*shards_[s], barrier_us); });
+    exchange_mailboxes();
+    ++stats_.windows;
+  }
+  stats_.events_executed = 0;
+  stats_.frames_sent = 0;
+  stats_.frames_delivered = 0;
+  stats_.frames_lost = 0;
+  stats_.retunes_started = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    stats_.events_executed += shard->sim->events_executed();
+    stats_.frames_sent += shard->medium->frames_sent();
+    stats_.frames_delivered += shard->medium->frames_delivered();
+    stats_.frames_lost += shard->medium->frames_lost();
+    stats_.retunes_started += shard->retunes_started;
+  }
+}
+
+std::uint64_t ShardedWorld::digest() const {
+  // Wrapping sum of commutative per-shard accumulators: identical for any
+  // shard count because every fold's inputs (times, tx keys, uids,
+  // outcomes) are shard-invariant and each is folded exactly once.
+  std::uint64_t d = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    d += shard->medium->delivery_digest() + shard->aux_digest;
+  }
+  return d;
+}
+
+std::uint64_t ShardedWorld::node_rx_frames(std::uint32_t uid) const {
+  const Node& node = nodes_[uid - 1];
+  return node.rx_base + (node.radio ? node.radio->frames_rx() : 0);
+}
+
+std::uint64_t ShardedWorld::node_tx_frames(std::uint32_t uid) const {
+  const Node& node = nodes_[uid - 1];
+  return node.tx_base + (node.radio ? node.radio->frames_tx() : 0);
+}
+
+telemetry::MetricsSnapshot ShardedWorld::merged_telemetry() {
+  telemetry::MetricsSnapshot merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    merged.merge_from(shard->sim->telemetry().collect());
+  }
+  return merged;
+}
+
+void ShardedWorld::enable_tracing() {
+  tracing_ = true;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    telemetry::TraceRecorder& trace = shard->sim->telemetry().trace();
+    trace.set_enabled(true);
+    trace.name_track(kShardTrackBase + shard->index,
+                     shard_track_names_[shard->index].c_str());
+  }
+}
+
+}  // namespace spider::phy

@@ -1,0 +1,182 @@
+// Sharded single-world engine: one simulated world, K spatial shards, one
+// ThreadPool worker per shard, bit-identical results for every K.
+//
+// The world is partitioned into K vertical strips snapped to RadioGrid cell
+// columns (so two radios sharing a grid cell always share a shard). Each
+// shard owns a Simulator + Medium + the radios resident in its strip and
+// advances in bounded time windows of conservative lookahead
+//
+//     W = min(min frame airtime (preamble + serialization), 4.94 ms retune)
+//
+// which is the soonest anything in one shard can affect another: a frame
+// transmitted at window start cannot finish serializing — let alone deliver —
+// before the next barrier, and a retune started now completes no earlier
+// than the measured 4.94 ms hardware reset (src/phy/radio.h).
+//
+// Everything that changes world state other than frame delivery happens AT
+// barriers, as coordinator phases, never as free-running events:
+//   1. retune completions due at the barrier (ascending (time, uid)),
+//   2. mobility steps + cross-shard radio migrations (ascending uid),
+//   3. retune starts and traffic sends (ascending uid per shard).
+// Shard event queues therefore contain only frame deliveries, and each
+// window runs them strictly-before its end barrier (run_until(end-1) +
+// advance_to(end)), so an event landing exactly ON a barrier executes after
+// the barrier's phases for every K.
+//
+// Cross-shard frames: a transmit within one grid cell (= max effective
+// range) of a strip edge is mirrored into the neighbor's bounded mailbox via
+// the medium's tx tap; mailboxes are exchanged at the next barrier — always
+// in time, because delivery is at least one full window away — sorted by
+// (time, tx key), and re-posted with Medium::deliver_remote. Receiver
+// ownership makes delivery exactly-once: each shard applies outcomes only
+// for its own residents, and a migrated sender skips its own halo copy by
+// world-stable uid.
+//
+// Determinism contract (the N-vs-1 digest gate): per-receiver loss draws are
+// counter-based hashes of (seed, tx key, receiver uid, attempt) — no
+// sequential RNG stream to perturb — and the world digest is a commutative
+// sum of per-outcome folds accumulated wherever the receiver happens to
+// live, so digest() is identical for any shard count. Per-shard
+// Simulator::digest() values are NOT comparable across K (event counts
+// differ by halo copies); only delivery_digest sums are.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "phy/geom.h"
+#include "phy/medium.h"
+#include "sim/shard_executor.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "telemetry/metrics.h"
+
+namespace spider::phy {
+
+class Radio;
+
+// One node's scripted behaviour. Everything a node does is a pure function
+// of (scenario seed, uid, tick index), so its actions — and therefore the
+// whole world — are identical however the strips are drawn.
+struct ShardNodeSpec {
+  Vec2 start{};
+  net::ChannelId channel = 1;
+  bool beaconer = false;          // beacons instead of probe requests
+  std::uint32_t tx_period_ticks = 8;      // 0 = silent
+  std::uint32_t retune_period_ticks = 0;  // 0 = never retunes
+  double step_m = 0.0;                    // per-tick displacement (0 = parked)
+};
+
+struct ShardScenario {
+  std::uint64_t seed = 1;
+  sim::Time duration = sim::Time::millis(500);
+  double width_m = 1000.0;
+  double height_m = 1000.0;
+  MediumConfig medium;  // stateless_loss / cell_contention are forced on
+  // Mobility/traffic tick = this many windows (ticks land on barriers by
+  // construction).
+  std::uint32_t windows_per_tick = 8;
+  // Test hook: use a shorter window than the derived lookahead (must still
+  // be <= it). 0 = derive from the scenario's smallest frame.
+  std::int64_t window_us_override = 0;
+  // Channels retuning nodes hop across.
+  std::vector<net::ChannelId> channel_plan{1, 6, 11};
+  std::vector<ShardNodeSpec> nodes;  // node i gets uid i+1
+};
+
+struct ShardWorldStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_lost = 0;
+  std::uint64_t halo_messages = 0;  // boundary frames mirrored to a neighbor
+  std::uint64_t migrations = 0;     // radios handed between shards
+  std::uint64_t retunes_started = 0;
+  // Always 0: mailboxes are bounded but lossless (growth past the reserved
+  // capacity is recorded in mailbox_high_water, never a drop). The zero is
+  // asserted by tests and the perf gate.
+  std::uint64_t message_drops = 0;
+  std::uint64_t windows = 0;
+  std::size_t mailbox_high_water = 0;
+  unsigned shards = 1;
+  unsigned workers = 1;
+};
+
+class ShardedWorld {
+ public:
+  // `pool` may be null (all phases inline); K=1 with a null pool is the
+  // reference engine the digest gates compare against. Requires every strip
+  // to be at least one grid cell wide: shards <= floor(width / cell).
+  ShardedWorld(ShardScenario scenario, unsigned shards,
+               sim::ThreadPool* pool);
+  ~ShardedWorld();
+
+  ShardedWorld(const ShardedWorld&) = delete;
+  ShardedWorld& operator=(const ShardedWorld&) = delete;
+
+  // Runs the scenario's full duration (whole windows, rounded up).
+  void run();
+
+  // Commutative world digest: sum over shards of the mediums'
+  // delivery_digest plus barrier-event folds. Equal for any shard count.
+  std::uint64_t digest() const;
+
+  const ShardWorldStats& stats() const { return stats_; }
+  sim::Time window() const { return window_; }
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  // Strip index owning x (by grid-cell column). Exposed for tests and for
+  // FleetExperiment-style placement helpers.
+  unsigned shard_of_x(double x) const;
+
+  // Per-node lifetime counters, accumulated across migrations (uids are
+  // 1-based, as assigned at construction). The shard-vs-unsharded
+  // receive-set equivalence gate compares these vectors.
+  std::uint64_t node_rx_frames(std::uint32_t uid) const;
+  std::uint64_t node_tx_frames(std::uint32_t uid) const;
+
+  // Deterministic merge of every shard's telemetry snapshot, in shard order.
+  telemetry::MetricsSnapshot merged_telemetry();
+
+  // Turns on per-shard trace lanes: each shard's recorder gets a named
+  // "shard k" track carrying one span per advanced window.
+  void enable_tracing();
+
+ private:
+  struct Node;
+  struct Shard;
+
+  void derive_window();
+  void build_shards(sim::ThreadPool* pool);
+  void process_due_retunes(Shard& shard, std::int64_t barrier_us);
+  void mobility_phase(Shard& shard, std::int64_t barrier_us,
+                      std::uint64_t tick);
+  void traffic_phase(Shard& shard, std::int64_t barrier_us,
+                     std::uint64_t tick);
+  void advance_phase(Shard& shard, std::int64_t barrier_us);
+  void route_migrants();
+  void exchange_mailboxes();
+  void start_retune(Shard& shard, Node& node, std::uint32_t uid,
+                    std::int64_t barrier_us, std::uint64_t tick);
+
+  ShardScenario scenario_;
+  sim::ShardExecutor executor_;
+  sim::Time window_;
+  double cell_m_ = 1.0;
+  double inv_cell_m_ = 1.0;  // same rounding as RadioGrid::cell_of
+  // Strip edges: edges_cells_[k] is shard k's first grid-cell column,
+  // edges_m_[k] the same in meters; K+1 entries, last = world edge.
+  std::vector<std::int32_t> edges_cells_;
+  std::vector<double> edges_m_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Node> nodes_;  // indexed by uid - 1
+  std::vector<std::uint32_t> migrant_scratch_;
+  std::vector<std::string> shard_track_names_;
+  ShardWorldStats stats_;
+  bool tracing_ = false;
+};
+
+}  // namespace spider::phy

@@ -1,0 +1,43 @@
+#include "sim/shard_executor.h"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "core/check.h"
+
+namespace spider::sim {
+
+unsigned ShardExecutor::workers() const {
+  if (pool_ == nullptr || shards_ <= 1) return 1;
+  return std::min(shards_, std::max(pool_->thread_count(), 1u));
+}
+
+void ShardExecutor::parallel(const std::function<void(unsigned)>& fn) const {
+  SPIDER_CHECK(shards_ >= 1) << "executor with no shards";
+  if (workers() <= 1) {
+    // Inline path: identical phase semantics, zero scheduling. Ascending
+    // shard order here is a convenience, not a contract — phases must not
+    // depend on cross-shard execution order either way.
+    for (unsigned s = 0; s < shards_; ++s) fn(s);
+    return;
+  }
+  std::vector<std::future<void>> done;
+  done.reserve(shards_);
+  for (unsigned s = 0; s < shards_; ++s) {
+    done.push_back(pool_->submit([&fn, s] { fn(s); }));
+  }
+  // Collect every future before letting an exception out, so no task is left
+  // running against shard state the caller may tear down while unwinding.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace spider::sim

@@ -1,0 +1,43 @@
+// Barrier-style shard fan-out over the existing ThreadPool.
+//
+// One window of sharded simulation is a sequence of phases; every phase runs
+// a callback once per shard and must fully complete before the next phase
+// starts (that completion IS the window barrier). The executor owns that
+// fork/join shape and nothing else — shard state, mailboxes and ordering
+// rules live with the caller (see phy::ShardedWorld).
+//
+// Threading contract: within one parallel() call each shard index is handed
+// to exactly one task, so callbacks may freely mutate "their" shard without
+// locks; the futures' get() edges make every write of phase N visible to
+// phase N+1 and to the caller between phases. With no pool (or one worker,
+// or one shard) phases run inline on the calling thread — the K=1 engine the
+// digest gates compare against is literally this same code path.
+#pragma once
+
+#include <functional>
+
+#include "sim/thread_pool.h"
+
+namespace spider::sim {
+
+class ShardExecutor {
+ public:
+  // `pool` may be null (everything inline) and must outlive the executor.
+  ShardExecutor(unsigned shards, ThreadPool* pool)
+      : shards_(shards), pool_(pool) {}
+
+  unsigned shards() const { return shards_; }
+  // Worker threads a parallel() call can actually occupy (1 when inline).
+  // Recorded in bench artifacts so speedups are interpretable per runner.
+  unsigned workers() const;
+
+  // Runs fn(shard) for every shard in [0, shards) and returns once all have
+  // finished. Exceptions propagate to the caller (lowest shard index first).
+  void parallel(const std::function<void(unsigned)>& fn) const;
+
+ private:
+  unsigned shards_;
+  ThreadPool* pool_;
+};
+
+}  // namespace spider::sim

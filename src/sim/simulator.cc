@@ -212,4 +212,13 @@ void Simulator::run_all() {
   drain(Time::max());
 }
 
+void Simulator::advance_to(Time t) {
+  SPIDER_CHECK(t >= now_) << "advance_to(" << t.to_string()
+                          << ") would rewind clock at " << now_.to_string();
+  SPIDER_CHECK(queue_.empty() || queue_.top().at >= t)
+      << "advance_to(" << t.to_string() << ") would skip event at "
+      << queue_.top().at.to_string();
+  now_ = t;
+}
+
 }  // namespace spider::sim

@@ -123,6 +123,14 @@ class Simulator {
   // Runs until the queue is completely empty; now() ends at the last event.
   void run_all();
 
+  // Jumps now() forward to `t` WITHOUT executing anything. Only legal when no
+  // queued event is due before `t` — the sharded coordinator uses this to
+  // land every shard clock exactly on a window barrier after running the
+  // window strictly-before it (see phy::ShardedWorld), so events scheduled
+  // exactly at a barrier execute after the barrier's phases for every shard
+  // count. An earlier pending event is an invariant violation (SPIDER_CHECK).
+  void advance_to(Time t);
+
   // Makes run_* return after the current event completes; now() is left at
   // the interrupting event's timestamp.
   void stop() { stopped_ = true; }

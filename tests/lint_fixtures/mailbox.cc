@@ -1,0 +1,48 @@
+// det-unsorted-mailbox fixture. Not compiled; scanned by spider-lint in
+// tests/spider_lint_test.cc, which asserts the exact findings below.
+#include <algorithm>
+#include <vector>
+
+namespace fixture {
+
+struct Msg { long at = 0; unsigned long key = 0; };
+
+std::vector<Msg> inbox;
+std::vector<Msg> peer_mailbox;
+std::vector<Msg> sorted_inbox;
+std::vector<Msg> items;
+
+long apply_unsorted() {
+  long sum = 0;
+  for (const Msg& m : inbox) sum += m.at;  // expect finding: line 17
+  return sum;
+}
+
+long apply_peer() {
+  long sum = 0;
+  for (const Msg& m : peer_mailbox) sum += m.key;  // expect finding: line 23
+  return sum;
+}
+
+long apply_sorted() {
+  std::sort(sorted_inbox.begin(), sorted_inbox.end(),
+            [](const Msg& a, const Msg& b) { return a.at < b.at; });
+  long sum = 0;
+  for (const Msg& m : sorted_inbox) sum += m.at;  // clean: sorted above
+  return sum;
+}
+
+long apply_plain() {
+  long sum = 0;
+  for (const Msg& m : items) sum += m.at;  // clean: not a mailbox
+  return sum;
+}
+
+long apply_allowed() {
+  long sum = 0;
+  // spider-lint: allow(det-unsorted-mailbox) commutative fold; order never escapes
+  for (const Msg& m : inbox) sum += m.at;  // suppressed
+  return sum;
+}
+
+}  // namespace fixture

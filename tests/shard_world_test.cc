@@ -1,0 +1,315 @@
+// ShardedWorld determinism gates (the PR's headline property) plus the
+// cross-shard edge cases: the world digest must be bit-identical for
+// N ∈ {1, 2, 4, 8} shards on both canonical scenarios, per-node receive sets
+// must match the unsharded run under randomized churn, and the tricky
+// boundary interactions — retunes landing exactly on a window barrier,
+// airtime spanning a barrier, batch moves crossing a cell AND a strip edge
+// in one tick — must all leave the digest unchanged.
+//
+// Named "ShardWorld.*" so CI's TSan job picks the suite up by regex (the
+// N-vs-1 gate under TSan is part of the acceptance criteria).
+#include "phy/shard_world.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "core/shard_scenarios.h"
+#include "mobility/route.h"
+#include "net/addr.h"
+#include "net/frame.h"
+#include "phy/radio.h"
+#include "sim/thread_pool.h"
+#include "sim/time.h"
+#include "telemetry/metrics.h"
+
+namespace spider::phy {
+namespace {
+
+struct WorldRun {
+  std::uint64_t digest = 0;
+  ShardWorldStats stats;
+  std::vector<std::uint64_t> rx;  // per uid, 1-based index 0 unused
+  std::vector<std::uint64_t> tx;
+};
+
+WorldRun run_world(const ShardScenario& scenario, unsigned shards,
+                   sim::ThreadPool* pool = nullptr) {
+  ShardedWorld world(scenario, shards, pool);
+  world.run();
+  WorldRun out;
+  out.digest = world.digest();
+  out.stats = world.stats();
+  out.rx.resize(scenario.nodes.size() + 1, 0);
+  out.tx.resize(scenario.nodes.size() + 1, 0);
+  for (std::uint32_t uid = 1; uid <= scenario.nodes.size(); ++uid) {
+    out.rx[uid] = world.node_rx_frames(uid);
+    out.tx[uid] = world.node_tx_frames(uid);
+  }
+  return out;
+}
+
+void expect_same_world(const WorldRun& base, const WorldRun& other,
+                       unsigned shards) {
+  SCOPED_TRACE("shards=" + std::to_string(shards));
+  EXPECT_EQ(other.digest, base.digest)
+      << "sharding changed what the world did";
+  EXPECT_EQ(other.stats.frames_sent, base.stats.frames_sent);
+  EXPECT_EQ(other.stats.frames_delivered, base.stats.frames_delivered);
+  EXPECT_EQ(other.stats.frames_lost, base.stats.frames_lost);
+  EXPECT_EQ(other.stats.retunes_started, base.stats.retunes_started);
+  EXPECT_EQ(other.stats.message_drops, 0u);
+  for (std::size_t uid = 1; uid < base.rx.size(); ++uid) {
+    ASSERT_EQ(other.rx[uid], base.rx[uid]) << "uid " << uid << " rx";
+    ASSERT_EQ(other.tx[uid], base.tx[uid]) << "uid " << uid << " tx";
+  }
+}
+
+TEST(ShardWorld, WindowIsTheConservativeLookahead) {
+  // Probe-only traffic: the window must be exactly
+  // min(preamble + serialization of the smallest frame, hardware reset).
+  ShardScenario scenario;
+  scenario.nodes.resize(4);
+  const ShardedWorld world(scenario, 1, nullptr);
+  const sim::Time airtime =
+      scenario.medium.preamble +
+      sim::transmission_time(net::kProbeRequestBytes,
+                             scenario.medium.bitrate_bps);
+  const sim::Time reset = RadioConfig{}.hardware_reset;
+  EXPECT_EQ(world.window().us(), std::min(airtime.us(), reset.us()));
+  EXPECT_LT(world.window().us(), reset.us())
+      << "probe airtime should be the binding constraint, not the retune";
+}
+
+TEST(ShardWorld, StripEdgesCoverTheWorldMonotonically) {
+  const ShardScenario scenario =
+      core::make_scale_shard_scenario(600, 3, sim::Time::millis(10));
+  const ShardedWorld world(scenario, 4, nullptr);
+  EXPECT_EQ(world.shards(), 4u);
+  // Left edge in strip 0, right edge in the last strip, strips monotone in x.
+  EXPECT_EQ(world.shard_of_x(0.0), 0u);
+  EXPECT_EQ(world.shard_of_x(scenario.width_m), 3u);
+  unsigned prev = 0;
+  for (double x = 0.0; x <= scenario.width_m; x += scenario.width_m / 64.0) {
+    const unsigned s = world.shard_of_x(x);
+    EXPECT_GE(s, prev) << "strip index regressed at x=" << x;
+    EXPECT_LT(s, 4u);
+    prev = s;
+  }
+}
+
+// The headline acceptance gate: N-shard and 1-shard runs of the scale
+// scenario are the same world — same digest, same per-node history — for
+// N ∈ {1, 2, 4, 8}, serially and on a pool.
+TEST(ShardWorld, DigestInvariantAcrossShardCountsScale) {
+  const ShardScenario scenario =
+      core::make_scale_shard_scenario(1200, 7, sim::Time::millis(120));
+  const WorldRun base = run_world(scenario, 1);
+  EXPECT_GT(base.stats.frames_sent, 0u);
+  EXPECT_GT(base.stats.frames_delivered, 0u);
+  EXPECT_GT(base.stats.retunes_started, 0u);
+  sim::ThreadPool pool(4);
+  for (const unsigned shards : {2u, 4u, 8u}) {
+    const WorldRun sharded = run_world(scenario, shards, &pool);
+    expect_same_world(base, sharded, shards);
+    EXPECT_GT(sharded.stats.halo_messages, 0u)
+        << "a dense world must exercise the halo path";
+    EXPECT_GT(sharded.stats.migrations, 0u)
+        << "drifting nodes must exercise migration";
+  }
+}
+
+TEST(ShardWorld, DigestInvariantAcrossShardCountsFleet) {
+  const ShardScenario scenario =
+      core::make_fleet_shard_scenario(60, 12, 11, sim::Time::millis(160));
+  const WorldRun base = run_world(scenario, 1);
+  EXPECT_GT(base.stats.frames_sent, 0u);
+  EXPECT_GT(base.stats.retunes_started, 0u)
+      << "fleet clients are supposed to channel-hop";
+  sim::ThreadPool pool(4);
+  for (const unsigned shards : {2u, 4u, 8u}) {
+    const WorldRun sharded = run_world(scenario, shards, &pool);
+    expect_same_world(base, sharded, shards);
+    EXPECT_GT(sharded.stats.migrations, 0u)
+        << "vehicular walkers must cross strips";
+  }
+}
+
+// Randomized mirror of fleet_hotpath_test's receive-set equivalence: across
+// several seeds, every node's lifetime rx/tx counts must match the
+// unsharded run for shard counts that do NOT divide the world evenly.
+TEST(ShardWorld, ReceiveSetsMatchUnshardedAcrossSeeds) {
+  for (const std::uint64_t seed : {3ull, 17ull, 29ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ShardScenario scenario =
+        core::make_fleet_shard_scenario(40, 8, seed, sim::Time::millis(100));
+    const WorldRun base = run_world(scenario, 1);
+    for (const unsigned shards : {2u, 3u, 5u}) {
+      expect_same_world(base, run_world(scenario, shards), shards);
+    }
+  }
+}
+
+// Edge case: with a window that divides the 4.94 ms hardware reset exactly
+// (190 us * 26 = 4940 us), every retune completion lands exactly ON a
+// barrier — the "due <= barrier" path with zero slack — and must still be
+// applied identically at every shard count.
+TEST(ShardWorld, RetuneCompletionExactlyAtBarrier) {
+  ShardScenario scenario =
+      core::make_scale_shard_scenario(300, 13, sim::Time::millis(90));
+  scenario.window_us_override = 190;
+  for (ShardNodeSpec& spec : scenario.nodes) {
+    spec.retune_period_ticks = 10;  // hop often enough to hit many barriers
+  }
+  const std::int64_t reset_us = RadioConfig{}.hardware_reset.us();
+  ASSERT_EQ(reset_us % 190, 0)
+      << "this test wants retunes to complete exactly on barriers";
+  const WorldRun base = run_world(scenario, 1);
+  EXPECT_GT(base.stats.retunes_started, 0u);
+  for (const unsigned shards : {2u, 4u}) {
+    expect_same_world(base, run_world(scenario, shards), shards);
+  }
+}
+
+// Edge case: a window shorter than one frame's airtime (100 us < ~230 us)
+// forces EVERY transmission to span at least one barrier — sends in window
+// w deliver in w+2 or later — so cross-shard frames always ride the mailbox
+// exchange. Two parked nodes straddling the K=2 strip edge make the halo
+// path carry all of the traffic between them.
+TEST(ShardWorld, FrameAirtimeSpansBarrier) {
+  ShardScenario scenario;
+  scenario.seed = 21;
+  scenario.duration = sim::Time::millis(40);
+  scenario.width_m = 1000.0;
+  scenario.height_m = 200.0;
+  scenario.window_us_override = 100;
+  ShardNodeSpec sender;  // uid 1: probes every tick, parked
+  sender.start = Vec2{550.0, 100.0};
+  sender.tx_period_ticks = 1;
+  ShardNodeSpec receiver;  // uid 2: silent, parked, 30 m away
+  receiver.start = Vec2{580.0, 100.0};
+  receiver.tx_period_ticks = 0;
+  scenario.nodes = {sender, receiver};
+
+  const WorldRun base = run_world(scenario, 1);
+  EXPECT_GT(base.stats.frames_sent, 0u);
+  EXPECT_GT(base.rx[2], 0u) << "30 m apart on one channel: frames must land";
+
+  ShardedWorld split(scenario, 2, nullptr);
+  ASSERT_NE(split.shard_of_x(sender.start.x),
+            split.shard_of_x(receiver.start.x))
+      << "test setup: the pair must straddle the K=2 strip edge";
+  split.run();
+  EXPECT_EQ(split.digest(), base.digest);
+  EXPECT_EQ(split.stats().frames_sent, base.stats.frames_sent);
+  EXPECT_EQ(split.node_rx_frames(2), base.rx[2]);
+  EXPECT_GT(split.stats().halo_messages, 0u)
+      << "every delivery here crosses the strip edge";
+  EXPECT_EQ(split.stats().message_drops, 0u);
+}
+
+// Edge case: per-tick steps larger than a grid cell (200 m > ~141 m cell)
+// mean a single batched move_radios call crosses a cell boundary AND a
+// strip boundary in the same tick for many nodes at once.
+TEST(ShardWorld, BatchMoveCrossesCellAndShardBoundaryInOneTick) {
+  ShardScenario scenario =
+      core::make_scale_shard_scenario(200, 31, sim::Time::millis(60));
+  for (ShardNodeSpec& spec : scenario.nodes) {
+    spec.step_m = 200.0;
+    spec.retune_period_ticks = 0;  // isolate mobility as the variable
+  }
+  const WorldRun base = run_world(scenario, 1);
+  EXPECT_GT(base.stats.frames_sent, 0u);
+  for (const unsigned shards : {2u, 4u}) {
+    const WorldRun sharded = run_world(scenario, shards);
+    expect_same_world(base, sharded, shards);
+    EXPECT_GT(sharded.stats.migrations, 0u)
+        << "cell-sized steps must hand radios across strips";
+  }
+}
+
+void expect_identical_snapshots(const telemetry::MetricsSnapshot& a,
+                                const telemetry::MetricsSnapshot& b) {
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i].name, b.counters[i].name);
+    EXPECT_EQ(a.counters[i].value, b.counters[i].value)
+        << a.counters[i].name;
+  }
+  ASSERT_EQ(a.gauges.size(), b.gauges.size());
+  for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+    EXPECT_EQ(a.gauges[i].name, b.gauges[i].name);
+    EXPECT_EQ(a.gauges[i].value, b.gauges[i].value) << a.gauges[i].name;
+    EXPECT_EQ(a.gauges[i].high_water, b.gauges[i].high_water)
+        << a.gauges[i].name;
+  }
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+    EXPECT_EQ(a.histograms[i].name, b.histograms[i].name);
+    EXPECT_EQ(a.histograms[i].count, b.histograms[i].count)
+        << a.histograms[i].name;
+    EXPECT_EQ(a.histograms[i].sum, b.histograms[i].sum)
+        << a.histograms[i].name;
+    EXPECT_EQ(a.histograms[i].buckets, b.histograms[i].buckets)
+        << a.histograms[i].name;
+  }
+}
+
+// The telemetry satellite: the merged snapshot is a deterministic shard-order
+// merge, so running the same 4-shard world inline and on a 4-worker pool
+// must export byte-identical metrics.
+TEST(ShardWorld, MergedTelemetryIndependentOfWorkerCount) {
+  const ShardScenario scenario =
+      core::make_scale_shard_scenario(400, 5, sim::Time::millis(60));
+  ShardedWorld inline_world(scenario, 4, nullptr);
+  inline_world.run();
+  sim::ThreadPool pool(4);
+  ShardedWorld pooled_world(scenario, 4, &pool);
+  pooled_world.run();
+  EXPECT_EQ(inline_world.stats().workers, 1u);
+  EXPECT_EQ(pooled_world.stats().workers, 4u);
+  EXPECT_EQ(inline_world.digest(), pooled_world.digest());
+  expect_identical_snapshots(inline_world.merged_telemetry(),
+                             pooled_world.merged_telemetry());
+}
+
+TEST(ShardWorld, TracingNamesOneLanePerShard) {
+  const ShardScenario scenario =
+      core::make_scale_shard_scenario(100, 9, sim::Time::millis(5));
+  ShardedWorld world(scenario, 2, nullptr);
+  world.enable_tracing();
+  world.run();  // must not crash; windows emit one span per shard lane
+  EXPECT_GT(world.stats().windows, 0u);
+}
+
+TEST(ShardWorld, FleetShardAssignmentFollowsApPositions) {
+  core::FleetConfig config;
+  config.vehicle =
+      mobility::Vehicle(mobility::Route::straight(600.0), 10.0);
+  std::uint32_t index = 0xB0;
+  for (const double x : {30.0, 310.0, 590.0}) {
+    mobility::ApDescriptor ap;
+    ap.ssid = "ap-" + std::to_string(index);
+    ap.mac = net::MacAddress::from_index(index);
+    ap.subnet = net::Ipv4Address{(10u << 24) | (index << 8)};
+    ap.position = {x, 5.0};
+    config.aps.push_back(ap);
+    ++index;
+  }
+  const std::vector<unsigned> strips =
+      core::fleet_shard_assignment(config, 3);
+  ASSERT_EQ(strips.size(), 3u);
+  EXPECT_EQ(strips[0], 0u);
+  EXPECT_EQ(strips[1], 1u);
+  EXPECT_EQ(strips[2], 2u);
+  // Member wrapper reports the same placement.
+  config.clients = 1;
+  core::FleetExperiment experiment(config);
+  EXPECT_EQ(experiment.shard_assignment(3), strips);
+}
+
+}  // namespace
+}  // namespace spider::phy
