@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -205,6 +206,51 @@ double churn_events_per_sec(int waves, int per_wave,
   const double scheduled =
       static_cast<double>(waves) * static_cast<double>(per_wave);
   return scheduled / elapsed;
+}
+
+// The reference heap path in the shipped binary: the identical Simulator
+// with only SimulatorConfig::wheel_scheduler off (the pre-wheel
+// std::priority_queue on (at, seq)). Wheel-vs-heap ratios measured against
+// this arm are same-binary and hardware-normalized, and the two paths'
+// digests are asserted equal in tests/timer_wheel_test.cc.
+class HeapSimulator : public sim::Simulator {
+ public:
+  HeapSimulator()
+      : sim::Simulator(sim::SimulatorConfig{.wheel_scheduler = false}) {}
+};
+
+// Cancellation churn — the dominant pattern of the measurement-derived join
+// replays, where a scan dwell schedules a retry timeout and the response
+// almost always arrives first: every timer in a wave is cancelled before
+// its instant, and one uncancellable "response arrived" event per wave
+// executes (it is what caused the cancellations, and it advances the clock
+// the way real responses do). The loop therefore measures schedule + cancel
+// + fire-time discard; the wheel turns both ends into O(1) where the heap
+// paid O(log n) to insert AND to sift the corpse back out. Returns
+// scheduled events per second.
+template <typename Sim>
+double cancel_churn_per_sec(int waves, int per_wave, std::uint64_t* sink_out) {
+  Sim sim;
+  std::uint64_t sink = 0;
+  std::vector<decltype(sim.schedule_at(sim::Time::zero(),
+                                       std::function<void()>()))>
+      handles;
+  handles.reserve(static_cast<std::size_t>(per_wave));
+  const auto start = std::chrono::steady_clock::now();
+  for (int wave = 0; wave < waves; ++wave) {
+    handles.clear();
+    const sim::Time base = sim.now() + sim::Time::micros(1);
+    for (int i = 0; i < per_wave - 1; ++i) {
+      const sim::Time at = base + sim::Time::micros(i % 97);
+      handles.push_back(sim.schedule_at(at, [&sink] { ++sink; }));
+    }
+    sim.post_at(base + sim::Time::micros(97), [&sink] { ++sink; });
+    for (auto& h : handles) h.cancel();
+    sim.run_all();
+  }
+  const double elapsed = seconds_since(start);
+  *sink_out += sink + sim.digest();
+  return static_cast<double>(waves) * static_cast<double>(per_wave) / elapsed;
 }
 
 // Same engine with the trace recorder armed — the dispatch loop never
@@ -611,6 +657,11 @@ int main(int argc, char** argv) {
   // --shards N sets the sharded-world section's strip count (0 = one strip
   // per available hardware thread, capped at 8).
   int shards_override = 0;
+  // --section NAME[,NAME...] runs only the named sections and emits only
+  // their JSON objects (empty = the full suite). The CI perf gate needs the
+  // full suite — the baseline keys every section — but local iteration and
+  // targeted CI reruns can pay for just the one being worked on.
+  std::vector<std::string> section_filter;
   for (int i = 1; i < argc; ++i) {
     const auto value_of = [&](const char* flag) -> const char* {
       const std::size_t len = std::strlen(flag);
@@ -631,6 +682,20 @@ int main(int argc, char** argv) {
       shards_override = std::atoi(v);
       SPIDER_CHECK(shards_override > 0)
           << "--shards wants a positive strip count, got " << v;
+    } else if (const char* v = value_of("--section")) {
+      for (const char* p = v; *p != '\0';) {
+        const char* comma = std::strchr(p, ',');
+        const std::size_t len = comma != nullptr
+                                    ? static_cast<std::size_t>(comma - p)
+                                    : std::strlen(p);
+        SPIDER_CHECK(len > 0)
+            << "--section wants NAME[,NAME...], got '" << v << "'";
+        section_filter.emplace_back(p, len);
+        p += len;
+        if (comma != nullptr) ++p;
+      }
+      SPIDER_CHECK(!section_filter.empty())
+          << "--section wants at least one section name";
     } else if (value_of("--telemetry") != nullptr ||
                value_of("--trace") != nullptr ||
                value_of("--stream") != nullptr) {
@@ -640,6 +705,22 @@ int main(int argc, char** argv) {
       out_path = argv[i];  // positional output path, flags may precede it
     }
   }
+  static constexpr const char* kSectionNames[] = {
+      "event_queue", "stream", "phy", "scale", "fleet", "shard", "sweep"};
+  for (const std::string& s : section_filter) {
+    bool known = false;
+    for (const char* name : kSectionNames) known = known || s == name;
+    SPIDER_CHECK(known) << "--section: unknown section '" << s
+                        << "' (sections: event_queue, stream, phy, scale, "
+                           "fleet, shard, sweep)";
+  }
+  const auto section_on = [&section_filter](const char* name) {
+    if (section_filter.empty()) return true;
+    for (const std::string& s : section_filter) {
+      if (s == name) return true;
+    }
+    return false;
+  };
   bench::print_header("perf_smoke",
                       "perf trajectory: event-queue hot path + parallel sweep");
 
@@ -651,50 +732,107 @@ int main(int argc, char** argv) {
   constexpr int kWaves = 8'000;
   constexpr int kPerWave = 256;
   std::uint64_t sink = 0;
-  // Warm both allocators, then measure.
-  churn_events_per_sec<sim::Simulator>(10, kPerWave, &sink);
-  churn_events_per_sec<LegacySimulator>(10, kPerWave, &sink);
-  const double optimized =
-      churn_events_per_sec<sim::Simulator>(kWaves, kPerWave, &sink);
-  const double baseline =
-      churn_events_per_sec<LegacySimulator>(kWaves, kPerWave, &sink);
-  const double traced =
-      churn_events_per_sec<TracedSimulator>(kWaves, kPerWave, &sink);
-  const double event_speedup = optimized / baseline;
-  std::printf("event queue:  %.3g events/s optimized, %.3g events/s with the\n"
-              "              pre-rework event layout  (speedup %.2fx)\n",
-              optimized, baseline, event_speedup);
-  std::printf("telemetry:    compiled %s; %.3g events/s with the trace\n"
-              "              recorder armed (%.2fx of tracing-off)\n",
-              SPIDER_TELEMETRY ? "in" : "out", traced, traced / optimized);
+  // Wheel-scheduler churn throughput, shared by the event_queue section (its
+  // headline) and the stream section (the overhead ratio's denominator);
+  // measured once, by whichever enabled section asks first.
+  double optimized = 0.0;
+  const auto measure_optimized = [&] {
+    if (optimized == 0.0) {
+      churn_events_per_sec<sim::Simulator>(10, kPerWave, &sink);  // warm
+      optimized =
+          churn_events_per_sec<sim::Simulator>(kWaves, kPerWave, &sink);
+    }
+  };
+
+  bench::JsonWriter event_queue;
+  if (section_on("event_queue")) {
+    churn_events_per_sec<HeapSimulator>(10, kPerWave, &sink);    // warm
+    churn_events_per_sec<LegacySimulator>(10, kPerWave, &sink);  // warm
+    measure_optimized();
+    const double heap =
+        churn_events_per_sec<HeapSimulator>(kWaves, kPerWave, &sink);
+    const double baseline =
+        churn_events_per_sec<LegacySimulator>(kWaves, kPerWave, &sink);
+    const double traced =
+        churn_events_per_sec<TracedSimulator>(kWaves, kPerWave, &sink);
+    const double event_speedup = optimized / baseline;
+    const double wheel_vs_heap = optimized / heap;
+    std::printf(
+        "event queue:  %.3g events/s wheel scheduler, %.3g events/s heap\n"
+        "              reference (%.2fx), %.3g events/s pre-rework layout\n"
+        "              (speedup %.2fx)\n",
+        optimized, heap, wheel_vs_heap, baseline, event_speedup);
+    std::printf("telemetry:    compiled %s; %.3g events/s with the trace\n"
+                "              recorder armed (%.2fx of tracing-off)\n",
+                SPIDER_TELEMETRY ? "in" : "out", traced, traced / optimized);
+
+    // Cancellation churn: schedule-then-cancel, the join replays' dominant
+    // pattern. The wheel's O(1) insert + fire-time discard vs. the heap
+    // paying O(log n) both ways.
+    cancel_churn_per_sec<sim::Simulator>(10, kPerWave, &sink);  // warm
+    cancel_churn_per_sec<HeapSimulator>(10, kPerWave, &sink);   // warm
+    const double cancel_wheel =
+        cancel_churn_per_sec<sim::Simulator>(kWaves, kPerWave, &sink);
+    const double cancel_heap =
+        cancel_churn_per_sec<HeapSimulator>(kWaves, kPerWave, &sink);
+    const double cancel_speedup = cancel_wheel / cancel_heap;
+    std::printf("cancel churn: %.3g cancelled events/s wheel, %.3g events/s\n"
+                "              heap reference  (speedup %.2fx)\n",
+                cancel_wheel, cancel_heap, cancel_speedup);
+
+    event_queue.add("events", static_cast<std::uint64_t>(kWaves) * kPerWave)
+        .add("events_per_sec", optimized)
+        .add("heap_events_per_sec", heap)
+        .add("wheel_vs_heap_speedup", wheel_vs_heap)
+        .add("baseline_events_per_sec", baseline)
+        .add("speedup_vs_baseline", event_speedup)
+        .add("cancel_churn_per_sec", cancel_wheel)
+        .add("cancel_churn_heap_per_sec", cancel_heap)
+        .add("cancel_churn_speedup", cancel_speedup)
+        .add("telemetry_compiled", SPIDER_TELEMETRY != 0)
+        .add("tracing_on_events_per_sec", traced)
+        .add("tracing_on_ratio", traced / optimized);
+  }
 
   // ---- live stream exporter overhead --------------------------------------
   // Same churn with a StreamSession attached at a 100 us cadence (aggressive:
   // production defaults stream every 100 ms). The ratio vs. the plain engine
   // is the price of live observability; bench/BENCH_perf_baseline.json floors
   // it at 0.95.
-  double streaming = optimized;
-  std::uint64_t stream_lines = 0;
-  std::uint64_t stream_dropped = 0;
+  bench::JsonWriter stream_json;
+  if (section_on("stream")) {
+    measure_optimized();
+    double streaming = optimized;
+    std::uint64_t stream_lines = 0;
+    std::uint64_t stream_dropped = 0;
 #if SPIDER_TELEMETRY
-  churn_events_per_sec<StreamingSimulator>(10, kPerWave, &sink);  // warm
-  streaming = churn_events_per_sec<StreamingSimulator>(kWaves, kPerWave, &sink);
-  stream_lines = smoke_stream_exporter().lines_written();
-  stream_dropped = smoke_stream_exporter().ring_dropped();
+    churn_events_per_sec<StreamingSimulator>(10, kPerWave, &sink);  // warm
+    streaming =
+        churn_events_per_sec<StreamingSimulator>(kWaves, kPerWave, &sink);
+    stream_lines = smoke_stream_exporter().lines_written();
+    stream_dropped = smoke_stream_exporter().ring_dropped();
 #endif
-  const double stream_ratio = streaming / optimized;
-  std::printf("stream:       %.3g events/s with a live 100us-cadence stream\n"
-              "              session (%.2fx of stream-off; %llu lines, %llu\n"
-              "              ring drops)\n",
-              streaming, stream_ratio,
-              static_cast<unsigned long long>(stream_lines),
-              static_cast<unsigned long long>(stream_dropped));
+    const double stream_ratio = streaming / optimized;
+    std::printf(
+        "stream:       %.3g events/s with a live 100us-cadence stream\n"
+        "              session (%.2fx of stream-off; %llu lines, %llu\n"
+        "              ring drops)\n",
+        streaming, stream_ratio, static_cast<unsigned long long>(stream_lines),
+        static_cast<unsigned long long>(stream_dropped));
+    stream_json.add("events_per_sec_streaming", streaming)
+        .add("events_per_sec_plain", optimized)
+        .add("overhead_ratio", stream_ratio)
+        .add("cadence_us", 100)
+        .add("lines_written", stream_lines)
+        .add("ring_dropped", stream_dropped);
+  }
 
   // ---- PHY delivery: partition+grid index vs. world scan ------------------
+  bench::JsonWriter phy_json;
+  if (section_on("phy")) {
   constexpr int kPhyScales[] = {50, 500, 2000};
   constexpr int kPhyFrames = 20'000;
   phy_delivery_run(true, 50, 2'000);  // warm allocators/caches
-  bench::JsonWriter phy_json;
   double phy_speedup_2000 = 0.0;
   double phy_speedup_50 = 0.0;
   for (const int n : kPhyScales) {
@@ -741,11 +879,13 @@ int main(int argc, char** argv) {
   // longer lose to the reference scan the way the always-grid path did
   // (0.83x). Gated at ~parity in bench/BENCH_perf_baseline.json.
   phy_json.add("auto_speedup_at_50", phy_speedup_50);
+  }
 
   // ---- scale: SoA + arena delivery at fleet sizes -------------------------
+  bench::JsonWriter scale_json;
+  if (section_on("scale")) {
   std::vector<int> scale_sizes = {10'000, 100'000};
   if (scale_radios_override > 0) scale_sizes = {scale_radios_override};
-  bench::JsonWriter scale_json;
   for (const int n : scale_sizes) {
     // Digest gates first. Run-to-run determinism holds at every scale; the
     // indexed-vs-reference-scan equivalence is only affordable where the
@@ -782,11 +922,14 @@ int main(int argc, char** argv) {
     std::snprintf(key, sizeof(key), "radios_%d", n);
     scale_json.add_object(key, entry);
   }
+  }
 
   // ---- fleet hot path: batch+interned vs. scalar+minted -------------------
   // Sized so each channel partition (~110 radios) sits comfortably past the
   // indexed_scan_threshold: the legacy contrast must exercise the grid, not
   // the small-partition scan both arms would share.
+  bench::JsonWriter fleet_json;
+  if (section_on("fleet")) {
   constexpr int kFleetClients = 200;
   constexpr int kFleetAps = 20;
   const sim::Time kFleetDuration = sim::Time::seconds(30);
@@ -809,7 +952,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(fleet_fast.events),
               fleet_fast.events_per_sec, fleet_slow.events_per_sec,
               fleet_speedup);
-  bench::JsonWriter fleet_json;
   fleet_json.add("clients", kFleetClients)
       .add("aps", kFleetAps)
       .add("events", fleet_fast.events)
@@ -817,12 +959,15 @@ int main(int argc, char** argv) {
       .add("events_per_sec_scalar", fleet_slow.events_per_sec)
       .add("speedup", fleet_speedup)
       .add("digests_match", true);
+  }
 
   // ---- sharded single world: 1 strip vs. K strips, digest-gated -----------
   // Speedup is measured on frames/s, not events/s: frames_sent is
   // shard-invariant (and checked), while event counts grow with K by the
   // halo copies. The N-vs-1 digest equality is the determinism headline —
   // same world, bit for bit, at every strip count.
+  bench::JsonWriter shard_json;
+  if (section_on("shard")) {
   const unsigned shard_count =
       shards_override > 0
           ? static_cast<unsigned>(shards_override)
@@ -864,7 +1009,6 @@ int main(int argc, char** argv) {
       shard_speedup,
       static_cast<unsigned long long>(sharded.stats.halo_messages),
       static_cast<unsigned long long>(sharded.stats.migrations));
-  bench::JsonWriter shard_json;
   shard_json.add("radios", kShardRadios)
       .add("sim_millis", kShardDuration.us() / 1000)
       .add("windows", sharded.stats.windows)
@@ -881,8 +1025,11 @@ int main(int argc, char** argv) {
       .add("mailbox_high_water",
            static_cast<std::uint64_t>(sharded.stats.mailbox_high_water))
       .add("digests_match", true);
+  }
 
   // ---- sweep: serial vs. parallel -----------------------------------------
+  bench::JsonWriter sweep;
+  if (section_on("sweep")) {
   const std::vector<std::uint64_t> seeds = {7, 17, 27, 37, 47, 57, 67, 77};
   const auto serial = core::run_seed_sweep(seeds, sweep_config, 1);
   const auto parallel = core::run_seed_sweep(seeds, sweep_config, 0);
@@ -901,26 +1048,6 @@ int main(int argc, char** argv) {
               seeds.size(), serial.wall_seconds, parallel.wall_seconds,
               parallel.threads, sweep_speedup,
               digests_match ? "identical" : "DIVERGED");
-
-  // ---- artifact -----------------------------------------------------------
-  bench::JsonWriter event_queue;
-  event_queue.add("events", static_cast<std::uint64_t>(kWaves) * kPerWave)
-      .add("events_per_sec", optimized)
-      .add("baseline_events_per_sec", baseline)
-      .add("speedup_vs_baseline", event_speedup)
-      .add("telemetry_compiled", SPIDER_TELEMETRY != 0)
-      .add("tracing_on_events_per_sec", traced)
-      .add("tracing_on_ratio", traced / optimized);
-
-  bench::JsonWriter stream_json;
-  stream_json.add("events_per_sec_streaming", streaming)
-      .add("events_per_sec_plain", optimized)
-      .add("overhead_ratio", stream_ratio)
-      .add("cadence_us", 100)
-      .add("lines_written", stream_lines)
-      .add("ring_dropped", stream_dropped);
-
-  bench::JsonWriter sweep;
   sweep.add("replications", static_cast<std::uint64_t>(seeds.size()))
       .add("sim_seconds_each", 120)
       .add("events_total", total_events)
@@ -930,24 +1057,28 @@ int main(int argc, char** argv) {
       .add("speedup", sweep_speedup)
       .add("digests_match", digests_match)
       .add_hex("combined_digest", parallel.combined_digest());
+  }
 
+  // ---- artifact -----------------------------------------------------------
   bench::JsonWriter doc;
   // hardware_threads is what the OS reports, default_pool_threads what a
   // ThreadPool(0) actually spawns; sections that fan out record the worker
   // count they really used (sweep.parallel_threads, shard.workers) so the
   // artifact says how parallel each number was, not just how parallel the
-  // machine could have been.
+  // machine could have been. A --section run emits only the sections it
+  // measured, so a partial artifact can never satisfy the full-baseline gate
+  // by accident.
   doc.add("schema", "spider-bench-perf-v1")
       .add("hardware_threads",
            static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
-      .add("default_pool_threads", sim::ThreadPool::default_thread_count())
-      .add_object("event_queue", event_queue)
-      .add_object("stream", stream_json)
-      .add_object("phy", phy_json)
-      .add_object("scale", scale_json)
-      .add_object("fleet", fleet_json)
-      .add_object("shard", shard_json)
-      .add_object("sweep", sweep);
+      .add("default_pool_threads", sim::ThreadPool::default_thread_count());
+  if (section_on("event_queue")) doc.add_object("event_queue", event_queue);
+  if (section_on("stream")) doc.add_object("stream", stream_json);
+  if (section_on("phy")) doc.add_object("phy", phy_json);
+  if (section_on("scale")) doc.add_object("scale", scale_json);
+  if (section_on("fleet")) doc.add_object("fleet", fleet_json);
+  if (section_on("shard")) doc.add_object("shard", shard_json);
+  if (section_on("sweep")) doc.add_object("sweep", sweep);
   if (!doc.write_file(out_path)) {
     std::fprintf(stderr, "failed to write %s\n", out_path);
     return 1;

@@ -39,7 +39,7 @@ double FleetResults::fairness() const {
 }
 
 FleetExperiment::FleetExperiment(FleetConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)), sim_(config_.scheduler), rng_(config_.seed) {
   if (config_.clients < 1)
     throw std::invalid_argument("FleetConfig: clients < 1");
 

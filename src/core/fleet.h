@@ -33,6 +33,8 @@ namespace spider::core {
 
 struct FleetConfig {
   std::uint64_t seed = 1;
+  // Event scheduler for the fleet's simulator (see sim::SimulatorConfig).
+  sim::SimulatorConfig scheduler;
   sim::Time duration = sim::Time::seconds(600);
   int clients = 4;
   // Clients are spread along the route with this headway (distance the

@@ -25,11 +25,17 @@
 
 namespace spider::phy {
 
+// The measured hardware-reset (retune) time: Table 1's ~4.94 ms for the
+// Atheros part with no associated interfaces. THE canonical constant — the
+// default RadioConfig::hardware_reset, the sharded engine's lookahead bound,
+// and the Table 1 reproduction all read this one name.
+inline constexpr sim::Time kHardwareResetTime = sim::Time::micros(4940);
+
 struct RadioConfig {
   net::ChannelId initial_channel = 1;
-  // Hardware-reset time applied on every retune (Table 1 measures ~4.94 ms
-  // for the Atheros part with no associated interfaces).
-  sim::Time hardware_reset = sim::Time::micros(4940);
+  // Hardware-reset time applied on every retune; override per radio to
+  // model a different part.
+  sim::Time hardware_reset = kHardwareResetTime;
 };
 
 class Radio {

@@ -136,8 +136,7 @@ void ShardedWorld::derive_window() {
   const sim::Time airtime =
       scenario_.medium.preamble +
       sim::transmission_time(min_bytes, scenario_.medium.bitrate_bps);
-  std::int64_t w_us =
-      std::min(airtime.us(), RadioConfig{}.hardware_reset.us());
+  std::int64_t w_us = std::min(airtime.us(), kHardwareResetTime.us());
   if (scenario_.window_us_override > 0) {
     SPIDER_CHECK(scenario_.window_us_override <= w_us)
         << "window override " << scenario_.window_us_override
@@ -157,7 +156,8 @@ void ShardedWorld::build_shards(sim::ThreadPool* pool) {
   for (unsigned s = 0; s < k; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->index = s;
-    shard->sim = std::make_unique<sim::Simulator>();
+    shard->sim = std::make_unique<sim::Simulator>(
+        sim::SimulatorConfig{scenario_.wheel_scheduler});
     MediumConfig cfg = scenario_.medium;
     // The sharded engine's two hard requirements (see medium.h): draws that
     // are pure functions of physical identity, and carrier sense that never
@@ -374,7 +374,7 @@ void ShardedWorld::start_retune(Shard& shard, Node& node, std::uint32_t uid,
   // Completion lands on the first barrier at or past start + reset: real
   // latency within [4.94 ms, 4.94 ms + W), and exactly representable at
   // every shard count.
-  const std::int64_t reset_us = RadioConfig{}.hardware_reset.us();
+  const std::int64_t reset_us = kHardwareResetTime.us();
   const std::int64_t w_us = window_.us();
   node.retune_done_us =
       ((barrier_us + reset_us + w_us - 1) / w_us) * w_us;

@@ -84,6 +84,9 @@ struct ShardScenario {
   std::int64_t window_us_override = 0;
   // Channels retuning nodes hop across.
   std::vector<net::ChannelId> channel_plan{1, 6, 11};
+  // Per-shard event scheduler (wheel by default; heap reference path). The
+  // N-vs-1 digest gates run both ways.
+  bool wheel_scheduler = true;
   std::vector<ShardNodeSpec> nodes;  // node i gets uid i+1
 };
 

@@ -1,6 +1,9 @@
 // Deterministic discrete-event simulator.
 //
-// A Simulator owns a priority queue of (time, sequence, callback) events.
+// A Simulator owns an ordered queue of (time, sequence, callback) events —
+// a hierarchical timing wheel by default (sim/timer_wheel.h; O(1) schedule
+// and cancel), with the original (at, seq) min-heap retained behind
+// SimulatorConfig::wheel_scheduler=false as the digest-equivalent reference.
 // Events scheduled for the same instant fire in scheduling order, which makes
 // runs bit-for-bit reproducible for a fixed seed. Timers are cancellable via
 // the handle returned from schedule_at()/schedule_after().
@@ -28,11 +31,22 @@
 #include "core/arena.h"
 #include "sim/small_fn.h"
 #include "sim/time.h"
+#include "sim/timer_wheel.h"
 #include "telemetry/hub.h"
 
 namespace spider::sim {
 
 class Simulator;
+
+// Scheduler selection. The hierarchical timing wheel (sim/timer_wheel.h) is
+// the production event queue: O(1) schedule and O(1) lazy cancel. The
+// (at, seq) min-heap it replaced stays available as the reference path —
+// both produce bit-identical digests (gated in tests/timer_wheel_test.cc
+// full-stack: drive, fleet, sharded K ∈ {1,2,4,8}), so any divergence is a
+// scheduler bug, not a scenario change.
+struct SimulatorConfig {
+  bool wheel_scheduler = true;
+};
 
 namespace detail {
 
@@ -92,6 +106,7 @@ class TimerHandle {
 class Simulator {
  public:
   Simulator();
+  explicit Simulator(SimulatorConfig config);
   ~Simulator();
 
   // Non-copyable: handles and callbacks capture `this`.
@@ -135,11 +150,17 @@ class Simulator {
   // the interrupting event's timestamp.
   void stop() { stopped_ = true; }
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const {
+    return config_.wheel_scheduler ? wheel_.size() : queue_.size();
+  }
   std::uint64_t events_executed() const { return executed_; }
   std::uint64_t events_posted() const { return posted_; }
   std::uint64_t events_cancelled() const { return cancelled_; }
   std::size_t queue_depth_high_water() const { return depth_high_water_; }
+
+  const SimulatorConfig& config() const { return config_; }
+  // Lifetime cascade count of the wheel scheduler (0 on the heap path).
+  std::uint64_t scheduler_cascades() const { return wheel_.cascades(); }
 
   // Per-world telemetry (metrics registry + trace recorder). The event-queue
   // counters above are plain members published through a Hub collector at
@@ -166,6 +187,8 @@ class Simulator {
 
  private:
   void drain(Time limit);
+  void drain_heap(Time limit);
+  void drain_wheel(Time limit);
   void fold_instant();
   // Samples pending_events() onto the sim.queue_depth counter track when
   // tracing is on and the depth changed since the last sample (one sample
@@ -192,9 +215,16 @@ class Simulator {
   // constructor registers.
   void note_push() {
     ++posted_;
-    if (queue_.size() > depth_high_water_) depth_high_water_ = queue_.size();
+    const std::size_t depth = pending_events();
+    if (depth > depth_high_water_) depth_high_water_ = depth;
   }
 
+  SimulatorConfig config_;
+  // Production scheduler (config_.wheel_scheduler, the default) …
+  TimerWheel wheel_;
+  // … and the reference (at, seq) min-heap, kept for digest cross-checks and
+  // as the baseline the perf floors are measured against. Exactly one of the
+  // two ever holds events.
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::shared_ptr<detail::TokenSlab> tokens_;
   Time now_ = Time::zero();

@@ -1,0 +1,273 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+
+namespace spider::sim {
+
+TimerWheel::TimerWheel() {
+  std::memset(head_, 0xFF, sizeof(head_));  // every slot starts at kNil
+  std::memset(tail_, 0xFF, sizeof(tail_));
+  nodes_.reserve(64);
+  free_list_.reserve(nodes_.capacity());
+  overflow_.reserve(8);
+  late_.reserve(8);
+}
+
+std::uint32_t TimerWheel::acquire_node() {
+  if (!free_list_.empty()) {
+    const std::uint32_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  // Cold growth only: once the pool has grown to the run's high-water mark,
+  // every schedule recycles through the free list. Keep the free list's
+  // capacity at least the pool's so release_node never reallocates warm.
+  if (free_list_.capacity() < nodes_.capacity()) {
+    free_list_.reserve(nodes_.capacity());
+  }
+  return idx;
+}
+
+void TimerWheel::release_node(std::uint32_t idx) {
+  nodes_[idx].next = kNil;
+  free_list_.push_back(idx);
+}
+
+SPIDER_HOT void TimerWheel::schedule(std::int64_t at_us, std::uint64_t seq,
+                                     std::uint32_t token, SmallFn fn) {
+  const std::uint32_t idx = acquire_node();
+  Node& n = nodes_[idx];
+  n.at_us = at_us;
+  n.seq = seq;
+  n.token = token;
+  n.fn = std::move(fn);
+  if (at_us < clock_) {
+    // Behind the wheel cursor (cancelled pops moved it past the sim clock):
+    // park in the late heap, which drains strictly before the wheel.
+    late_push(idx);
+  } else {
+    place(idx);
+  }
+  ++size_;
+}
+
+bool TimerWheel::late_before(std::uint32_t a, std::uint32_t b) const {
+  const Node& x = nodes_[a];
+  const Node& y = nodes_[b];
+  if (x.at_us != y.at_us) return x.at_us < y.at_us;
+  return x.seq < y.seq;
+}
+
+void TimerWheel::late_push(std::uint32_t idx) {
+  late_.push_back(idx);
+  std::size_t i = late_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!late_before(late_[i], late_[parent])) break;
+    std::swap(late_[i], late_[parent]);
+    i = parent;
+  }
+}
+
+std::uint32_t TimerWheel::late_pop() {
+  const std::uint32_t top = late_.front();
+  late_.front() = late_.back();
+  late_.pop_back();
+  const std::size_t n = late_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t m = i;
+    if (l < n && late_before(late_[l], late_[m])) m = l;
+    if (r < n && late_before(late_[r], late_[m])) m = r;
+    if (m == i) break;
+    std::swap(late_[i], late_[m]);
+    i = m;
+  }
+  return top;
+}
+
+SPIDER_HOT void TimerWheel::place(std::uint32_t idx) {
+  const Node& n = nodes_[idx];
+  const auto at = static_cast<std::uint64_t>(n.at_us);
+  const std::uint64_t diff = at ^ static_cast<std::uint64_t>(clock_);
+  if ((diff >> kSpanBits) != 0) {
+    // Beyond the top-level window: parked until the clock's top bits catch
+    // up. Rare by construction (2^48 us ahead), so the list growth is cold.
+    overflow_.push_back(idx);
+    return;
+  }
+  // Highest differing byte picks the level; byte l of the absolute time
+  // picks the slot. diff == 0 means "due now": level 0, current slot.
+  const int level =
+      diff == 0 ? 0 : (63 - std::countl_zero(diff)) >> 3;
+  const int slot =
+      static_cast<int>((at >> (kSlotBits * level)) & kSlotMask);
+  append(level, slot, idx);
+}
+
+SPIDER_HOT void TimerWheel::append(int level, int slot, std::uint32_t idx) {
+  nodes_[idx].next = kNil;
+  std::uint32_t& t = tail(level, slot);
+  if (t == kNil) {
+    head(level, slot) = idx;
+    set_bit(level, slot);
+  } else {
+    nodes_[t].next = idx;
+  }
+  t = idx;
+}
+
+void TimerWheel::cascade(int level, int slot) {
+  std::uint32_t idx = head(level, slot);
+  head(level, slot) = kNil;
+  tail(level, slot) = kNil;
+  clear_bit(level, slot);
+  while (idx != kNil) {
+    const std::uint32_t next = nodes_[idx].next;
+    place(idx);  // byte `level` now matches the clock: lands a level down
+    idx = next;
+  }
+  ++cascades_;
+}
+
+void TimerWheel::refill_from_overflow() {
+  // Stable partition: nodes whose top bits entered the wheel's window get
+  // placed (in insertion = seq order); later windows stay parked.
+  const std::uint64_t window = static_cast<std::uint64_t>(clock_) >> kSpanBits;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < overflow_.size(); ++i) {
+    const std::uint32_t idx = overflow_[i];
+    if ((static_cast<std::uint64_t>(nodes_[idx].at_us) >> kSpanBits) ==
+        window) {
+      place(idx);
+    } else {
+      overflow_[kept++] = idx;
+    }
+  }
+  overflow_.resize(kept);
+}
+
+int TimerWheel::first_set_at_or_after(int level, int from) const {
+  if (from >= kSlots) return -1;
+  int word = from >> 6;
+  std::uint64_t bits = occ_[level][word] & (~0ull << (from & 63));
+  for (;;) {
+    if (bits != 0) return (word << 6) + std::countr_zero(bits);
+    if (++word == kWords) return -1;
+    bits = occ_[level][word];
+  }
+}
+
+SPIDER_HOT std::int64_t TimerWheel::find_due(std::int64_t limit_us) {
+  if (size_ == 0) return kNone;
+  for (;;) {
+    const auto clock = static_cast<std::uint64_t>(clock_);
+    // Level 0 first: an occupied slot here IS an exact due microsecond (all
+    // occupied level-0 slots are at or after the clock's index — earlier
+    // ones would be in the past, which schedule() forbids).
+    {
+      const int idx = static_cast<int>(clock & kSlotMask);
+      const int s = first_set_at_or_after(0, idx);
+      if (s >= 0) {
+        const std::int64_t t =
+            static_cast<std::int64_t>((clock & ~kSlotMask) | static_cast<std::uint64_t>(s));
+        if (t > limit_us) return kNone;
+        clock_ = t;
+        return t;
+      }
+    }
+    // Climb. The lowest non-empty level's first occupied slot bounds every
+    // pending event from below by its window base: everything beneath lower
+    // levels is empty, so jumping the clock straight to that base crosses
+    // only empty slots, and the cascade there is the one the clock crossing
+    // owes. Invariant: occupied slots at level >= 1 sit strictly after the
+    // clock's index (an equal index would have matched a lower level).
+    bool cascaded = false;
+    for (int level = 1; level < kLevels; ++level) {
+      const int idx = static_cast<int>((clock >> (kSlotBits * level)) & kSlotMask);
+      const int s = first_set_at_or_after(level, idx + 1);
+      if (s < 0) continue;
+      const int shift = kSlotBits * level;
+      const std::uint64_t window_mask = (1ull << (shift + kSlotBits)) - 1;
+      const std::uint64_t base =
+          (clock & ~window_mask) | (static_cast<std::uint64_t>(s) << shift);
+      if (static_cast<std::int64_t>(base) > limit_us) return kNone;
+      clock_ = static_cast<std::int64_t>(base);
+      cascade(level, s);
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    // Every level is dry: all pending events are parked in the overflow
+    // list, which by the placement rule lies entirely beyond the current
+    // top-level window — so the earliest overflow timestamp's window base is
+    // a safe clock target.
+    SPIDER_DCHECK(!overflow_.empty())
+        << "wheel counts " << size_ << " pending but holds none";
+    std::int64_t min_at = nodes_[overflow_.front()].at_us;
+    for (const std::uint32_t idx : overflow_) {
+      min_at = std::min(min_at, nodes_[idx].at_us);
+    }
+    const std::int64_t base =
+        static_cast<std::int64_t>(static_cast<std::uint64_t>(min_at) &
+                                  ~((1ull << kSpanBits) - 1));
+    if (base > limit_us) return kNone;
+    clock_ = std::max(clock_, base);
+    refill_from_overflow();
+  }
+}
+
+std::int64_t TimerWheel::next_due(std::int64_t limit_us) {
+  // Late events are strictly earlier than everything wheel-resident, so a
+  // non-empty late heap's top IS the global minimum.
+  if (!late_.empty()) {
+    const std::int64_t at = nodes_[late_.front()].at_us;
+    return at <= limit_us ? at : kNone;
+  }
+  return find_due(limit_us);
+}
+
+SPIDER_HOT bool TimerWheel::pop_due(std::int64_t limit_us, Fired* out) {
+  if (!late_.empty()) {
+    if (nodes_[late_.front()].at_us > limit_us) return false;
+    const std::uint32_t idx = late_pop();
+    Node& n = nodes_[idx];
+    out->at_us = n.at_us;
+    out->seq = n.seq;
+    out->token = n.token;
+    out->fn = std::move(n.fn);
+    release_node(idx);
+    --size_;
+    return true;
+  }
+  const std::int64_t t = find_due(limit_us);
+  if (t == kNone) return false;
+  // find_due parked the clock exactly on the due tick, so its level-0 slot
+  // holds that microsecond's events in seq order; pop the head.
+  const int slot = static_cast<int>(static_cast<std::uint64_t>(t) & kSlotMask);
+  const std::uint32_t idx = head(0, slot);
+  Node& n = nodes_[idx];
+  head(0, slot) = n.next;
+  if (n.next == kNil) {
+    tail(0, slot) = kNil;
+    clear_bit(0, slot);
+  }
+  out->at_us = n.at_us;
+  out->seq = n.seq;
+  out->token = n.token;
+  out->fn = std::move(n.fn);
+  release_node(idx);
+  --size_;
+  return true;
+}
+
+}  // namespace spider::sim

@@ -7,6 +7,7 @@
 
 #include "mac/access_point.h"
 #include "phy/medium.h"
+#include "phy/radio.h"
 
 namespace spider::core {
 namespace {
@@ -148,7 +149,7 @@ TEST_F(DeviceTest, SwitchLatencyGrowsWithConnectedAps) {
   const sim::Time without = device_->switch_channel(1);
   EXPECT_GT(with_aps, without);
   // Base cost is the hardware reset (~4.94 ms).
-  EXPECT_GE(without, sim::Time::micros(4940));
+  EXPECT_GE(without, phy::kHardwareResetTime);
   EXPECT_LT(without, sim::Time::micros(5200));
 }
 

@@ -78,7 +78,7 @@ TEST(ShardWorld, WindowIsTheConservativeLookahead) {
       scenario.medium.preamble +
       sim::transmission_time(net::kProbeRequestBytes,
                              scenario.medium.bitrate_bps);
-  const sim::Time reset = RadioConfig{}.hardware_reset;
+  const sim::Time reset = kHardwareResetTime;
   EXPECT_EQ(world.window().us(), std::min(airtime.us(), reset.us()));
   EXPECT_LT(world.window().us(), reset.us())
       << "probe airtime should be the binding constraint, not the retune";
@@ -164,7 +164,7 @@ TEST(ShardWorld, RetuneCompletionExactlyAtBarrier) {
   for (ShardNodeSpec& spec : scenario.nodes) {
     spec.retune_period_ticks = 10;  // hop often enough to hit many barriers
   }
-  const std::int64_t reset_us = RadioConfig{}.hardware_reset.us();
+  const std::int64_t reset_us = kHardwareResetTime.us();
   ASSERT_EQ(reset_us % 190, 0)
       << "this test wants retunes to complete exactly on barriers";
   const WorldRun base = run_world(scenario, 1);

@@ -1,0 +1,376 @@
+// Timing-wheel scheduler gates (DESIGN.md "Scheduler").
+//
+// Two layers of coverage:
+//   * sim::TimerWheel in isolation — the determinism contract (fire order is
+//     exactly (at, seq), matching the reference min-heap) across the cases
+//     where a wheel could plausibly diverge: same-instant FIFO straddling
+//     cascade boundaries, far-future events beyond the top level, cancels
+//     discovered after a cascade moved the node, inserts behind the wheel
+//     cursor (the late heap), and randomized wheel-vs-heap equivalence.
+//   * full stack — SimulatorConfig::wheel_scheduler toggled under the drive
+//     sweep (1 and 8 threads), the fleet harness, and the sharded world at
+//     K in {1, 2, 4, 8}: every digest must be bit-identical between heap and
+//     wheel, which is what lets the wheel be the default scheduler without
+//     re-baselining a single gate.
+//
+// The warm-path allocation guarantee (schedule/fire/cancel touch no heap once
+// the node pool has grown) is proven under core::ScopedAllocGuard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/alloc_guard.h"
+#include "core/configs.h"
+#include "core/experiment.h"
+#include "core/fleet.h"
+#include "core/shard_scenarios.h"
+#include "core/sweep.h"
+#include "mobility/deployment.h"
+#include "mobility/route.h"
+#include "net/addr.h"
+#include "sim/random.h"
+#include "phy/shard_world.h"
+#include "sim/simulator.h"
+#include "sim/thread_pool.h"
+#include "sim/timer_wheel.h"
+
+namespace spider {
+namespace {
+
+using sim::Simulator;
+using sim::SimulatorConfig;
+using sim::Time;
+using sim::TimerWheel;
+
+// ---- TimerWheel in isolation ------------------------------------------------
+
+// Drains the wheel completely and returns (at, seq) pairs in pop order.
+std::vector<std::pair<std::int64_t, std::uint64_t>> drain_all(TimerWheel& w) {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> fired;
+  fired.reserve(w.size());
+  TimerWheel::Fired ev;
+  while (w.pop_due(std::numeric_limits<std::int64_t>::max(), &ev)) {
+    fired.emplace_back(ev.at_us, ev.seq);
+  }
+  return fired;
+}
+
+void expect_heap_order(
+    const std::vector<std::pair<std::int64_t, std::uint64_t>>& fired,
+    std::size_t expected_count) {
+  ASSERT_EQ(fired.size(), expected_count);
+  auto sorted = fired;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(fired, sorted) << "wheel diverged from (at, seq) heap order";
+}
+
+TEST(TimerWheel, SameTimestampPostsFireInSeqOrderAcrossCascadeBoundaries) {
+  // Timestamps chosen to straddle every cascade boundary the 8-bit levels
+  // have below the top: one inside level 0, one exactly at a level-1 window
+  // base, one just past it, and one at a level-2 base. Posts are interleaved
+  // across the timestamps (insertion-permuted), so same-instant FIFO has to
+  // survive both the permuted inserts and the cascades that re-file the
+  // higher-level nodes.
+  const std::int64_t instants[] = {200, 256, 257, 65536, 65541, 16777216};
+  TimerWheel w;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 5; ++round) {
+    // Alternate sweep direction so insertion order != timestamp order.
+    if (round % 2 == 0) {
+      for (const std::int64_t at : instants) w.schedule(at, seq++, 0, [] {});
+    } else {
+      for (auto it = std::rbegin(instants); it != std::rend(instants); ++it) {
+        w.schedule(*it, seq++, 0, [] {});
+      }
+    }
+  }
+  expect_heap_order(drain_all(w), seq);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(TimerWheel, FarFutureEventsBeyondTopLevelFireInOrder) {
+  // Events past 2^48 us live in the overflow list until the wheel's window
+  // catches up; interleave them with near events and with each other across
+  // two distinct far windows.
+  constexpr std::int64_t kSpan = 1ll << 48;
+  TimerWheel w;
+  std::uint64_t seq = 0;
+  w.schedule(kSpan + 5, seq++, 0, [] {});
+  w.schedule(10, seq++, 0, [] {});
+  w.schedule(2 * kSpan + 1, seq++, 0, [] {});
+  w.schedule(kSpan + 5, seq++, 0, [] {});  // same far instant, later seq
+  w.schedule(kSpan - 1, seq++, 0, [] {});
+  w.schedule(2 * kSpan, seq++, 0, [] {});
+  expect_heap_order(drain_all(w), seq);
+}
+
+TEST(TimerWheel, NextDueRespectsLimitWithoutPopping) {
+  TimerWheel w;
+  w.schedule(1000, 0, 0, [] {});
+  EXPECT_EQ(w.next_due(999), TimerWheel::kNone);
+  EXPECT_EQ(w.next_due(1000), 1000);
+  EXPECT_EQ(w.size(), 1u);  // probing never popped
+  TimerWheel::Fired ev;
+  EXPECT_FALSE(w.pop_due(999, &ev));
+  EXPECT_TRUE(w.pop_due(1000, &ev));
+  EXPECT_EQ(ev.at_us, 1000);
+  EXPECT_TRUE(w.empty());
+}
+
+// ---- Simulator-level behavior (cancel, late inserts, equivalence) -----------
+
+TEST(TimerWheelSim, CancelAfterCascadeIsHonored) {
+  // The timer sits two levels up at schedule time; running the clock close
+  // to (but short of) its instant cascades it down through level 1 into
+  // level 0. Cancelling after those cascades must still suppress the fire —
+  // cancellation lives in the token slab, not in any wheel slot.
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.schedule_at(Time::micros(70000), [&] { ++fired; });
+  sim.post_at(Time::micros(69990), [] {});
+  sim.run_until(Time::micros(69995));  // cascades 70000 down to level 0
+  h.cancel();
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  // A cancelled discard never advances the clock (same as the heap path).
+  EXPECT_EQ(sim.now(), Time::micros(69995));
+}
+
+TEST(TimerWheelSim, ScheduleBehindWheelCursorAfterCancelledRun) {
+  // Regression for the late-heap path: popping a run of cancelled timers
+  // advances the wheel cursor to their instants while now() stays put
+  // (nothing executes). The next schedule_at(now()+1) is then behind the
+  // cursor and must still fire — in exact (at, seq) order against events
+  // scheduled wheel-side at the same time.
+  Simulator sim;
+  std::vector<sim::TimerHandle> handles;
+  handles.reserve(64);
+  for (int wave = 0; wave < 8; ++wave) {
+    handles.clear();
+    const Time base = sim.now() + Time::micros(1);
+    for (int i = 0; i < 64; ++i) {
+      handles.push_back(
+          sim.schedule_at(base + Time::micros(i % 17), [] { FAIL(); }));
+    }
+    for (auto& h : handles) h.cancel();
+    sim.run_all();  // cursor now sits at base + 16; now() unchanged
+  }
+  std::vector<int> order;
+  order.reserve(3);
+  sim.schedule_at(sim.now() + Time::micros(1), [&] { order.push_back(0); });
+  sim.schedule_at(sim.now() + Time::micros(1), [&] { order.push_back(1); });
+  sim.post_at(sim.now() + Time::micros(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TimerWheelSim, RandomizedChurnMatchesHeapReference) {
+  // The same seeded schedule/cancel/advance script executed on a wheel
+  // simulator and a heap simulator must fold the identical event sequence
+  // into the digest and execute the same count.
+  auto run_script = [](bool wheel) {
+    Simulator sim(SimulatorConfig{.wheel_scheduler = wheel});
+    std::mt19937_64 rng(0xC0FFEEu);
+    std::vector<sim::TimerHandle> handles;
+    handles.reserve(4096);
+    std::uint64_t work = 0;
+    for (int step = 0; step < 2000; ++step) {
+      const auto roll = rng() % 100;
+      if (roll < 55) {
+        // Mixed horizons: mostly near, some mid, a few far enough to climb
+        // several levels, a trickle beyond the top-level span.
+        const auto bucket = rng() % 100;
+        std::int64_t delay;
+        if (bucket < 70) {
+          delay = static_cast<std::int64_t>(rng() % 512);
+        } else if (bucket < 90) {
+          delay = static_cast<std::int64_t>(rng() % (1 << 20));
+        } else if (bucket < 99) {
+          delay = static_cast<std::int64_t>(rng() % (1ll << 34));
+        } else {
+          delay = (1ll << 48) + static_cast<std::int64_t>(rng() % 1024);
+        }
+        handles.push_back(sim.schedule_after(Time::micros(delay),
+                                             [&work] { ++work; }));
+      } else if (roll < 75 && !handles.empty()) {
+        handles[rng() % handles.size()].cancel();
+      } else {
+        sim.run_for(Time::micros(static_cast<std::int64_t>(rng() % 4096)));
+      }
+    }
+    handles.clear();
+    sim.run_until(sim.now() + Time::micros(1ll << 36));
+    return std::pair<std::uint64_t, std::uint64_t>{sim.digest(),
+                                                   sim.events_executed()};
+  };
+  const auto wheel = run_script(true);
+  const auto heap = run_script(false);
+  EXPECT_EQ(wheel.first, heap.first) << "wheel and heap digests diverged";
+  EXPECT_EQ(wheel.second, heap.second);
+}
+
+TEST(TimerWheelSim, AdvanceToSkipsEmptyWindowsWithFarEventsPending) {
+  // The sharded-world barrier pattern: advance_to across windows that hold
+  // no work while later events are still pending. The wheel's next_due probe
+  // must agree there is nothing due without disturbing the pending set.
+  Simulator sim;
+  int fired = 0;
+  sim.post_at(Time::micros(1000000), [&] { ++fired; });
+  for (int window = 1; window <= 1000; ++window) {
+    sim.run_until(Time::micros(window * 229 - 1));
+    sim.advance_to(Time::micros(window * 229));
+  }
+  EXPECT_EQ(fired, 0);
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::micros(1000000));
+}
+
+TEST(TimerWheelSim, WarmScheduleFireCancelIsAllocationFree) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  std::vector<sim::TimerHandle> handles;
+  handles.reserve(256);
+  // Warm-up: grow the node pool, the token slab, the handle vector, and run
+  // one full wave so every container has seen its high-water mark.
+  for (int i = 0; i < 256; ++i) {
+    handles.push_back(
+        sim.schedule_after(Time::micros(1 + i % 97), [&sink] { ++sink; }));
+  }
+  for (int i = 0; i < 128; ++i) handles[i].cancel();
+  sim.run_all();
+  handles.clear();
+  {
+    core::ScopedAllocGuard guard("warm wheel schedule/fire/cancel");
+    for (int wave = 0; wave < 16; ++wave) {
+      for (int i = 0; i < 256; ++i) {
+        handles.push_back(
+            sim.schedule_after(Time::micros(1 + i % 97), [&sink] { ++sink; }));
+      }
+      for (int i = 0; i < 128; ++i) handles[i].cancel();
+      sim.run_all();
+      handles.clear();
+    }
+  }
+  EXPECT_EQ(sink, 128u + 16u * 128u);
+}
+
+// ---- Full-stack digest gates: heap vs wheel ---------------------------------
+
+// Compact drive scenario (same shape as tests/sweep_test.cc) with the
+// scheduler choice threaded through.
+core::ExperimentConfig drive_scenario(std::uint64_t seed, bool wheel) {
+  core::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.scheduler.wheel_scheduler = wheel;
+  cfg.duration = Time::seconds(20);
+  cfg.medium.base_loss = 0.1;
+  cfg.vehicle = mobility::Vehicle(mobility::Route::straight(300.0), 12.0);
+  cfg.spider = core::single_channel_multi_ap(1);
+
+  mobility::ApDescriptor ap;
+  ap.ssid = "wheel-ap";
+  ap.mac = net::MacAddress::from_index(0xB0);
+  ap.subnet = net::Ipv4Address{(10u << 24) | (0xB0u << 8)};
+  ap.position = {90, 12};
+  ap.channel = 1;
+  ap.backhaul_bps = 2e6;
+  mobility::ApDescriptor ap2 = ap;
+  ap2.ssid = "wheel-ap2";
+  ap2.mac = net::MacAddress::from_index(0xB1);
+  ap2.subnet = net::Ipv4Address{(10u << 24) | (0xB1u << 8)};
+  ap2.position = {210, -8};
+  cfg.aps = {ap, ap2};
+  return cfg;
+}
+
+TEST(TimerWheelFullStack, DriveSweepDigestsMatchHeapAtOneAndEightThreads) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(6);
+  for (std::uint64_t s = 1; s <= 6; ++s) seeds.push_back(s * 53 + 11);
+
+  const auto heap_cfg = [](std::uint64_t seed) {
+    return drive_scenario(seed, /*wheel=*/false);
+  };
+  const auto wheel_cfg = [](std::uint64_t seed) {
+    return drive_scenario(seed, /*wheel=*/true);
+  };
+  const core::SweepReport heap = core::run_seed_sweep(seeds, heap_cfg, 1);
+  for (const unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const core::SweepReport wheel =
+        core::run_seed_sweep(seeds, wheel_cfg, threads);
+    ASSERT_EQ(wheel.runs.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      SCOPED_TRACE("replication " + std::to_string(i));
+      EXPECT_EQ(wheel.runs[i].digest, heap.runs[i].digest)
+          << "wheel scheduler changed what the drive did";
+      EXPECT_EQ(wheel.runs[i].events_executed, heap.runs[i].events_executed);
+    }
+    EXPECT_EQ(wheel.combined_digest(), heap.combined_digest());
+  }
+}
+
+TEST(TimerWheelFullStack, FleetDigestMatchesHeap) {
+  std::uint64_t digests[2] = {0, 0};
+  double throughput[2] = {0.0, 0.0};
+  for (int wheel = 0; wheel < 2; ++wheel) {
+    core::FleetConfig cfg;
+    cfg.seed = 17;
+    cfg.scheduler.wheel_scheduler = wheel == 1;
+    cfg.clients = 4;
+    cfg.duration = Time::seconds(30);
+    sim::Rng rng(cfg.seed);
+    auto deploy_rng = rng.fork("deploy");
+    cfg.aps = mobility::area_deployment(700, 500, 10, deploy_rng);
+    core::FleetExperiment fleet(std::move(cfg));
+    const core::FleetResults r = fleet.run();
+    digests[wheel] = fleet.simulator().digest();
+    throughput[wheel] = r.aggregate_throughput_kBps();
+  }
+  EXPECT_EQ(digests[1], digests[0])
+      << "wheel scheduler changed what the fleet did";
+  EXPECT_EQ(throughput[1], throughput[0]);
+}
+
+TEST(TimerWheelFullStack, ShardedWorldDigestsMatchHeapAcrossShardCounts) {
+  // Both canonical sharded scenarios, heap vs wheel, K in {1, 2, 4, 8}. The
+  // wheel runs inside every shard simulator, under the bounded-horizon
+  // window barriers — the regime the class comment calls out.
+  struct Case {
+    const char* name;
+    phy::ShardScenario scenario;
+  };
+  std::vector<Case> cases;
+  cases.reserve(2);
+  cases.push_back({"scale", core::make_scale_shard_scenario(
+                                600, 19, Time::millis(80))});
+  cases.push_back({"fleet", core::make_fleet_shard_scenario(
+                                40, 8, 23, Time::millis(100))});
+  for (Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    c.scenario.wheel_scheduler = false;
+    phy::ShardedWorld heap_world(c.scenario, 1, nullptr);
+    heap_world.run();
+    const std::uint64_t heap_digest = heap_world.digest();
+
+    c.scenario.wheel_scheduler = true;
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      phy::ShardedWorld wheel_world(c.scenario, shards, nullptr);
+      wheel_world.run();
+      EXPECT_EQ(wheel_world.digest(), heap_digest)
+          << "wheel scheduler changed what the sharded world did";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider
